@@ -1,0 +1,71 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench prints a header naming the paper artifact it regenerates and
+// a table with the paper's value next to the measured one; absolute
+// agreement comes from the calibrated platform model, but the *shape*
+// assertions (who wins, crossovers) emerge from the executed protocols.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/base/table.h"
+#include "src/flipc/flipc.h"
+#include "src/flipc/sim_workloads.h"
+
+namespace flipc::bench {
+
+inline void PrintHeader(const char* experiment, const char* paper_artifact,
+                        const char* expectation) {
+  std::printf("==============================================================================\n");
+  std::printf("%s — reproduces %s\n", experiment, paper_artifact);
+  std::printf("Paper: %s\n", expectation);
+  std::printf("==============================================================================\n");
+}
+
+inline std::unique_ptr<SimCluster> MakeParagonPair(
+    std::uint32_t message_size, engine::EngineOptions engine_options = {},
+    SimCluster::EngineKind kind = SimCluster::EngineKind::kNative,
+    std::unique_ptr<simnet::LinkModel> link = nullptr) {
+  SimCluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = message_size;
+  options.comm.buffer_count = 256;
+  options.comm.max_endpoints = 16;
+  options.engine = engine_options;
+  options.engine_kind = kind;
+  options.link_model = std::move(link);
+  auto cluster = SimCluster::Create(std::move(options));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "FATAL: cluster creation failed: %s\n",
+                 cluster.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(cluster).value();
+}
+
+inline sim::PingPongResult MustPingPong(SimCluster& cluster,
+                                        const sim::PingPongConfig& config) {
+  auto result = sim::RunPingPong(cluster, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: ping-pong failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline sim::StreamResult MustStream(SimCluster& cluster, const sim::StreamConfig& config) {
+  auto result = sim::RunStream(cluster, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: stream failed: %s\n", result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace flipc::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,58 @@
+// E1 — Figure 4: FLIPC message latency vs message size on the (simulated)
+// Paragon, steady state, lock-free interface variants, validity checks off.
+//
+// Paper: latencies 15.5–17 us over the measured sizes; for messages of
+// 96 bytes and above, latency = 15.45 us + 6.25 ns/byte, with standard
+// deviations of 0.5–0.65 us; 64-byte messages are slightly faster than the
+// line ("changes in hardware behavior").
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/base/stats.h"
+
+namespace flipc::bench {
+namespace {
+
+void Run() {
+  PrintHeader("E1: bench_fig4_latency", "Figure 4 (message latency vs message size)",
+              "latency(m >= 96B) = 15.45us + 6.25ns/B; sigma 0.5-0.65us; range ~15.5-17us");
+
+  TextTable table({"msg bytes", "payload", "paper us", "measured us", "sigma us", "samples"});
+  LinearFit fit;
+
+  for (std::uint32_t size = 64; size <= 1024; size += 32) {
+    auto cluster = MakeParagonPair(size);
+    sim::PingPongConfig config;
+    config.exchanges = 300;  // "hundreds of message exchanges"
+    config.jitter_stddev_ns = 400;  // per side; combined one-way sigma ~0.57 us
+    config.jitter_seed = 1996 + size;
+    const sim::PingPongResult result = MustPingPong(*cluster, config);
+
+    const double measured_us = result.one_way_ns.mean() / 1000.0;
+    const double sigma_us = result.one_way_ns.stddev() / 1000.0;
+    const double paper_us = size >= 96 ? 15.45 + 6.25e-3 * size : 15.5;
+    if (size >= 96) {
+      fit.Add(static_cast<double>(size), result.one_way_ns.mean());
+    }
+    table.AddRow({std::to_string(size), std::to_string(size - 8),
+                  TextTable::Num(paper_us), TextTable::Num(measured_us),
+                  TextTable::Num(sigma_us), std::to_string(result.one_way_ns.count())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const LineFit line = fit.Fit();
+  std::printf("Least-squares fit over sizes >= 96 B:\n");
+  std::printf("  paper   : latency = 15.45 us + 6.250 ns/byte\n");
+  std::printf("  measured: latency = %.2f us + %.3f ns/byte  (r^2 = %.5f)\n",
+              line.intercept / 1000.0, line.slope, line.r_squared);
+  std::printf("  marginal interconnect rate: paper >150 MB/s; measured %.0f MB/s\n\n",
+              1000.0 / line.slope);
+}
+
+}  // namespace
+}  // namespace flipc::bench
+
+int main() {
+  flipc::bench::Run();
+  return 0;
+}

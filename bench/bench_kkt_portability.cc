@@ -1,0 +1,79 @@
+// E8 — the KKT development path (Implementation section).
+//
+// Paper: FLIPC was first built over KKT (an RPC-per-message kernel
+// transport) on Ethernet and SCSI PC clusters, then moved to the Paragon
+// "in less than a week including test time", and finally replaced by the
+// native mesh engine. KKT "is not a good match to the one way messages
+// used by FLIPC because KKT uses an RPC to deliver each message" — but the
+// platform-independent layers (application library, communication buffer)
+// ran unchanged everywhere.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+namespace flipc::bench {
+namespace {
+
+double OneWayUs(SimCluster::EngineKind kind, const char* fabric,
+                const engine::PlatformModel& model) {
+  std::unique_ptr<simnet::LinkModel> link;
+  const std::string name = fabric;
+  if (name == "mesh") {
+    link = std::make_unique<simnet::MeshLinkModel>();
+  } else if (name == "ethernet") {
+    link = std::make_unique<simnet::EthernetLinkModel>();
+  } else {
+    link = std::make_unique<simnet::ScsiLinkModel>();
+  }
+  SimCluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = 128;
+  options.engine_kind = kind;
+  options.model = model;
+  options.link_model = std::move(link);
+  auto cluster = SimCluster::Create(std::move(options));
+  if (!cluster.ok()) {
+    std::abort();
+  }
+  return MustPingPong(**cluster, {.exchanges = 100}).one_way_ns.mean() / 1000.0;
+}
+
+void Run() {
+  PrintHeader("E8: bench_kkt_portability",
+              "Implementation section (KKT development path, 120-byte message)",
+              "the same library + communication buffer run over KKT on Ethernet/SCSI "
+              "PC clusters and the Paragon; native mesh engine is far faster than "
+              "RPC-per-message KKT");
+
+  const engine::PlatformModel paragon = engine::ParagonModel();
+  const engine::PlatformModel pc = engine::PcClusterModel();
+
+  TextTable table({"engine", "platform", "measured us", "note"});
+  table.AddRow({"KKT", "ethernet PC cluster",
+                TextTable::Num(OneWayUs(SimCluster::EngineKind::kKkt, "ethernet", pc)),
+                "development platform"});
+  table.AddRow({"KKT", "SCSI PC cluster",
+                TextTable::Num(OneWayUs(SimCluster::EngineKind::kKkt, "scsi", pc)),
+                "development platform"});
+  const double kkt_mesh = OneWayUs(SimCluster::EngineKind::kKkt, "mesh", paragon);
+  table.AddRow({"KKT", "Paragon mesh", TextTable::Num(kkt_mesh),
+                "ported 'in less than a week'"});
+  const double native = OneWayUs(SimCluster::EngineKind::kNative, "mesh", paragon);
+  table.AddRow({"native", "Paragon mesh", TextTable::Num(native),
+                "optimized engine (paper: 16.2 us)"});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("Shape check: native beats KKT on identical hardware by %.1fx %s — the\n"
+              "RPC-per-message mismatch (marshal, kernel paths, stop-and-wait ack per\n"
+              "endpoint) that motivated the native engine.\n\n",
+              kkt_mesh / native, kkt_mesh / native > 1.5 ? "[OK]" : "[MISMATCH]");
+}
+
+}  // namespace
+}  // namespace flipc::bench
+
+int main() {
+  flipc::bench::Run();
+  return 0;
+}

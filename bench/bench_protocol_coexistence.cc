@@ -1,0 +1,124 @@
+// S1 (supplementary) — protocol coexistence on the message coprocessor.
+//
+// Paper, Implementation: "This protocol coexists with other protocols in
+// the Paragon's protocol framework on the message coprocessor, allowing
+// multiple protocols to be used simultaneously. For instance, our
+// implementation of FLIPC on the OSF/1 AD operating system requires both
+// the FLIPC and OSF/1 AD protocols to operate simultaneously."
+//
+// The flip side of a shared non-preemptible event loop is interference:
+// every foreign work unit delays FLIPC work behind it. This bench loads
+// the engines with a stand-in kernel-IPC protocol at increasing rates and
+// measures the FLIPC ping-pong latency — quantifying the coexistence cost
+// the paper accepts by design.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/engine/messaging_engine.h"
+
+namespace flipc::bench {
+namespace {
+
+// Stand-in for the OSF/1 AD kernel IPC protocol: consumes a fixed slice of
+// coprocessor time per message and echoes nothing.
+class KernelIpcHandler final : public engine::ProtocolHandler {
+ public:
+  explicit KernelIpcHandler(DurationNs cost_per_packet) : cost_(cost_per_packet) {}
+
+  void HandlePacket(simnet::Packet, simnet::CostAccumulator&) override { ++handled_; }
+  bool PollWork(simnet::CostAccumulator&) override { return false; }
+  DurationNs PlanCost(const simnet::Packet&) const override { return cost_; }
+
+  std::uint64_t handled() const { return handled_; }
+
+ private:
+  DurationNs cost_;
+  std::uint64_t handled_ = 0;
+};
+
+struct Outcome {
+  double flipc_mean_us = 0;
+  double flipc_max_us = 0;
+  std::uint64_t ipc_handled = 0;
+};
+
+Outcome RunWithIpcLoad(DurationNs ipc_interval_ns) {
+  auto cluster = MakeParagonPair(128);
+  KernelIpcHandler handler_a(8'000);  // 8 us of kernel work per IPC packet
+  KernelIpcHandler handler_b(8'000);
+  if (!cluster->engine(0).RegisterProtocol(simnet::kProtocolKernelIpc, &handler_a).ok() ||
+      !cluster->engine(1).RegisterProtocol(simnet::kProtocolKernelIpc, &handler_b).ok()) {
+    std::abort();
+  }
+
+  // Background kernel-IPC traffic in both directions at the given rate.
+  // The injection chain owns itself (shared_ptr) because events outlive
+  // this scope.
+  if (ipc_interval_ns > 0) {
+    auto inject = std::make_shared<std::function<void()>>();
+    SimCluster* c = cluster.get();
+    *inject = [c, ipc_interval_ns, inject] {
+      if (c->sim().Now() >= 50'000'000) {
+        return;
+      }
+      for (NodeId src : {NodeId{0}, NodeId{1}}) {
+        simnet::Packet packet;
+        packet.dst_node = 1 - src;
+        packet.protocol = simnet::kProtocolKernelIpc;
+        packet.payload.resize(256);
+        (void)c->fabric().wire(src).Send(std::move(packet));
+      }
+      c->sim().ScheduleAfter(ipc_interval_ns, *inject);
+    };
+    cluster->sim().ScheduleAt(1'000, *inject);
+  }
+
+  sim::PingPongConfig config;
+  config.exchanges = 300;
+  const sim::PingPongResult result = MustPingPong(*cluster, config);
+
+  Outcome out;
+  out.flipc_mean_us = result.one_way_ns.mean() / 1000.0;
+  out.flipc_max_us = result.one_way_ns.max() / 1000.0;
+  out.ipc_handled = handler_a.handled() + handler_b.handled();
+  return out;
+}
+
+void Run() {
+  PrintHeader("S1: bench_protocol_coexistence",
+              "Implementation section (FLIPC + OSF/1 AD protocols on one coprocessor)",
+              "foreign protocol work shares the non-preemptible engine loop; FLIPC "
+              "latency degrades gracefully with kernel-IPC load, never deadlocks");
+
+  TextTable table({"kernel-IPC load", "IPC pkts handled", "FLIPC mean us", "FLIPC max us"});
+  const Outcome idle = RunWithIpcLoad(0);
+  table.AddRow({"none", "0", TextTable::Num(idle.flipc_mean_us),
+                TextTable::Num(idle.flipc_max_us)});
+  Outcome heavy{};
+  for (const DurationNs interval : {200'000, 50'000, 20'000}) {
+    const Outcome out = RunWithIpcLoad(interval);
+    heavy = out;
+    char label[32];
+    std::snprintf(label, sizeof(label), "1 / %lld us", static_cast<long long>(interval / 1000));
+    table.AddRow({label, std::to_string(out.ipc_handled),
+                  TextTable::Num(out.flipc_mean_us), TextTable::Num(out.flipc_max_us)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("Shape checks: FLIPC stays functional under the heaviest IPC load %s; the\n"
+              "per-unit bound on interference holds (max <= mean + one 8 us IPC unit +\n"
+              "dispatch, measured %.2f vs idle %.2f us) %s.\n\n",
+              heavy.ipc_handled > 0 ? "[OK]" : "[MISMATCH]", heavy.flipc_max_us,
+              idle.flipc_mean_us,
+              heavy.flipc_max_us <= idle.flipc_mean_us + 2 * 8.5 ? "[OK]" : "[MISMATCH]");
+}
+
+}  // namespace
+}  // namespace flipc::bench
+
+int main() {
+  flipc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E7 — PAM's small-message advantage (Related Work).
+//
+// Paper: "PAM's optimizations for small messages and the simpler
+// functionality by comparison to FLIPC yield a message latency of less
+// than 10 us, about a third faster than FLIPC would be on a 20 byte
+// message." PAM carries 20 application bytes per packet; beyond one packet
+// it fragments, and FLIPC takes over in the medium range.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/baselines/baseline_messenger.h"
+
+namespace flipc::bench {
+namespace {
+
+double FlipcOneWayUs(std::size_t payload_bytes) {
+  const auto needed = static_cast<std::uint32_t>(AlignUp(payload_bytes + 8, 32));
+  auto cluster = MakeParagonPair(needed < 64 ? 64 : needed);
+  return MustPingPong(*cluster, {.exchanges = 200}).one_way_ns.mean() / 1000.0;
+}
+
+double PamOneWayUs(std::size_t bytes) {
+  simnet::Simulator sim;
+  baselines::PamMessenger messenger(sim, 2, std::make_unique<simnet::MeshLinkModel>());
+  RunningStats stats;
+  TimeNs start = 0;
+  std::function<void(int)> send_next = [&](int remaining) {
+    if (remaining == 0) {
+      return;
+    }
+    start = sim.Now();
+    messenger.Send(0, 1, bytes, [&, remaining] {
+      stats.Add(static_cast<double>(sim.Now() - start));
+      send_next(remaining - 1);
+    });
+  };
+  send_next(50);
+  sim.Run();
+  return stats.mean() / 1000.0;
+}
+
+void Run() {
+  PrintHeader("E7: bench_small_msgs", "Related Work (PAM vs FLIPC on small messages)",
+              "PAM <10us at 20 bytes, about a third faster than FLIPC there; FLIPC "
+              "wins once messages outgrow one PAM packet");
+
+  TextTable table({"payload bytes", "PAM us", "FLIPC us", "winner"});
+  std::size_t crossover = 0;
+  for (const std::size_t bytes : {4u, 12u, 20u, 40u, 60u, 80u, 120u, 200u, 500u}) {
+    const double pam = PamOneWayUs(bytes);
+    const double flipc = FlipcOneWayUs(bytes);
+    if (crossover == 0 && flipc < pam) {
+      crossover = bytes;
+    }
+    table.AddRow({std::to_string(bytes), TextTable::Num(pam), TextTable::Num(flipc),
+                  pam < flipc ? "PAM" : "FLIPC"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const double pam20 = PamOneWayUs(20);
+  const double flipc20 = FlipcOneWayUs(20);
+  std::printf("At 20 bytes: PAM %.2f us (paper: <10) — %.0f%% of FLIPC's %.2f us "
+              "(paper: about a third faster).\n", pam20, 100.0 * pam20 / flipc20, flipc20);
+  std::printf("Crossover to FLIPC at ~%zu bytes — inside the 50-500 byte medium class "
+              "FLIPC targets.\n\n", crossover);
+}
+
+}  // namespace
+}  // namespace flipc::bench
+
+int main() {
+  flipc::bench::Run();
+  return 0;
+}

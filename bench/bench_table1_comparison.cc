@@ -1,0 +1,78 @@
+// E2 — the Related Work latency comparison: one-way latency for a 120-byte
+// application message on the Paragon, FLIPC vs NX vs PAM vs SUNMOS.
+//
+// Paper: FLIPC 16.2 us; NX (Paragon O/S R1.3.2) 46 us; Paragon Active
+// Messages 26 us; SUNMOS 28 us. "This demonstrates the performance impact
+// of not optimizing for the medium class of messages."
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/baselines/baseline_messenger.h"
+
+namespace flipc::bench {
+namespace {
+
+double FlipcOneWayUs(std::size_t payload_bytes) {
+  // FLIPC message size = payload + 8-byte internal header, rounded up to
+  // the 32-byte DMA multiple.
+  const auto size = static_cast<std::uint32_t>(AlignUp(payload_bytes + 8, 32));
+  auto cluster = MakeParagonPair(size < 64 ? 64 : size);
+  const sim::PingPongResult result = MustPingPong(*cluster, {.exchanges = 300});
+  return result.one_way_ns.mean() / 1000.0;
+}
+
+template <typename Messenger>
+double BaselineOneWayUs(std::size_t bytes) {
+  simnet::Simulator sim;
+  Messenger messenger(sim, 2, std::make_unique<simnet::MeshLinkModel>());
+  // Steady-state mean over repeated one-way sends (completion-chained so
+  // each message runs in isolation, as a latency test does).
+  RunningStats stats;
+  TimeNs start = 0;
+  std::function<void(int)> send_next = [&](int remaining) {
+    if (remaining == 0) {
+      return;
+    }
+    start = sim.Now();
+    messenger.Send(0, 1, bytes, [&, remaining] {
+      stats.Add(static_cast<double>(sim.Now() - start));
+      send_next(remaining - 1);
+    });
+  };
+  send_next(50);
+  sim.Run();
+  return stats.mean() / 1000.0;
+}
+
+void Run() {
+  PrintHeader("E2: bench_table1_comparison",
+              "Related Work latency table (120-byte message, two Paragon nodes)",
+              "FLIPC 16.2us | NX 46us | PAM 26us | SUNMOS 28us");
+
+  const double flipc = FlipcOneWayUs(120);
+  const double nx = BaselineOneWayUs<baselines::NxMessenger>(120);
+  const double pam = BaselineOneWayUs<baselines::PamMessenger>(120);
+  const double sunmos = BaselineOneWayUs<baselines::SunmosMessenger>(120);
+
+  TextTable table({"system", "paper us", "measured us", "vs FLIPC"});
+  table.AddRow({"FLIPC", "16.2", TextTable::Num(flipc), "1.00x"});
+  table.AddRow({"NX (R1.3.2)", "46", TextTable::Num(nx), TextTable::Num(nx / flipc) + "x"});
+  table.AddRow({"PAM", "26", TextTable::Num(pam), TextTable::Num(pam / flipc) + "x"});
+  table.AddRow({"SUNMOS", "28", TextTable::Num(sunmos), TextTable::Num(sunmos / flipc) + "x"});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("Shape check: FLIPC fastest on the medium message%s; ordering "
+              "FLIPC < PAM < SUNMOS < NX %s.\n\n",
+              (flipc < pam && flipc < sunmos && flipc < nx) ? " [OK]" : " [MISMATCH]",
+              (pam < sunmos && sunmos < nx) ? "[OK]" : "[MISMATCH]");
+}
+
+}  // namespace
+}  // namespace flipc::bench
+
+int main() {
+  flipc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// E3 — validity-check overhead (Performance section).
+//
+// Paper: "These results are from a configuration that does not contain all
+// of the validity checks that protect the messaging engine against
+// corruption of the communication buffer by an errant or malicious
+// application. Configuring these checks adds an additional 2 us to the
+// above times."
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace flipc::bench {
+namespace {
+
+double OneWayUs(std::uint32_t message_size, bool checks) {
+  engine::EngineOptions options;
+  options.validity_checks = checks;
+  auto cluster = MakeParagonPair(message_size, options);
+  return MustPingPong(*cluster, {.exchanges = 300}).one_way_ns.mean() / 1000.0;
+}
+
+void Run() {
+  PrintHeader("E3: bench_validity_checks", "Performance section (validity-check delta)",
+              "configuring the engine's validity checks adds ~2 us per one-way message");
+
+  TextTable table({"msg bytes", "checks off us", "checks on us", "delta us", "paper delta"});
+  for (const std::uint32_t size : {64u, 128u, 256u, 512u, 1024u}) {
+    const double off = OneWayUs(size, false);
+    const double on = OneWayUs(size, true);
+    table.AddRow({std::to_string(size), TextTable::Num(off), TextTable::Num(on),
+                  TextTable::Num(on - off), "2.00"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace flipc::bench
+
+int main() {
+  flipc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Data replicator: the future-work extensions working together as the
+// "complete system" the paper's conclusion calls for.
+//
+//   * node 0 (producer) pushes a dataset to node 1 with the BULK TRANSFER
+//     library — fragmentation + window flow control layered over ordinary
+//     FLIPC messages, checksum-verified on reassembly;
+//   * node 1 (replica) exports the replicated bytes as a REMOTE MEMORY
+//     window;
+//   * node 2 (auditor) spot-checks the replica with one-sided RMA reads —
+//     the replica's application threads are never involved, the engine
+//     services the reads ("separating data and control transfer").
+//
+// All three protocols (FLIPC messages, bulk credits, RMA) share each node's
+// messaging engine through its protocol framework, just as the paper's
+// engine carried FLIPC alongside the OSF/1 AD protocols.
+//
+// Build & run:  ./build/examples/data_replicator
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/base/checksum.h"
+#include "src/base/rng.h"
+#include "src/flipc/flipc.h"
+#include "src/flow/bulk_channel.h"
+#include "src/rma/rma_node.h"
+
+namespace {
+constexpr std::size_t kDatasetBytes = 256 * 1024;
+constexpr std::uint32_t kWindowDepth = 16;
+constexpr int kAuditSamples = 32;
+}  // namespace
+
+int main() {
+  flipc::Cluster::Options options;
+  options.node_count = 3;
+  options.comm.message_size = 1024;  // bulk likes bigger fragments
+  options.comm.buffer_count = 128;
+  auto cluster = flipc::Cluster::Create(options);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster creation failed\n");
+    return 1;
+  }
+  flipc::Domain& producer = (*cluster)->domain(0);
+  flipc::Domain& replica = (*cluster)->domain(1);
+
+  // RMA endpoints-of-sorts: protocol handlers on each engine (registered
+  // before the engines start running).
+  flipc::rma::RmaNode replica_rma((*cluster)->engine(1));
+  flipc::rma::RmaNode auditor_rma((*cluster)->engine(2));
+  (*cluster)->Start();
+
+  // --- Bulk channel: producer -> replica ---
+  auto data_tx = producer.CreateEndpoint(
+      {.type = flipc::shm::EndpointType::kSend, .queue_depth = kWindowDepth});
+  auto credit_rx = producer.CreateEndpoint(
+      {.type = flipc::shm::EndpointType::kReceive, .queue_depth = kWindowDepth});
+  auto data_rx = replica.CreateEndpoint(
+      {.type = flipc::shm::EndpointType::kReceive, .queue_depth = kWindowDepth});
+  auto credit_tx = replica.CreateEndpoint(
+      {.type = flipc::shm::EndpointType::kSend, .queue_depth = kWindowDepth});
+  if (!data_tx.ok() || !credit_rx.ok() || !data_rx.ok() || !credit_tx.ok()) {
+    return 1;
+  }
+  auto receiver = flipc::flow::BulkReceiver::Create(replica, *data_rx, *credit_tx,
+                                                    credit_rx->address(), kWindowDepth);
+  auto sender = flipc::flow::BulkSender::Create(producer, *data_tx, *credit_rx,
+                                                data_rx->address(), kWindowDepth);
+  if (!receiver.ok() || !sender.ok()) {
+    return 1;
+  }
+
+  // The dataset: pseudo-random so corruption cannot hide.
+  std::vector<std::byte> dataset(kDatasetBytes);
+  flipc::Rng rng(0xDA7A);
+  for (auto& b : dataset) {
+    b = static_cast<std::byte>(rng() & 0xff);
+  }
+  const std::uint64_t dataset_sum = flipc::Fnv1a(dataset.data(), dataset.size());
+
+  // Replica thread: reassemble, verify, export via RMA.
+  std::vector<std::byte> replica_copy;
+  std::uint32_t rma_window = 0;
+  std::thread replica_thread([&] {
+    for (;;) {
+      auto transfer = receiver->Poll();
+      if (transfer.ok()) {
+        if (!transfer->checksum_ok) {
+          std::fprintf(stderr, "replica: checksum FAILED\n");
+          return;
+        }
+        replica_copy = std::move(transfer->data);
+        auto window = replica_rma.ExportWindow(replica_copy.data(), replica_copy.size());
+        if (window.ok()) {
+          rma_window = *window;
+        }
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Producer: start and pump the transfer.
+  auto transfer_id = sender->Start(dataset.data(), dataset.size());
+  if (!transfer_id.ok()) {
+    return 1;
+  }
+  while (sender->Pump()) {
+    std::this_thread::yield();
+  }
+  replica_thread.join();
+  if (replica_copy.size() != kDatasetBytes || rma_window == 0) {
+    std::fprintf(stderr, "replication failed\n");
+    return 1;
+  }
+  std::printf("replicated %zu KB in %llu fragments (checksum ok)\n", kDatasetBytes / 1024,
+              static_cast<unsigned long long>(sender->fragments_sent()));
+
+  // --- Auditor: one-sided reads; the replica application stays idle ---
+  flipc::Rng audit_rng(0xA0D17);
+  int mismatches = 0;
+  for (int i = 0; i < kAuditSamples; ++i) {
+    const std::size_t chunk = 512;
+    const std::size_t offset = audit_rng.Below(kDatasetBytes - chunk);
+    std::vector<std::byte> sample(chunk);
+    auto token = auditor_rma.Read(1, rma_window, offset, sample.data(), sample.size());
+    if (!token.ok()) {
+      ++mismatches;
+      continue;
+    }
+    // The engine runner services RMA work; poll for completion.
+    while (auditor_rma.Poll(*token).code() == flipc::StatusCode::kUnavailable) {
+      std::this_thread::yield();
+    }
+    if (!auditor_rma.Poll(*token).ok() ||
+        std::memcmp(sample.data(), dataset.data() + offset, chunk) != 0) {
+      ++mismatches;
+    }
+  }
+
+  // An out-of-bounds probe must be rejected, not serviced.
+  std::byte probe[16];
+  auto bad = auditor_rma.Read(1, rma_window, kDatasetBytes - 4, probe, sizeof(probe));
+  while (bad.ok() && auditor_rma.Poll(*bad).code() == flipc::StatusCode::kUnavailable) {
+    std::this_thread::yield();
+  }
+  const bool probe_rejected =
+      bad.ok() && auditor_rma.Poll(*bad).code() == flipc::StatusCode::kPermissionDenied;
+
+  (*cluster)->Stop();
+  std::printf("audit: %d/%d samples verified by one-sided RMA reads; out-of-bounds probe "
+              "%s; replica served %llu reads without running application code\n",
+              kAuditSamples - mismatches, kAuditSamples,
+              probe_rejected ? "rejected" : "NOT rejected",
+              static_cast<unsigned long long>(replica_rma.stats().reads_served));
+  const bool ok = mismatches == 0 && probe_rejected &&
+                  flipc::Fnv1a(replica_copy.data(), replica_copy.size()) == dataset_sum;
+  std::printf("data_replicator %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

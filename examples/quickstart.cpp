@@ -1,0 +1,82 @@
+// Quickstart: the five-step FLIPC message transfer (paper Figure 2) on a
+// two-node cluster with real engine threads.
+//
+//   1. the receiver provides a message buffer on its receive endpoint;
+//   2. the sender queues a message buffer on its send endpoint;
+//   3. the messaging engine transfers the message;
+//   4. the receiver removes the message from the receive endpoint;
+//   5. the sender recovers its buffer for reuse.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <thread>
+
+#include "src/flipc/flipc.h"
+
+int main() {
+  // A "cluster": one FLIPC domain (communication buffer + engine thread)
+  // per node, connected by an in-process fabric.
+  flipc::Cluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = 128;  // fixed at "boot time"; 120-byte payload
+  auto cluster = flipc::Cluster::Create(options);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster creation failed\n");
+    return 1;
+  }
+  (*cluster)->Start();
+
+  flipc::Domain& alice = (*cluster)->domain(0);
+  flipc::Domain& bob = (*cluster)->domain(1);
+
+  // Bob: a receive endpoint with one posted buffer (step 1).
+  auto rx = bob.CreateEndpoint({.type = flipc::shm::EndpointType::kReceive});
+  auto rx_buffer = bob.AllocateBuffer();
+  if (!rx.ok() || !rx_buffer.ok() || !rx->PostBuffer(*rx_buffer).ok()) {
+    std::fprintf(stderr, "receiver setup failed\n");
+    return 1;
+  }
+
+  // Bob hands his endpoint address to Alice out of band (FLIPC addresses
+  // are opaque; the system has no name service).
+  const flipc::Address bob_address = rx->address();
+
+  // Alice: a send endpoint and a message (step 2).
+  auto tx = alice.CreateEndpoint({.type = flipc::shm::EndpointType::kSend});
+  auto message = alice.AllocateBuffer();
+  if (!tx.ok() || !message.ok()) {
+    std::fprintf(stderr, "sender setup failed\n");
+    return 1;
+  }
+  message->Write("hello from the compute processor", 33);
+  if (!tx->Send(*message, bob_address).ok()) {
+    std::fprintf(stderr, "send failed\n");
+    return 1;
+  }
+
+  // Step 3 happens on the engine threads. Bob polls for the message
+  // (step 4) — blocking variants exist too, see the other examples.
+  flipc::Result<flipc::MessageBuffer> received = flipc::UnavailableStatus();
+  while (!received.ok()) {
+    received = rx->Receive();
+    std::this_thread::yield();
+  }
+  std::printf("bob received: \"%s\" (from node %u, endpoint %u)\n",
+              reinterpret_cast<const char*>(received->data()),
+              received->peer().node(), received->peer().endpoint());
+
+  // Recycle the buffer for the next message (step 1 again)...
+  (void)rx->PostBuffer(*received);
+
+  // ...and Alice recovers hers (step 5).
+  flipc::Result<flipc::MessageBuffer> reclaimed = flipc::UnavailableStatus();
+  while (!reclaimed.ok()) {
+    reclaimed = tx->Reclaim();
+    std::this_thread::yield();
+  }
+  std::printf("alice reclaimed her buffer (index %u) for reuse\n", reclaimed->index());
+
+  (*cluster)->Stop();
+  std::printf("quickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// RPC over FLIPC with a fixed client set — the paper's first static
+// flow-control example:
+//
+//   "an RPC interaction structure with a fixed set of clients can
+//    statically determine the number of buffers needed based on the
+//    maximum number of clients."
+//
+// Three client nodes call a key/value service on a fourth node. The
+// server's receive endpoint is sized by flow::RpcServerPlan at startup;
+// requests can never be dropped, so the clients need no retry logic.
+// The server thread blocks on the request endpoint's real-time semaphore.
+//
+// Build & run:  ./build/examples/rpc_echo
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/flipc/flipc.h"
+#include "src/flow/rpc_channel.h"
+
+namespace {
+
+constexpr std::uint32_t kClients = 3;
+constexpr std::uint32_t kServerNode = kClients;
+constexpr std::uint32_t kCallsPerClient = 25;
+
+// Tiny request language: "put key value" | "get key".
+std::size_t HandleRequest(std::map<std::string, std::string>& store,
+                          const std::byte* request, std::size_t request_size,
+                          std::byte* reply, std::size_t reply_capacity) {
+  const std::string text(reinterpret_cast<const char*>(request), request_size);
+  std::string response;
+  if (text.rfind("put ", 0) == 0) {
+    const auto space = text.find(' ', 4);
+    store[text.substr(4, space - 4)] = text.substr(space + 1);
+    response = "ok";
+  } else if (text.rfind("get ", 0) == 0) {
+    auto it = store.find(text.substr(4));
+    response = it == store.end() ? "(nil)" : it->second;
+  } else {
+    response = "error: bad request";
+  }
+  const std::size_t n = response.size() < reply_capacity ? response.size() : reply_capacity;
+  std::memcpy(reply, response.data(), n);
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  flipc::Cluster::Options options;
+  options.node_count = kClients + 1;
+  options.comm.message_size = 128;
+  options.comm.buffer_count = 128;
+  auto cluster = flipc::Cluster::Create(options);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster creation failed\n");
+    return 1;
+  }
+  (*cluster)->Start();
+
+  // Server: buffers statically sized for the fixed client set.
+  flipc::flow::RpcServerPlan plan;
+  plan.clients = kClients;
+  plan.in_flight_per_client = 1;
+  std::printf("rpc server: %u clients x %u in flight -> %u posted request buffers\n",
+              plan.clients, plan.in_flight_per_client, plan.RequiredReceiveBuffers());
+
+  std::map<std::string, std::string> store;
+  auto server = flipc::flow::RpcServer::Create(
+      (*cluster)->domain(kServerNode), plan,
+      [&store](const std::byte* request, std::size_t n, std::byte* reply,
+               std::size_t capacity) {
+        return HandleRequest(store, request, n, reply, capacity);
+      });
+  if (!server.ok()) {
+    std::fprintf(stderr, "server creation failed\n");
+    return 1;
+  }
+
+  // Each client iteration makes two calls (put + get).
+  constexpr std::uint32_t kTotalRequests = 2 * kClients * kCallsPerClient;
+  std::thread server_thread([&] {
+    for (std::uint32_t served = 0; served < kTotalRequests;) {
+      if ((*server)->ServeBlocking(/*priority=*/5, 2'000'000'000).ok()) {
+        ++served;
+      }
+    }
+  });
+
+  // Clients: synchronous calls; correctness checked end to end.
+  std::vector<std::thread> clients;
+  std::atomic<std::uint32_t> failures{0};
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client =
+          flipc::flow::RpcClient::Create((*cluster)->domain(c), (*server)->address());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      char reply[120];
+      for (std::uint32_t i = 0; i < kCallsPerClient; ++i) {
+        const std::string key = "k" + std::to_string(c) + "." + std::to_string(i);
+        const std::string put = "put " + key + " v" + std::to_string(i);
+        auto n = (*client)->Call(put.data(), put.size(), reply, sizeof(reply),
+                                 2'000'000'000);
+        if (!n.ok() || std::string(reply, *n) != "ok") {
+          ++failures;
+          continue;
+        }
+        const std::string get = "get " + key;
+        n = (*client)->Call(get.data(), get.size(), reply, sizeof(reply), 2'000'000'000);
+        if (!n.ok() || std::string(reply, *n) != "v" + std::to_string(i)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  server_thread.join();
+  (*cluster)->Stop();
+
+  std::printf("served %llu requests; %u failures; request-endpoint drops: %llu "
+              "(static sizing => must be 0)\n",
+              static_cast<unsigned long long>((*server)->requests_served()),
+              failures.load(),
+              static_cast<unsigned long long>(
+                  (*server)->request_endpoint().DropCount()));
+  return failures.load() == 0 && (*server)->request_endpoint().DropCount() == 0 ? 0 : 1;
+}

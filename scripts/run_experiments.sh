@@ -1,0 +1,11 @@
+#!/bin/sh
+# Builds everything and regenerates every paper artifact (EXPERIMENTS.md).
+# Usage: scripts/run_experiments.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+for bench in "$BUILD"/bench/*; do
+  "$bench"
+done

@@ -1,0 +1,31 @@
+// FNV-1a checksums for payload integrity verification in tests and the
+// bulk-transfer reassembly path.
+#ifndef SRC_BASE_CHECKSUM_H_
+#define SRC_BASE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flipc {
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr std::uint64_t Fnv1a(const std::byte* data, std::size_t n,
+                              std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= static_cast<std::uint64_t>(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+inline std::uint64_t Fnv1a(const void* data, std::size_t n,
+                           std::uint64_t seed = kFnvOffsetBasis) {
+  return Fnv1a(static_cast<const std::byte*>(data), n, seed);
+}
+
+}  // namespace flipc
+
+#endif  // SRC_BASE_CHECKSUM_H_

@@ -1,0 +1,55 @@
+// Clock abstraction.
+//
+// The same FLIPC library code runs in two modes: real-concurrency mode
+// (engine on its own thread, RealClock) and discrete-event simulation mode
+// (virtual time advanced by the simulator, ManualClock). Code that needs the
+// time takes a Clock&; nothing in the messaging fast path reads the clock.
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "src/base/types.h"
+
+namespace flipc {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeNs NowNs() const = 0;
+};
+
+// Wall-clock time from a monotonic source.
+class RealClock final : public Clock {
+ public:
+  TimeNs NowNs() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  static RealClock& Instance() {
+    static RealClock clock;
+    return clock;
+  }
+};
+
+// Manually advanced time; the DES owns one and moves it forward event by
+// event. Thread-safe reads so a ManualClock can also back multi-thread tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeNs start_ns = 0) : now_ns_(start_ns) {}
+
+  TimeNs NowNs() const override { return now_ns_.load(std::memory_order_relaxed); }
+
+  void AdvanceTo(TimeNs t) { now_ns_.store(t, std::memory_order_relaxed); }
+  void AdvanceBy(DurationNs d) { now_ns_.fetch_add(d, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<TimeNs> now_ns_;
+};
+
+}  // namespace flipc
+
+#endif  // SRC_BASE_CLOCK_H_

@@ -1,0 +1,85 @@
+// Locks for synchronization *among application threads*.
+//
+// The paper's synchronization split: application<->engine synchronization is
+// wait-free (src/waitfree/), while application-thread<->application-thread
+// mutual exclusion uses conventional locking. Two lock types matter here:
+//
+//  * TasLock — the test-and-set lock the paper's "locked" interface variants
+//    use. On the Paragon the test-and-set had to lock the memory bus (the
+//    caches did not implement lock residency), which is why the paper added
+//    lock-free interface variants; the cost model charges for that.
+//  * PetersonLock — 2-party mutual exclusion from loads and stores only,
+//    i.e. the memory model the paper says the programmable controllers are
+//    limited to. FLIPC's production structures avoid even this (single-writer
+//    separation), but the lock is provided and tested to document the model.
+#ifndef SRC_BASE_LOCKS_H_
+#define SRC_BASE_LOCKS_H_
+
+#include <atomic>
+
+#include "src/base/types.h"
+
+namespace flipc {
+
+// Simple test-and-set spinlock. Satisfies Lockable.
+class TasLock {
+ public:
+  TasLock() = default;
+  TasLock(const TasLock&) = delete;
+  TasLock& operator=(const TasLock&) = delete;
+
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Spin on a plain load to avoid hammering the bus with RMWs.
+      while (flag_.test(std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+// Peterson's algorithm for two parties identified as side 0 and side 1.
+// Uses only atomic loads and stores (seq_cst, which the classic algorithm
+// requires for the store/load ordering between `interested` and `turn`).
+class PetersonLock {
+ public:
+  void Lock(int side) {
+    const int other = 1 - side;
+    interested_[side].store(true, std::memory_order_seq_cst);
+    turn_.store(other, std::memory_order_seq_cst);
+    while (interested_[other].load(std::memory_order_seq_cst) &&
+           turn_.load(std::memory_order_seq_cst) == other) {
+    }
+  }
+
+  void Unlock(int side) { interested_[side].store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> interested_[2] = {false, false};
+  std::atomic<int> turn_{0};
+};
+
+// RAII guard for PetersonLock.
+class PetersonGuard {
+ public:
+  PetersonGuard(PetersonLock& lock, int side) : lock_(lock), side_(side) {
+    lock_.Lock(side_);
+  }
+  ~PetersonGuard() { lock_.Unlock(side_); }
+  PetersonGuard(const PetersonGuard&) = delete;
+  PetersonGuard& operator=(const PetersonGuard&) = delete;
+
+ private:
+  PetersonLock& lock_;
+  int side_;
+};
+
+}  // namespace flipc
+
+#endif  // SRC_BASE_LOCKS_H_

@@ -1,0 +1,59 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace flipc {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_emit_mutex;
+
+std::string_view LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
+    : enabled_(level >= GetLogLevel() && level != LogLevel::kOff), level_(level) {
+  if (enabled_) {
+    stream_ << LevelTag(level) << " [" << Basename(file) << ':' << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> guard(g_emit_mutex);
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  (void)level_;
+}
+
+}  // namespace internal
+
+}  // namespace flipc

@@ -1,0 +1,51 @@
+// Minimal leveled logging.
+//
+// The messaging fast path never logs; logging exists for engine startup,
+// validity-check rejections, and test/bench diagnostics.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace flipc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+// Accumulates one message and emits it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define FLIPC_LOG(level) \
+  ::flipc::internal::LogMessage(::flipc::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace flipc
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Benchmarks must be reproducible run-to-run, so all workload generators use
+// this seeded xoshiro256** generator rather than std::random_device.
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace flipc {
+
+// splitmix64: used to expand a single seed into generator state.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x05f11bc1996ull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t Below(std::uint64_t bound) { return (*this)() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t Between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double UnitDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  constexpr bool Chance(double p) { return UnitDouble() < p; }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace flipc
+
+#endif  // SRC_BASE_RNG_H_

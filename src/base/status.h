@@ -1,0 +1,129 @@
+// Error handling for the FLIPC library.
+//
+// FLIPC interfaces never throw on the messaging fast path; operations report
+// a Status (or Result<T>) so callers can poll without control-flow surprises.
+// The codes mirror the conditions the paper's interface must distinguish:
+// an empty/full endpoint queue is kUnavailable (poll again), a discarded
+// message is observable only through the drop counter, and programming errors
+// (bad address, misaligned buffer) are kInvalidArgument.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace flipc {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kUnavailable,       // No buffer to acquire / no queue slot free; retry later.
+  kInvalidArgument,   // Malformed address, misaligned buffer, bad handle.
+  kResourceExhausted, // Allocation failed: communication buffer is full.
+  kNotFound,          // Unknown endpoint / node.
+  kFailedPrecondition,// Operation not valid in this state (e.g. wrong type).
+  kPermissionDenied,  // Validity checks rejected an application-supplied value.
+  kTimedOut,          // Blocking operation exceeded its deadline.
+  kInternal,          // Invariant violation inside FLIPC itself.
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap, copyable status word. Carries no message on success.
+class [[nodiscard]] Status {
+ public:
+  constexpr Status() : code_(StatusCode::kOk) {}
+  constexpr explicit Status(StatusCode code) : code_(code) {}
+
+  static constexpr Status Ok() { return Status(); }
+
+  constexpr bool ok() const { return code_ == StatusCode::kOk; }
+  constexpr StatusCode code() const { return code_; }
+
+  std::string ToString() const { return std::string(StatusCodeName(code_)); }
+
+  friend constexpr bool operator==(Status a, Status b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+};
+
+constexpr Status OkStatus() { return Status(); }
+constexpr Status UnavailableStatus() { return Status(StatusCode::kUnavailable); }
+constexpr Status InvalidArgumentStatus() { return Status(StatusCode::kInvalidArgument); }
+constexpr Status ResourceExhaustedStatus() { return Status(StatusCode::kResourceExhausted); }
+constexpr Status NotFoundStatus() { return Status(StatusCode::kNotFound); }
+constexpr Status FailedPreconditionStatus() { return Status(StatusCode::kFailedPrecondition); }
+constexpr Status PermissionDeniedStatus() { return Status(StatusCode::kPermissionDenied); }
+constexpr Status TimedOutStatus() { return Status(StatusCode::kTimedOut); }
+constexpr Status InternalStatus() { return Status(StatusCode::kInternal); }
+
+// Result<T>: either a value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(status) {                 // NOLINT(google-explicit-constructor)
+    assert(!status.ok() && "Result constructed from OK status without a value");
+  }
+  Result(StatusCode code) : rep_(Status(code)) {}        // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? OkStatus() : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+#define FLIPC_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::flipc::Status _flipc_status = (expr);    \
+    if (!_flipc_status.ok()) {                 \
+      return _flipc_status;                    \
+    }                                          \
+  } while (false)
+
+#define FLIPC_CONCAT_INNER(a, b) a##b
+#define FLIPC_CONCAT(a, b) FLIPC_CONCAT_INNER(a, b)
+
+#define FLIPC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#define FLIPC_ASSIGN_OR_RETURN(lhs, expr) \
+  FLIPC_ASSIGN_OR_RETURN_IMPL(FLIPC_CONCAT(_flipc_result_, __LINE__), lhs, expr)
+
+}  // namespace flipc
+
+#endif  // SRC_BASE_STATUS_H_

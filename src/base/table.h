@@ -1,0 +1,33 @@
+// Plain-text table formatting for the benchmark harnesses.
+//
+// Every paper-reproduction bench prints a table with the paper's value next
+// to the measured value; this helper keeps those tables aligned and uniform.
+#ifndef SRC_BASE_TABLE_H_
+#define SRC_BASE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace flipc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds one row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule and column padding.
+  std::string ToString() const;
+
+  // Convenience: fixed-precision double formatting.
+  static std::string Num(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flipc
+
+#endif  // SRC_BASE_TABLE_H_

@@ -1,0 +1,31 @@
+#include "src/base/trace.h"
+
+namespace flipc {
+
+std::string_view TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kNone:
+      return "none";
+    case TraceEvent::kEngineSend:
+      return "engine.send";
+    case TraceEvent::kEngineDeliver:
+      return "engine.deliver";
+    case TraceEvent::kEngineDrop:
+      return "engine.drop";
+    case TraceEvent::kEngineReject:
+      return "engine.reject";
+    case TraceEvent::kEngineHandlerWork:
+      return "engine.handler";
+    case TraceEvent::kApiSend:
+      return "api.send";
+    case TraceEvent::kApiReceive:
+      return "api.receive";
+    case TraceEvent::kApiPostBuffer:
+      return "api.post_buffer";
+    case TraceEvent::kApiReclaim:
+      return "api.reclaim";
+  }
+  return "unknown";
+}
+
+}  // namespace flipc

@@ -1,0 +1,83 @@
+// Lightweight event tracing.
+//
+// A fixed-capacity ring of timestamped events for post-mortem inspection of
+// engine and protocol behaviour — the kind of flight recorder a real-time
+// messaging system ships with. Recording is wait-free for a single writer
+// (the messaging engine records from its own loop; separate components use
+// separate rings) and costs a few stores per event; disabled rings cost one
+// branch.
+#ifndef SRC_BASE_TRACE_H_
+#define SRC_BASE_TRACE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace flipc {
+
+enum class TraceEvent : std::uint16_t {
+  kNone = 0,
+  // Engine events.
+  kEngineSend = 1,         // a = endpoint, b = buffer index
+  kEngineDeliver = 2,      // a = endpoint, b = buffer index
+  kEngineDrop = 3,         // a = endpoint
+  kEngineReject = 4,       // a = endpoint (validity / protection)
+  kEngineHandlerWork = 5,  // a = protocol id
+  // Application-library events.
+  kApiSend = 16,           // a = endpoint
+  kApiReceive = 17,        // a = endpoint
+  kApiPostBuffer = 18,     // a = endpoint
+  kApiReclaim = 19,        // a = endpoint
+};
+
+std::string_view TraceEventName(TraceEvent event);
+
+struct TraceRecord {
+  TimeNs time_ns = 0;
+  TraceEvent event = TraceEvent::kNone;
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096)
+      : records_(capacity == 0 ? 1 : capacity) {}
+
+  void Record(TimeNs time_ns, TraceEvent event, std::uint32_t a = 0, std::uint64_t b = 0) {
+    TraceRecord& slot = records_[next_ % records_.size()];
+    slot.time_ns = time_ns;
+    slot.event = event;
+    slot.a = a;
+    slot.b = b;
+    ++next_;
+  }
+
+  std::uint64_t recorded() const { return next_; }
+  std::size_t capacity() const { return records_.size(); }
+
+  // Events still held, oldest first.
+  std::vector<TraceRecord> Snapshot() const {
+    std::vector<TraceRecord> out;
+    const std::uint64_t have =
+        next_ < records_.size() ? next_ : static_cast<std::uint64_t>(records_.size());
+    out.reserve(have);
+    const std::uint64_t start = next_ - have;
+    for (std::uint64_t i = 0; i < have; ++i) {
+      out.push_back(records_[(start + i) % records_.size()]);
+    }
+    return out;
+  }
+
+  void Clear() { next_ = 0; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace flipc
+
+#endif  // SRC_BASE_TRACE_H_

@@ -1,0 +1,264 @@
+#include "src/baselines/baseline_messenger.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+#include "src/simnet/packet.h"
+
+namespace flipc::baselines {
+
+// ============================ BaselineMessenger =============================
+
+BaselineMessenger::BaselineMessenger(simnet::Simulator& sim, std::uint32_t node_count,
+                                     std::unique_ptr<simnet::LinkModel> link_model)
+    : sim_(sim), cpu_free_at_(node_count, 0) {
+  fabric_ = std::make_unique<simnet::SimFabric>(sim, std::move(link_model), node_count);
+  for (NodeId n = 0; n < node_count; ++n) {
+    fabric_->SetDeliveryCallback(n, [this, n] { DrainInbox(n); });
+  }
+}
+
+BaselineMessenger::~BaselineMessenger() = default;
+
+void BaselineMessenger::Send(NodeId src, NodeId dst, std::size_t bytes,
+                             std::function<void()> on_complete) {
+  const std::uint64_t token = next_token_++;
+  TransferState& state = transfers_[token];
+  state.src = src;
+  state.dst = dst;
+  state.bytes = bytes;
+  state.on_complete = std::move(on_complete);
+  StartSend(token, state);
+}
+
+void BaselineMessenger::ChargeCpu(NodeId n, DurationNs cost, std::function<void()> then) {
+  const TimeNs start = cpu_free_at_[n] > sim_.Now() ? cpu_free_at_[n] : sim_.Now();
+  cpu_free_at_[n] = start + cost;
+  sim_.ScheduleAt(cpu_free_at_[n], std::move(then));
+}
+
+void BaselineMessenger::Transmit(NodeId src, NodeId dst, std::uint32_t kind,
+                                 std::uint64_t token, std::size_t wire_bytes) {
+  simnet::Packet packet;
+  packet.dst_node = dst;
+  packet.protocol = simnet::kProtocolBaseline;
+  packet.kind = kind;
+  packet.seq = token;
+  packet.payload.resize(wire_bytes);
+  if (!fabric_->wire(src).Send(std::move(packet)).ok()) {
+    FLIPC_LOG(kWarning) << name() << ": transmit to unknown node " << dst;
+  }
+}
+
+BaselineMessenger::TransferState* BaselineMessenger::transfer(std::uint64_t token) {
+  auto it = transfers_.find(token);
+  return it == transfers_.end() ? nullptr : &it->second;
+}
+
+void BaselineMessenger::CompleteTransfer(std::uint64_t token) {
+  auto it = transfers_.find(token);
+  if (it == transfers_.end()) {
+    return;
+  }
+  std::function<void()> done = std::move(it->second.on_complete);
+  transfers_.erase(it);
+  if (done) {
+    done();
+  }
+}
+
+void BaselineMessenger::DrainInbox(NodeId node) {
+  simnet::Packet packet;
+  while (fabric_->wire(node).Poll(&packet)) {
+    OnPacket(node, std::move(packet));
+  }
+}
+
+// ================================== NX ======================================
+
+NxMessenger::NxMessenger(simnet::Simulator& sim, std::uint32_t node_count,
+                         std::unique_ptr<simnet::LinkModel> link_model, Costs costs)
+    : BaselineMessenger(sim, node_count, std::move(link_model)), costs_(costs) {}
+
+void NxMessenger::StartSend(std::uint64_t token, TransferState& state) {
+  const NodeId src = state.src;
+  const NodeId dst = state.dst;
+  const std::size_t bytes = state.bytes;
+
+  if (bytes <= costs_.eager_threshold) {
+    // Eager: trap, kernel send path, copy out, one (fragmented-in-kernel)
+    // transfer on the wire.
+    const DurationNs cpu = costs_.trap_ns + costs_.send_kernel_ns +
+                           static_cast<DurationNs>(bytes) * costs_.copy_per_byte_x100 / 100;
+    ChargeCpu(src, cpu, [this, token, src, dst, bytes] {
+      Transmit(src, dst, kEager, token, bytes);
+    });
+    return;
+  }
+  // Rendezvous: request -> grant -> DMA fragments.
+  ChargeCpu(src, costs_.trap_ns + costs_.send_kernel_ns, [this, token, src, dst] {
+    Transmit(src, dst, kRndvRequest, token, 32);
+  });
+}
+
+void NxMessenger::SendFragments(std::uint64_t token, TransferState& state) {
+  const NodeId src = state.src;
+  const NodeId dst = state.dst;
+  std::size_t remaining = state.bytes;
+  state.remaining_packets = (state.bytes + costs_.fragment_bytes - 1) / costs_.fragment_bytes;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        remaining < costs_.fragment_bytes ? remaining : costs_.fragment_bytes;
+    remaining -= chunk;
+    // ChargeCpu serializes per node, so fragments pace at fragment_cpu_ns.
+    ChargeCpu(src, costs_.fragment_cpu_ns, [this, token, src, dst, chunk] {
+      Transmit(src, dst, kRndvData, token, chunk);
+    });
+  }
+}
+
+void NxMessenger::OnPacket(NodeId at, simnet::Packet packet) {
+  TransferState* state = transfer(packet.seq);
+  if (state == nullptr) {
+    return;
+  }
+  const std::uint64_t token = packet.seq;
+
+  switch (packet.kind) {
+    case kEager: {
+      const DurationNs cpu =
+          costs_.recv_interrupt_ns + costs_.recv_kernel_ns +
+          static_cast<DurationNs>(state->bytes) * costs_.copy_per_byte_x100 / 100;
+      ChargeCpu(at, cpu, [this, token] { CompleteTransfer(token); });
+      return;
+    }
+    case kRndvRequest: {
+      const NodeId src = state->src;
+      ChargeCpu(at, costs_.rendezvous_ns, [this, token, at, src] {
+        Transmit(at, src, kRndvGrant, token, 32);
+      });
+      return;
+    }
+    case kRndvGrant: {
+      ChargeCpu(at, costs_.rendezvous_ns, [this, token] {
+        if (TransferState* s = transfer(token)) {
+          SendFragments(token, *s);
+        }
+      });
+      return;
+    }
+    case kRndvData: {
+      // Light per-fragment receive handling; DMA lands in user memory.
+      ChargeCpu(at, 2'000, [this, token] {
+        TransferState* s = transfer(token);
+        if (s == nullptr) {
+          return;
+        }
+        if (--s->remaining_packets == 0) {
+          const NodeId dst = s->dst;
+          ChargeCpu(dst, costs_.recv_kernel_ns, [this, token] { CompleteTransfer(token); });
+        }
+      });
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ================================== PAM =====================================
+
+PamMessenger::PamMessenger(simnet::Simulator& sim, std::uint32_t node_count,
+                           std::unique_ptr<simnet::LinkModel> link_model, Costs costs)
+    : BaselineMessenger(sim, node_count, std::move(link_model)), costs_(costs) {}
+
+void PamMessenger::StartSend(std::uint64_t token, TransferState& state) {
+  const NodeId src = state.src;
+  const NodeId dst = state.dst;
+
+  if (state.bytes > costs_.bulk_threshold) {
+    // Bulk transport: an RPC arranges a remote write, then the data streams
+    // at near hardware rate with no per-packet handler.
+    const DurationNs cpu =
+        costs_.bulk_setup_ns +
+        static_cast<DurationNs>(state.bytes) * costs_.bulk_per_byte_x100 / 100;
+    state.remaining_packets = 1;
+    ChargeCpu(src, cpu, [this, token, src, dst, bytes = state.bytes] {
+      Transmit(src, dst, kBulkData, token, bytes);
+    });
+    return;
+  }
+
+  std::size_t packets = (state.bytes + costs_.packet_payload - 1) / costs_.packet_payload;
+  if (packets == 0) {
+    packets = 1;
+  }
+  state.remaining_packets = packets;
+  for (std::size_t i = 0; i < packets; ++i) {
+    const DurationNs cpu =
+        (i == 0 ? costs_.send_fixed_ns : 0) + costs_.send_per_packet_ns;
+    ChargeCpu(src, cpu, [this, token, src, dst] {
+      Transmit(src, dst, kFragment, token, costs_.packet_payload + 8);
+    });
+  }
+}
+
+void PamMessenger::OnPacket(NodeId at, simnet::Packet packet) {
+  const std::uint64_t token = packet.seq;
+  switch (packet.kind) {
+    case kFragment: {
+      // Every packet runs a handler at the receiver (the active-message
+      // dispatch); the last one hands the assembled message up.
+      ChargeCpu(at, costs_.handler_dispatch_ns, [this, token, at] {
+        TransferState* s = transfer(token);
+        if (s == nullptr) {
+          return;
+        }
+        if (--s->remaining_packets == 0) {
+          ChargeCpu(at, costs_.recv_fixed_ns, [this, token] { CompleteTransfer(token); });
+        }
+      });
+      return;
+    }
+    case kBulkData: {
+      ChargeCpu(at, 1'000, [this, token] { CompleteTransfer(token); });
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ================================ SUNMOS ====================================
+
+SunmosMessenger::SunmosMessenger(simnet::Simulator& sim, std::uint32_t node_count,
+                                 std::unique_ptr<simnet::LinkModel> link_model, Costs costs)
+    : BaselineMessenger(sim, node_count, std::move(link_model)), costs_(costs) {}
+
+void SunmosMessenger::StartSend(std::uint64_t token, TransferState& state) {
+  const NodeId src = state.src;
+  const NodeId dst = state.dst;
+  const std::size_t bytes = state.bytes;
+  const DurationNs cpu = bytes == 0 ? costs_.zero_len_send_ns : costs_.send_fixed_ns;
+  // One packet, whatever the size: a multi-megabyte message occupies the
+  // path through the interconnect for its entire duration.
+  ChargeCpu(src, cpu, [this, token, src, dst, bytes] {
+    Transmit(src, dst, 1, token, bytes);
+  });
+}
+
+void SunmosMessenger::OnPacket(NodeId at, simnet::Packet packet) {
+  TransferState* state = transfer(packet.seq);
+  if (state == nullptr) {
+    return;
+  }
+  const DurationNs cpu =
+      state->bytes == 0
+          ? costs_.zero_len_recv_ns
+          : costs_.recv_fixed_ns + static_cast<DurationNs>(state->bytes) *
+                                       costs_.recv_copy_per_byte_x100 / 100;
+  const std::uint64_t token = packet.seq;
+  ChargeCpu(at, cpu, [this, token] { CompleteTransfer(token); });
+}
+
+}  // namespace flipc::baselines

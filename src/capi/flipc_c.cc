@@ -1,0 +1,331 @@
+#include "src/capi/flipc_c.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/flipc/flipc.h"
+
+struct flipc_cluster {
+  std::unique_ptr<flipc::Cluster> impl;
+  // Endpoint handles by (node, index); the C++ Endpoint is a value handle
+  // but carries a Domain pointer, so we keep canonical copies here.
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, flipc::Endpoint> endpoints;
+};
+
+namespace {
+
+using flipc::StatusCode;
+
+flipc_status_t ToC(flipc::Status status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return FLIPC_OK;
+    case StatusCode::kUnavailable:
+      return FLIPC_UNAVAILABLE;
+    case StatusCode::kInvalidArgument:
+      return FLIPC_INVALID_ARGUMENT;
+    case StatusCode::kResourceExhausted:
+      return FLIPC_RESOURCE_EXHAUSTED;
+    case StatusCode::kNotFound:
+      return FLIPC_NOT_FOUND;
+    case StatusCode::kFailedPrecondition:
+      return FLIPC_FAILED_PRECONDITION;
+    case StatusCode::kPermissionDenied:
+      return FLIPC_PERMISSION_DENIED;
+    case StatusCode::kTimedOut:
+      return FLIPC_TIMED_OUT;
+    case StatusCode::kInternal:
+      return FLIPC_INTERNAL;
+  }
+  return FLIPC_INTERNAL;
+}
+
+std::uint64_t EndpointKey(flipc_endpoint_t endpoint) {
+  return (static_cast<std::uint64_t>(endpoint.node) << 32) | endpoint.index;
+}
+
+// Looks up the canonical Endpoint for a C handle; null if unknown.
+flipc::Endpoint* Lookup(flipc_cluster_t* cluster, flipc_endpoint_t endpoint) {
+  std::lock_guard<std::mutex> guard(cluster->mutex);
+  auto it = cluster->endpoints.find(EndpointKey(endpoint));
+  return it == cluster->endpoints.end() ? nullptr : &it->second;
+}
+
+bool ValidNode(flipc_cluster_t* cluster, std::uint32_t node) {
+  return cluster != nullptr && node < cluster->impl->node_count();
+}
+
+flipc_status_t BufferFromResult(std::uint32_t node,
+                                flipc::Result<flipc::MessageBuffer> result,
+                                flipc_buffer_t* out) {
+  if (!result.ok()) {
+    return ToC(result.status());
+  }
+  if (out != nullptr) {
+    out->node = node;
+    out->index = result->index();
+  }
+  return FLIPC_OK;
+}
+
+}  // namespace
+
+extern "C" {
+
+flipc_status_t flipc_cluster_create(uint32_t node_count, uint32_t message_size,
+                                    uint32_t buffer_count, flipc_cluster_t** out) {
+  if (out == nullptr || node_count == 0) {
+    return FLIPC_INVALID_ARGUMENT;
+  }
+  flipc::Cluster::Options options;
+  options.node_count = node_count;
+  options.comm.message_size = message_size;
+  options.comm.buffer_count = buffer_count == 0 ? 256 : buffer_count;
+  auto cluster = flipc::Cluster::Create(options);
+  if (!cluster.ok()) {
+    return ToC(cluster.status());
+  }
+  auto* wrapper = new flipc_cluster;
+  wrapper->impl = std::move(cluster).value();
+  wrapper->impl->Start();
+  *out = wrapper;
+  return FLIPC_OK;
+}
+
+void flipc_cluster_destroy(flipc_cluster_t* cluster) {
+  if (cluster != nullptr) {
+    cluster->impl->Stop();
+    delete cluster;
+  }
+}
+
+flipc_status_t flipc_endpoint_create(flipc_cluster_t* cluster, uint32_t node,
+                                     flipc_endpoint_type_t type, uint32_t queue_depth,
+                                     uint32_t flags, flipc_endpoint_t* out) {
+  if (!ValidNode(cluster, node) || out == nullptr) {
+    return FLIPC_INVALID_ARGUMENT;
+  }
+  flipc::Domain::EndpointOptions options;
+  options.type = type == FLIPC_ENDPOINT_SEND ? flipc::shm::EndpointType::kSend
+                                             : flipc::shm::EndpointType::kReceive;
+  options.queue_depth = queue_depth == 0 ? 16 : queue_depth;
+  options.enable_semaphore = (flags & FLIPC_EP_BLOCKING) != 0;
+  auto endpoint = cluster->impl->domain(node).CreateEndpoint(options);
+  if (!endpoint.ok()) {
+    return ToC(endpoint.status());
+  }
+  out->node = node;
+  out->index = endpoint->index();
+  std::lock_guard<std::mutex> guard(cluster->mutex);
+  cluster->endpoints[EndpointKey(*out)] = *endpoint;
+  return FLIPC_OK;
+}
+
+flipc_status_t flipc_endpoint_destroy(flipc_cluster_t* cluster, flipc_endpoint_t endpoint) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  const flipc_status_t status =
+      ToC(cluster->impl->domain(endpoint.node).DestroyEndpoint(*handle));
+  if (status == FLIPC_OK) {
+    std::lock_guard<std::mutex> guard(cluster->mutex);
+    cluster->endpoints.erase(EndpointKey(endpoint));
+  }
+  return status;
+}
+
+flipc_status_t flipc_endpoint_address(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                      flipc_address_t* out) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr || out == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  *out = handle->address().packed();
+  return FLIPC_OK;
+}
+
+flipc_status_t flipc_drop_count(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                uint64_t* out) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr || out == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  *out = handle->DropCount();
+  return FLIPC_OK;
+}
+
+flipc_status_t flipc_read_and_reset_drops(flipc_cluster_t* cluster,
+                                          flipc_endpoint_t endpoint, uint64_t* out) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr || out == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  *out = handle->ReadAndResetDrops();
+  return FLIPC_OK;
+}
+
+flipc_status_t flipc_buffer_allocate(flipc_cluster_t* cluster, uint32_t node,
+                                     flipc_buffer_t* out) {
+  if (!ValidNode(cluster, node) || out == nullptr) {
+    return FLIPC_INVALID_ARGUMENT;
+  }
+  return BufferFromResult(node, cluster->impl->domain(node).AllocateBuffer(), out);
+}
+
+flipc_status_t flipc_buffer_free(flipc_cluster_t* cluster, flipc_buffer_t buffer) {
+  if (!ValidNode(cluster, buffer.node)) {
+    return FLIPC_INVALID_ARGUMENT;
+  }
+  flipc::Domain& domain = cluster->impl->domain(buffer.node);
+  auto handle = domain.BufferFromIndex(buffer.index);
+  if (!handle.ok()) {
+    return ToC(handle.status());
+  }
+  return ToC(domain.FreeBuffer(*handle));
+}
+
+flipc_status_t flipc_buffer_data(flipc_cluster_t* cluster, flipc_buffer_t buffer,
+                                 void** data, size_t* size) {
+  if (!ValidNode(cluster, buffer.node) || data == nullptr || size == nullptr) {
+    return FLIPC_INVALID_ARGUMENT;
+  }
+  auto handle = cluster->impl->domain(buffer.node).BufferFromIndex(buffer.index);
+  if (!handle.ok()) {
+    return ToC(handle.status());
+  }
+  *data = handle->data();
+  *size = handle->size();
+  return FLIPC_OK;
+}
+
+flipc_status_t flipc_buffer_peer(flipc_cluster_t* cluster, flipc_buffer_t buffer,
+                                 flipc_address_t* out) {
+  if (!ValidNode(cluster, buffer.node) || out == nullptr) {
+    return FLIPC_INVALID_ARGUMENT;
+  }
+  auto handle = cluster->impl->domain(buffer.node).BufferFromIndex(buffer.index);
+  if (!handle.ok()) {
+    return ToC(handle.status());
+  }
+  *out = handle->peer().packed();
+  return FLIPC_OK;
+}
+
+flipc_status_t flipc_buffer_completed(flipc_cluster_t* cluster, flipc_buffer_t buffer) {
+  if (!ValidNode(cluster, buffer.node)) {
+    return FLIPC_INVALID_ARGUMENT;
+  }
+  auto handle = cluster->impl->domain(buffer.node).BufferFromIndex(buffer.index);
+  if (!handle.ok()) {
+    return ToC(handle.status());
+  }
+  return handle->completed() ? FLIPC_OK : FLIPC_UNAVAILABLE;
+}
+
+flipc_status_t flipc_send(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                          flipc_buffer_t buffer, flipc_address_t dest) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  auto message = cluster->impl->domain(endpoint.node).BufferFromIndex(buffer.index);
+  if (!message.ok()) {
+    return ToC(message.status());
+  }
+  return ToC(handle->Send(*message, flipc::Address::FromPacked(dest)));
+}
+
+flipc_status_t flipc_send_unlocked(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                   flipc_buffer_t buffer, flipc_address_t dest) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  auto message = cluster->impl->domain(endpoint.node).BufferFromIndex(buffer.index);
+  if (!message.ok()) {
+    return ToC(message.status());
+  }
+  return ToC(handle->SendUnlocked(*message, flipc::Address::FromPacked(dest)));
+}
+
+flipc_status_t flipc_post_buffer(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                 flipc_buffer_t buffer) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  auto message = cluster->impl->domain(endpoint.node).BufferFromIndex(buffer.index);
+  if (!message.ok()) {
+    return ToC(message.status());
+  }
+  return ToC(handle->PostBuffer(*message));
+}
+
+flipc_status_t flipc_receive(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                             flipc_buffer_t* out) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  return BufferFromResult(endpoint.node, handle->Receive(), out);
+}
+
+flipc_status_t flipc_receive_blocking(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                      uint32_t priority, int64_t timeout_ns,
+                                      flipc_buffer_t* out) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  return BufferFromResult(endpoint.node,
+                          handle->ReceiveBlocking(priority, timeout_ns), out);
+}
+
+flipc_status_t flipc_reclaim(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                             flipc_buffer_t* out) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  return BufferFromResult(endpoint.node, handle->Reclaim(), out);
+}
+
+flipc_status_t flipc_reclaim_blocking(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                      uint32_t priority, int64_t timeout_ns,
+                                      flipc_buffer_t* out) {
+  flipc::Endpoint* handle = Lookup(cluster, endpoint);
+  if (handle == nullptr) {
+    return FLIPC_NOT_FOUND;
+  }
+  return BufferFromResult(endpoint.node,
+                          handle->ReclaimBlocking(priority, timeout_ns), out);
+}
+
+const char* flipc_status_name(flipc_status_t status) {
+  switch (status) {
+    case FLIPC_OK:
+      return "OK";
+    case FLIPC_UNAVAILABLE:
+      return "UNAVAILABLE";
+    case FLIPC_INVALID_ARGUMENT:
+      return "INVALID_ARGUMENT";
+    case FLIPC_RESOURCE_EXHAUSTED:
+      return "RESOURCE_EXHAUSTED";
+    case FLIPC_NOT_FOUND:
+      return "NOT_FOUND";
+    case FLIPC_FAILED_PRECONDITION:
+      return "FAILED_PRECONDITION";
+    case FLIPC_PERMISSION_DENIED:
+      return "PERMISSION_DENIED";
+    case FLIPC_TIMED_OUT:
+      return "TIMED_OUT";
+    case FLIPC_INTERNAL:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // extern "C"

@@ -1,0 +1,143 @@
+/* FLIPC C API.
+ *
+ * The 1996 system exposed a C interface ("This consists of both a library
+ * and header file(s)"); this shim provides the same shape over the C++
+ * implementation so C applications — and other languages' FFIs — can use
+ * FLIPC. It covers the paper's full application surface: clusters (nodes +
+ * engines), endpoints in send/receive flavors with locked, lock-free and
+ * blocking call variants, message buffers, opaque addresses, and the
+ * wait-free drop counters.
+ *
+ * Conventions:
+ *   - every function returns flipc_status_t (FLIPC_OK == 0);
+ *   - FLIPC_UNAVAILABLE means "poll again" (empty/full queue), matching the
+ *     optimistic, non-blocking default of the C++ API;
+ *   - handles are plain structs of indices — cheap to copy, no ownership;
+ *     the cluster owns everything and flipc_cluster_destroy releases it.
+ */
+#ifndef SRC_CAPI_FLIPC_C_H_
+#define SRC_CAPI_FLIPC_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef enum {
+  FLIPC_OK = 0,
+  FLIPC_UNAVAILABLE = 1,
+  FLIPC_INVALID_ARGUMENT = 2,
+  FLIPC_RESOURCE_EXHAUSTED = 3,
+  FLIPC_NOT_FOUND = 4,
+  FLIPC_FAILED_PRECONDITION = 5,
+  FLIPC_PERMISSION_DENIED = 6,
+  FLIPC_TIMED_OUT = 7,
+  FLIPC_INTERNAL = 8,
+} flipc_status_t;
+
+/* Opaque cluster: N nodes, one communication buffer + engine thread each. */
+typedef struct flipc_cluster flipc_cluster_t;
+
+/* Value handles. */
+typedef struct {
+  uint32_t node;
+  uint32_t index;
+} flipc_endpoint_t;
+
+typedef struct {
+  uint32_t node;
+  uint32_t index;
+} flipc_buffer_t;
+
+typedef uint32_t flipc_address_t; /* packed opaque endpoint address */
+
+typedef enum {
+  FLIPC_ENDPOINT_SEND = 1,
+  FLIPC_ENDPOINT_RECEIVE = 2,
+} flipc_endpoint_type_t;
+
+/* Endpoint creation flags. */
+#define FLIPC_EP_BLOCKING 0x1u /* allocate a real-time semaphore */
+
+/* ---- Cluster lifecycle ---------------------------------------------------*/
+
+/* Creates a cluster of `node_count` nodes with engines running on their own
+ * threads. `message_size` is the fixed FLIPC message size in bytes (>= 64,
+ * multiple of 32; the application payload is message_size - 8). */
+flipc_status_t flipc_cluster_create(uint32_t node_count, uint32_t message_size,
+                                    uint32_t buffer_count, flipc_cluster_t** out);
+void flipc_cluster_destroy(flipc_cluster_t* cluster);
+
+/* ---- Endpoints -----------------------------------------------------------*/
+
+flipc_status_t flipc_endpoint_create(flipc_cluster_t* cluster, uint32_t node,
+                                     flipc_endpoint_type_t type, uint32_t queue_depth,
+                                     uint32_t flags, flipc_endpoint_t* out);
+flipc_status_t flipc_endpoint_destroy(flipc_cluster_t* cluster, flipc_endpoint_t endpoint);
+
+/* The opaque address receivers pass to senders out of band. */
+flipc_status_t flipc_endpoint_address(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                      flipc_address_t* out);
+
+/* Wait-free drop accounting (receive endpoints). */
+flipc_status_t flipc_drop_count(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                uint64_t* out);
+flipc_status_t flipc_read_and_reset_drops(flipc_cluster_t* cluster,
+                                          flipc_endpoint_t endpoint, uint64_t* out);
+
+/* ---- Message buffers -------------------------------------------------- --*/
+
+flipc_status_t flipc_buffer_allocate(flipc_cluster_t* cluster, uint32_t node,
+                                     flipc_buffer_t* out);
+flipc_status_t flipc_buffer_free(flipc_cluster_t* cluster, flipc_buffer_t buffer);
+
+/* Direct access to the aligned payload (message_size - 8 bytes). */
+flipc_status_t flipc_buffer_data(flipc_cluster_t* cluster, flipc_buffer_t buffer,
+                                 void** data, size_t* size);
+
+/* After a receive: the sender's endpoint address. */
+flipc_status_t flipc_buffer_peer(flipc_cluster_t* cluster, flipc_buffer_t buffer,
+                                 flipc_address_t* out);
+
+/* Polls the per-buffer state field: FLIPC_OK once the engine completed
+ * processing, FLIPC_UNAVAILABLE before. */
+flipc_status_t flipc_buffer_completed(flipc_cluster_t* cluster, flipc_buffer_t buffer);
+
+/* ---- Message transfer (paper Figure 2) ------------------------------------
+ * Step 1: flipc_post_buffer   Step 2: flipc_send
+ * Step 4: flipc_receive       Step 5: flipc_reclaim
+ * The *_unlocked variants skip the endpoint's test-and-set lock for
+ * single-threaded endpoints (the paper's optimized path); the *_blocking
+ * variants need FLIPC_EP_BLOCKING and take a priority + timeout
+ * (timeout_ns < 0 waits forever). */
+
+flipc_status_t flipc_send(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                          flipc_buffer_t buffer, flipc_address_t dest);
+flipc_status_t flipc_send_unlocked(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                   flipc_buffer_t buffer, flipc_address_t dest);
+
+flipc_status_t flipc_post_buffer(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                 flipc_buffer_t buffer);
+
+flipc_status_t flipc_receive(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                             flipc_buffer_t* out);
+flipc_status_t flipc_receive_blocking(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                      uint32_t priority, int64_t timeout_ns,
+                                      flipc_buffer_t* out);
+
+flipc_status_t flipc_reclaim(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                             flipc_buffer_t* out);
+flipc_status_t flipc_reclaim_blocking(flipc_cluster_t* cluster, flipc_endpoint_t endpoint,
+                                      uint32_t priority, int64_t timeout_ns,
+                                      flipc_buffer_t* out);
+
+/* Human-readable status name ("OK", "UNAVAILABLE", ...). */
+const char* flipc_status_name(flipc_status_t status);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* SRC_CAPI_FLIPC_C_H_ */

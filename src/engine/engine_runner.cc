@@ -1,0 +1,59 @@
+#include "src/engine/engine_runner.h"
+
+#include <chrono>
+
+namespace flipc::engine {
+
+EngineRunner::EngineRunner(MessagingEngine& engine) : engine_(engine) {}
+
+EngineRunner::~EngineRunner() { Stop(); }
+
+void EngineRunner::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void EngineRunner::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  Kick();
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void EngineRunner::Kick() {
+  kicks_.fetch_add(1, std::memory_order_release);
+  idle_cv_.notify_one();
+}
+
+void EngineRunner::Loop() {
+  // Number of consecutive empty polls before parking.
+  constexpr int kSpinBudget = 64;
+  int idle_polls = 0;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::uint64_t kicks_before = kicks_.load(std::memory_order_acquire);
+    if (engine_.Step()) {
+      idle_polls = 0;
+      continue;
+    }
+    if (++idle_polls < kSpinBudget) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    idle_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             kicks_.load(std::memory_order_acquire) != kicks_before;
+    });
+    idle_polls = 0;
+  }
+}
+
+}  // namespace flipc::engine

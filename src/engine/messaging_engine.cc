@@ -1,0 +1,419 @@
+#include "src/engine/messaging_engine.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/base/log.h"
+#include "src/waitfree/msg_state.h"
+
+namespace flipc::engine {
+
+using shm::EndpointRecord;
+using shm::EndpointType;
+using waitfree::BufferIndex;
+using waitfree::MsgState;
+
+MessagingEngine::MessagingEngine(shm::CommBuffer& comm, simnet::Wire& wire,
+                                 EngineOptions options, const PlatformModel* model,
+                                 simos::SemaphoreTable* semaphores)
+    : comm_(comm),
+      wire_(wire),
+      options_(options),
+      model_(model),
+      semaphores_(semaphores),
+      next_send_ok_(comm.max_endpoints(), 0) {}
+
+Status MessagingEngine::RegisterProtocol(std::uint32_t protocol_id, ProtocolHandler* handler) {
+  if (protocol_id == simnet::kProtocolFlipc || protocol_id >= kMaxProtocols) {
+    return InvalidArgumentStatus();
+  }
+  if (handlers_[protocol_id] != nullptr && handler != nullptr) {
+    return FailedPreconditionStatus();
+  }
+  handlers_[protocol_id] = handler;
+  return OkStatus();
+}
+
+bool MessagingEngine::EndpointBlocked(std::uint32_t) const { return false; }
+
+bool MessagingEngine::SendReady(std::uint32_t endpoint, TimeNs now) const {
+  const EndpointRecord& record = comm_.endpoint(endpoint);
+  if (record.Type() != EndpointType::kSend || EndpointBlocked(endpoint)) {
+    return false;
+  }
+  if (const_cast<shm::CommBuffer&>(comm_).queue(endpoint).ProcessableCount() == 0) {
+    return false;
+  }
+  const std::uint32_t interval = record.min_send_interval_ns.ReadRelaxed();
+  if (interval != 0 && clock_ != nullptr && now < next_send_ok_[endpoint]) {
+    return false;  // capacity-control throttle
+  }
+  return true;
+}
+
+TimeNs MessagingEngine::NextUnthrottleTime() const {
+  if (clock_ == nullptr) {
+    return kTimeNever;
+  }
+  const TimeNs now = clock_->NowNs();
+  TimeNs earliest = kTimeNever;
+  for (std::uint32_t i = 0; i < comm_.max_endpoints(); ++i) {
+    const EndpointRecord& record = comm_.endpoint(i);
+    if (record.Type() != EndpointType::kSend || EndpointBlocked(i)) {
+      continue;
+    }
+    if (record.min_send_interval_ns.ReadRelaxed() == 0 || next_send_ok_[i] <= now) {
+      continue;
+    }
+    if (const_cast<shm::CommBuffer&>(comm_).queue(i).ProcessableCount() == 0) {
+      continue;
+    }
+    if (next_send_ok_[i] < earliest) {
+      earliest = next_send_ok_[i];
+    }
+  }
+  return earliest;
+}
+
+std::uint32_t MessagingEngine::FindSendWork() {
+  const std::uint32_t n = comm_.max_endpoints();
+
+  if (options_.priority_scan) {
+    // Priority extension: highest-priority endpoint with work wins; the
+    // round-robin cursor breaks ties so equal-priority streams share.
+    std::uint32_t best = shm::kInvalidEndpoint;
+    std::uint32_t best_priority = 0;
+    const TimeNs now = NowForThrottle();
+    for (std::uint32_t off = 0; off < n; ++off) {
+      const std::uint32_t i = (scan_cursor_ + off) % n;
+      if (!SendReady(i, now)) {
+        continue;
+      }
+      const std::uint32_t priority = comm_.endpoint(i).priority.ReadRelaxed();
+      if (best == shm::kInvalidEndpoint || priority > best_priority) {
+        best = i;
+        best_priority = priority;
+      }
+    }
+    return best;
+  }
+
+  const TimeNs now = NowForThrottle();
+  for (std::uint32_t off = 0; off < n; ++off) {
+    const std::uint32_t i = (scan_cursor_ + off) % n;
+    if (SendReady(i, now)) {
+      return i;
+    }
+  }
+  return shm::kInvalidEndpoint;
+}
+
+DurationNs MessagingEngine::PlanStep() {
+  if (planned_ != WorkKind::kNone) {
+    return planned_cost_;
+  }
+  const PlatformModel* m = model_;
+  const auto charge = [m](DurationNs ns) { return m != nullptr ? ns : 0; };
+
+  // Inbound first: the receiving node must always be ready to accept from
+  // the interconnect (the optimistic protocol's no-deadlock guarantee).
+  simnet::Packet packet;
+  if (wire_.Poll(&packet)) {
+    planned_ = WorkKind::kInbound;
+    DurationNs cost = charge(m != nullptr ? m->engine_dispatch_ns : 0);
+    if (m != nullptr && packet.protocol != simnet::kProtocolFlipc &&
+        packet.protocol < kMaxProtocols && handlers_[packet.protocol] != nullptr) {
+      cost += handlers_[packet.protocol]->PlanCost(packet);
+    }
+    if (packet.protocol == simnet::kProtocolFlipc && m != nullptr) {
+      cost += m->recv_overhead_ns + m->RecvCopyNs(packet.payload.size());
+      if (packet.payload.size() + shm::kMsgHeaderSize < m->small_msg_threshold_bytes) {
+        cost -= m->small_msg_discount_ns;
+      }
+      if (options_.validity_checks) {
+        cost += m->validity_check_ns;
+      }
+      if (options_.model_unpadded_layout) {
+        cost += m->engine_false_sharing_ns;
+      }
+    }
+    planned_packet_ = std::move(packet);
+    planned_cost_ = cost;
+    return planned_cost_;
+  }
+
+  const std::uint32_t send_endpoint = FindSendWork();
+  if (send_endpoint != shm::kInvalidEndpoint) {
+    planned_ = WorkKind::kOutbound;
+    planned_endpoint_ = send_endpoint;
+    DurationNs cost = 0;
+    if (m != nullptr) {
+      cost = m->engine_dispatch_ns + m->send_overhead_ns + TransmitPlanCost();
+      if (options_.validity_checks) {
+        cost += m->validity_check_ns;
+      }
+      if (options_.model_unpadded_layout) {
+        cost += m->engine_false_sharing_ns;
+      }
+    }
+    planned_cost_ = cost;
+    return planned_cost_;
+  }
+
+  for (std::uint32_t id = 0; id < kMaxProtocols; ++id) {
+    if (handlers_[id] != nullptr && handlers_[id]->HasWork()) {
+      planned_ = WorkKind::kHandler;
+      planned_handler_ = id;
+      planned_cost_ = charge(m != nullptr ? m->engine_dispatch_ns : 0);
+      return planned_cost_;
+    }
+  }
+
+  planned_cost_ = 0;
+  return 0;
+}
+
+bool MessagingEngine::CommitStep() {
+  if (planned_ == WorkKind::kNone) {
+    PlanStep();
+  }
+  simnet::CostAccumulator cost;  // Already accounted by the driver via PlanStep.
+  const WorkKind kind = planned_;
+  planned_ = WorkKind::kNone;
+  planned_cost_ = 0;
+
+  switch (kind) {
+    case WorkKind::kNone:
+      return false;
+    case WorkKind::kInbound: {
+      simnet::Packet packet = std::move(*planned_packet_);
+      planned_packet_.reset();
+      ++stats_.work_units;
+      if (packet.protocol == simnet::kProtocolFlipc) {
+        DeliverLocal(packet, cost);
+      } else if (packet.protocol < kMaxProtocols && handlers_[packet.protocol] != nullptr) {
+        handlers_[packet.protocol]->HandlePacket(std::move(packet), cost);
+      } else {
+        ++stats_.unknown_protocol_packets;
+      }
+      deferred_cost_ += cost.Take();
+      return true;
+    }
+    case WorkKind::kOutbound: {
+      ++stats_.work_units;
+      CommitOutbound(cost);
+      deferred_cost_ += cost.Take();
+      return true;
+    }
+    case WorkKind::kHandler: {
+      ++stats_.work_units;
+      handlers_[planned_handler_]->PollWork(cost);
+      deferred_cost_ += cost.Take();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MessagingEngine::Step() {
+  PlanStep();
+  return CommitStep();
+}
+
+bool MessagingEngine::HasWork() const {
+  if (planned_ != WorkKind::kNone) {
+    return true;
+  }
+  if (wire_.PendingCount() > 0) {
+    return true;
+  }
+  const TimeNs now = NowForThrottle();
+  for (std::uint32_t i = 0; i < comm_.max_endpoints(); ++i) {
+    if (SendReady(i, now)) {
+      return true;
+    }
+  }
+  for (const ProtocolHandler* handler : handlers_) {
+    if (handler != nullptr && handler->HasWork()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MessagingEngine::ValidateSendBuffer(std::uint32_t endpoint_index, BufferIndex buffer) {
+  if (!comm_.IsValidBufferIndex(buffer)) {
+    ++stats_.validity_rejections;
+    FLIPC_LOG(kWarning) << "engine " << wire_.node() << ": endpoint " << endpoint_index
+                        << " released invalid buffer index " << buffer;
+    return false;
+  }
+  return true;
+}
+
+void MessagingEngine::CommitOutbound(simnet::CostAccumulator& cost) {
+  const std::uint32_t endpoint_index = planned_endpoint_;
+  planned_endpoint_ = shm::kInvalidEndpoint;
+  scan_cursor_ = (endpoint_index + 1) % comm_.max_endpoints();
+
+  EndpointRecord& record = comm_.endpoint(endpoint_index);
+  if (record.Type() != EndpointType::kSend) {
+    return;  // Endpoint freed between plan and commit.
+  }
+  waitfree::BufferQueueView queue = comm_.queue(endpoint_index);
+  if (queue.ProcessableCount() == 0) {
+    return;  // Drained between plan and commit.
+  }
+  const BufferIndex buffer = queue.PeekProcess();
+  if (buffer == waitfree::kInvalidBuffer) {
+    // The queue claims processable work but the cell holds the sentinel —
+    // an application corrupted its release cursor. The engine must still
+    // make progress (a non-advancing return here would spin the event
+    // loop forever), so consume the slot as a rejection.
+    ++stats_.validity_rejections;
+    CompleteSend(endpoint_index);
+    return;
+  }
+
+  // Validity checks (configurable; the paper measures +2 us for them).
+  // An always-on check on the buffer index itself is kept even when checks
+  // are off, because an out-of-range index would crash the engine rather
+  // than merely corrupt the offending application's own data.
+  if (!ValidateSendBuffer(endpoint_index, buffer)) {
+    CompleteSend(endpoint_index);
+    return;
+  }
+
+  shm::MsgView view = comm_.msg(buffer);
+  const Address dst = view.header->peer_address();
+  const Address src(static_cast<std::uint16_t>(wire_.node()),
+                    static_cast<std::uint16_t>(endpoint_index));
+
+  if (options_.validity_checks && !dst.valid()) {
+    ++stats_.validity_rejections;
+    CompleteSend(endpoint_index);
+    return;
+  }
+
+  // Protection extension: a restricted endpoint may only address its
+  // configured peer. Enforced unconditionally — this protects OTHER
+  // applications, so it cannot be traded away for speed like the
+  // self-protection validity checks above.
+  const Address allowed = Address::FromPacked(record.allowed_peer.ReadRelaxed());
+  if (allowed.valid() && dst != allowed) {
+    ++stats_.protection_rejections;
+    Trace(TraceEvent::kEngineReject, endpoint_index);
+    CompleteSend(endpoint_index);
+    return;
+  }
+
+  // Capacity-control extension: record the earliest next transmission.
+  const std::uint32_t interval = record.min_send_interval_ns.ReadRelaxed();
+  if (interval != 0 && clock_ != nullptr) {
+    next_send_ok_[endpoint_index] = clock_->NowNs() + interval;
+  }
+
+  TransmitMessage(endpoint_index, buffer, src, dst, cost);
+}
+
+void MessagingEngine::TransmitMessage(std::uint32_t endpoint_index, BufferIndex buffer,
+                                      Address src, Address dst, simnet::CostAccumulator& cost) {
+  shm::MsgView view = comm_.msg(buffer);
+
+  simnet::Packet packet;
+  packet.dst_node = dst.node();
+  packet.protocol = simnet::kProtocolFlipc;
+  packet.src_addr = src.packed();
+  packet.dst_addr = dst.packed();
+  packet.seq = send_seq_++;
+  packet.payload.assign(view.payload, view.payload + view.payload_size);
+
+  const Status status = wire_.Send(std::move(packet));
+  if (!status.ok()) {
+    // Unknown destination node: the optimistic protocol has no error path
+    // back to the sender; the message is charged as a bad-address discard.
+    ++stats_.drops_bad_address;
+  } else {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += view.payload_size;
+    Trace(TraceEvent::kEngineSend, endpoint_index, buffer);
+  }
+  ChargeModel(cost, 0);  // Native transmit costs were charged at plan time.
+  CompleteSend(endpoint_index);
+}
+
+void MessagingEngine::CompleteSend(std::uint32_t endpoint_index) {
+  EndpointRecord& record = comm_.endpoint(endpoint_index);
+  waitfree::BufferQueueView queue = comm_.queue(endpoint_index);
+  const BufferIndex buffer = queue.PeekProcess();
+  if (buffer != waitfree::kInvalidBuffer && comm_.IsValidBufferIndex(buffer)) {
+    comm_.msg(buffer).header->state.Store(MsgState::kCompleted);
+  }
+  queue.AdvanceProcess();
+  record.processed_total.Publish(record.processed_total.ReadRelaxed() + 1);
+
+  if ((record.options.ReadRelaxed() & shm::kEndpointOptSemaphore) != 0 && semaphores_ != nullptr) {
+    semaphores_->Signal(record.semaphore_id.ReadRelaxed());
+    ++stats_.semaphore_signals;
+  }
+  if (send_complete_hook_) {
+    send_complete_hook_(endpoint_index);
+  }
+}
+
+void MessagingEngine::DeliverLocal(const simnet::Packet& packet, simnet::CostAccumulator&) {
+  const Address dst = Address::FromPacked(packet.dst_addr);
+
+  // Destination validation is not optional: a bad remote address must not
+  // crash this node's engine. (The sender-side configurable checks would
+  // have caught it earlier and cheaper.)
+  if (!dst.valid() || dst.node() != wire_.node() || !comm_.IsValidEndpointIndex(dst.endpoint())) {
+    ++stats_.drops_bad_address;
+    return;
+  }
+  EndpointRecord& record = comm_.endpoint(dst.endpoint());
+  if (record.Type() != EndpointType::kReceive) {
+    ++stats_.drops_bad_address;
+    return;
+  }
+
+  waitfree::BufferQueueView queue = comm_.queue(dst.endpoint());
+  const BufferIndex buffer = queue.PeekProcess();
+  if (buffer == waitfree::kInvalidBuffer) {
+    // The optimistic protocol's rule: no posted receive buffer => discard,
+    // count it in the endpoint's wait-free drop counter.
+    record.RecordDrop();
+    ++stats_.drops_no_buffer;
+    Trace(TraceEvent::kEngineDrop, dst.endpoint());
+    if (receive_hook_) {
+      receive_hook_(dst.endpoint(), /*delivered=*/false);
+    }
+    return;
+  }
+  if (!comm_.IsValidBufferIndex(buffer)) {
+    ++stats_.validity_rejections;
+    queue.AdvanceProcess();
+    return;
+  }
+
+  shm::MsgView view = comm_.msg(buffer);
+  const std::size_t n = packet.payload.size() < view.payload_size ? packet.payload.size()
+                                                                  : view.payload_size;
+  std::memcpy(view.payload, packet.payload.data(), n);
+  view.header->peer.Publish(packet.src_addr);  // Receiver learns the sender.
+  view.header->state.Store(MsgState::kCompleted);
+  queue.AdvanceProcess();
+  record.processed_total.Publish(record.processed_total.ReadRelaxed() + 1);
+  ++stats_.messages_delivered;
+  Trace(TraceEvent::kEngineDeliver, dst.endpoint(), buffer);
+
+  if ((record.options.ReadRelaxed() & shm::kEndpointOptSemaphore) != 0 && semaphores_ != nullptr) {
+    semaphores_->Signal(record.semaphore_id.ReadRelaxed());
+    ++stats_.semaphore_signals;
+  }
+  if (receive_hook_) {
+    receive_hook_(dst.endpoint(), /*delivered=*/true);
+  }
+}
+
+}  // namespace flipc::engine

@@ -1,0 +1,280 @@
+// The FLIPC messaging engine.
+//
+// "The messaging engine is an independently executing component of the
+// system. It is intended to execute on the programmable controller in the
+// communication interface when one is present, but can also be implemented
+// as part of the operating system kernel for debugging purposes or on
+// systems lacking the required hardware."
+//
+// This class is that component. It touches exactly two things: the
+// communication buffer (through the wait-free queue views — the engine-side
+// operations are PeekProcess/AdvanceProcess and the engine-written counter
+// cells) and a Wire into the fabric. It never blocks on the application; an
+// ill-behaved application can at worst make its own endpoints useless.
+//
+// Execution model: the engine body is a non-preemptible event loop
+// (matching the paper's controller "execution restrictions"), decomposed
+// into bounded work units. Each unit is either delivering one inbound
+// packet or transmitting one released send buffer:
+//
+//   * real-concurrency mode — a host thread calls Step() in a loop;
+//   * simulation mode       — a driver calls PlanStep() to learn the unit's
+//     modeled cost, advances virtual time, then CommitStep() to perform it,
+//     so packets enter the fabric at the correct virtual instant.
+//
+// The engine hosts a protocol framework: FLIPC's optimistic protocol is
+// built in, and further protocols (KKT, a kernel-IPC stand-in for the
+// OSF/1 AD traffic the paper's engine coexisted with) register by id.
+#ifndef SRC_ENGINE_MESSAGING_ENGINE_H_
+#define SRC_ENGINE_MESSAGING_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/trace.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/engine/platform_model.h"
+#include "src/shm/address.h"
+#include "src/shm/comm_buffer.h"
+#include "src/simnet/fabric.h"
+#include "src/simnet/packet.h"
+#include "src/simos/semaphore_table.h"
+
+namespace flipc::engine {
+
+struct EngineOptions {
+  // Validity checks "that protect the messaging engine against corruption
+  // of the communication buffer by an errant or malicious application".
+  // The paper measures them at +2 us per one-way message.
+  bool validity_checks = false;
+
+  // Future-work extension: scan send endpoints in priority order instead of
+  // round-robin, so high-priority streams transmit first under load.
+  bool priority_scan = false;
+
+  // Experiment E4: model the pre-tuning communication-buffer layout where
+  // application-written and engine-written words shared cache lines. The
+  // real data structures stay padded (and correct); this charges the
+  // modeled invalidation cost.
+  bool model_unpadded_layout = false;
+};
+
+struct EngineStats {
+  std::uint64_t work_units = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t drops_no_buffer = 0;    // optimistic-protocol discards
+  std::uint64_t drops_bad_address = 0;  // invalid/inactive/mistyped destination
+  std::uint64_t validity_rejections = 0;
+  // Future-work protection mechanism: sends rejected because the endpoint
+  // is restricted to a different destination. Always enforced (protection
+  // of other applications cannot be an optional check).
+  std::uint64_t protection_rejections = 0;
+  std::uint64_t unknown_protocol_packets = 0;
+  std::uint64_t semaphore_signals = 0;
+};
+
+// A protocol sharing the engine's event loop (the Paragon message
+// coprocessor ran FLIPC alongside the OSF/1 AD protocols in one framework).
+class ProtocolHandler {
+ public:
+  virtual ~ProtocolHandler() = default;
+
+  // An inbound packet with this handler's protocol id.
+  virtual void HandlePacket(simnet::Packet packet, simnet::CostAccumulator& cost) = 0;
+
+  // Performs at most one unit of outbound work; returns whether any was done.
+  virtual bool PollWork(simnet::CostAccumulator& cost) = 0;
+
+  virtual bool HasWork() const { return false; }
+
+  // Modeled cost of handling `packet`, priced at plan time so the work
+  // unit's effects land at the right virtual instant.
+  virtual DurationNs PlanCost(const simnet::Packet& packet) const {
+    (void)packet;
+    return 0;
+  }
+};
+
+class MessagingEngine {
+ public:
+  // `model` may be null (real-concurrency mode: no cost accounting).
+  // `semaphores` may be null if no endpoint uses the semaphore option.
+  MessagingEngine(shm::CommBuffer& comm, simnet::Wire& wire, EngineOptions options,
+                  const PlatformModel* model = nullptr,
+                  simos::SemaphoreTable* semaphores = nullptr);
+  virtual ~MessagingEngine() = default;
+  MessagingEngine(const MessagingEngine&) = delete;
+  MessagingEngine& operator=(const MessagingEngine&) = delete;
+
+  // ---- Protocol framework ----
+  Status RegisterProtocol(std::uint32_t protocol_id, ProtocolHandler* handler);
+
+  // ---- Event loop ----
+
+  // Examines state and selects the next work unit; returns its modeled cost
+  // (0 when there is nothing to do). Idempotent until CommitStep().
+  DurationNs PlanStep();
+
+  // Executes the planned work unit (plans one first if none is pending).
+  // Returns whether any work was performed.
+  bool CommitStep();
+
+  // Plan + commit in one call; used by the real-concurrency runner.
+  bool Step();
+
+  bool HasWork() const;
+
+  // Optional flight recorder; events are stamped with the engine's clock
+  // (virtual under the DES, zero without a clock). Single-writer: only the
+  // engine's own loop records here.
+  void SetTrace(TraceRing* trace) { trace_ = trace; }
+
+  // Clock used by the capacity-control (rate-limit) extension; without a
+  // clock, min_send_interval_ns configurations are ignored. The SimCluster
+  // wires the simulator's virtual clock, Cluster wires the real one.
+  void SetClock(const Clock* clock) { clock_ = clock; }
+
+  // Earliest virtual/real time at which a currently throttled send
+  // endpoint becomes eligible again; kTimeNever when nothing is throttled.
+  // Simulation drivers use this to schedule their next wake-up.
+  TimeNs NextUnthrottleTime() const;
+
+  // Modeled cost accumulated by protocol handlers during CommitStep()
+  // (their costs are only known as they run, unlike the built-in FLIPC
+  // paths which are priced at plan time). The simulation driver drains this
+  // after each commit and extends the coprocessor's busy window.
+  DurationNs TakeDeferredCost() {
+    const DurationNs cost = deferred_cost_;
+    deferred_cost_ = 0;
+    return cost;
+  }
+
+  // ---- Observation hooks (simulation drivers / tests) ----
+
+  // Fired after the engine finishes a receive attempt on an endpoint
+  // (delivered == false means the optimistic protocol discarded the
+  // message for lack of a posted buffer).
+  void SetReceiveHook(std::function<void(std::uint32_t endpoint, bool delivered)> hook) {
+    receive_hook_ = std::move(hook);
+  }
+
+  // Fired after a send buffer completes (is re-acquirable by the app).
+  void SetSendCompleteHook(std::function<void(std::uint32_t endpoint)> hook) {
+    send_complete_hook_ = std::move(hook);
+  }
+
+  const EngineStats& stats() const { return stats_; }
+  NodeId node() const { return wire_.node(); }
+
+  // Resources shared with registered protocol handlers: the coprocessor's
+  // wire and (in simulation) the cost model. Handlers transmit their own
+  // packets through the same interface FLIPC traffic uses.
+  simnet::Wire& wire_for_protocols() { return wire_; }
+  const PlatformModel* model_for_protocols() const { return model_; }
+
+  shm::CommBuffer& comm() { return comm_; }
+  const EngineOptions& options() const { return options_; }
+
+ protected:
+  // Transmission strategy; the native engine sends one optimistic packet
+  // and completes immediately. The KKT engine overrides this (RPC per
+  // message, deferred completion).
+  virtual void TransmitMessage(std::uint32_t endpoint_index, waitfree::BufferIndex buffer,
+                               Address src, Address dst, simnet::CostAccumulator& cost);
+
+  // True when the endpoint must not transmit now (KKT: RPC in flight).
+  virtual bool EndpointBlocked(std::uint32_t endpoint_index) const;
+
+  // Extra plan-time cost of this engine's transmission strategy (KKT: the
+  // RPC marshal + kernel send path).
+  virtual DurationNs TransmitPlanCost() const { return 0; }
+
+  // Marks the head send buffer of `endpoint_index` complete and advances
+  // the process cursor; signals the endpoint semaphore if configured.
+  void CompleteSend(std::uint32_t endpoint_index);
+
+  // Delivers a FLIPC message payload to a local receive endpoint, applying
+  // the optimistic protocol's discard rule. Used by the native inbound path
+  // and by the KKT request handler.
+  void DeliverLocal(const simnet::Packet& packet, simnet::CostAccumulator& cost);
+
+  simnet::Wire& wire() { return wire_; }
+  const PlatformModel* model() const { return model_; }
+
+  void ChargeModel(simnet::CostAccumulator& cost, DurationNs ns) {
+    if (model_ != nullptr) {
+      cost.Charge(ns);
+    }
+  }
+
+  EngineStats stats_;
+
+ private:
+  enum class WorkKind { kNone, kInbound, kOutbound, kHandler };
+
+  // Scans send endpoints (round-robin or priority order) for releasable
+  // work; returns the endpoint index or kInvalidEndpoint.
+  std::uint32_t FindSendWork();
+
+  // True when `endpoint` is a send endpoint with processable work that is
+  // not blocked (KKT in-flight) or throttled (rate limit).
+  bool SendReady(std::uint32_t endpoint, TimeNs now) const;
+
+  TimeNs NowForThrottle() const {
+    return clock_ != nullptr ? clock_->NowNs() : 0;
+  }
+
+  // Validity checks on an application-released send buffer. Returns true
+  // if the message may be transmitted.
+  bool ValidateSendBuffer(std::uint32_t endpoint_index, waitfree::BufferIndex buffer);
+
+  void CommitInbound(simnet::CostAccumulator& cost);
+  void CommitOutbound(simnet::CostAccumulator& cost);
+
+  shm::CommBuffer& comm_;
+  simnet::Wire& wire_;
+  EngineOptions options_;
+  const PlatformModel* model_;
+  simos::SemaphoreTable* semaphores_;
+  const Clock* clock_ = nullptr;
+  TraceRing* trace_ = nullptr;
+
+  void Trace(TraceEvent event, std::uint32_t a = 0, std::uint64_t b = 0) {
+    if (trace_ != nullptr) {
+      trace_->Record(clock_ != nullptr ? clock_->NowNs() : 0, event, a, b);
+    }
+  }
+
+  // Rate-limit extension state: earliest next transmission per endpoint
+  // (engine-private; not part of the shared communication buffer).
+  std::vector<TimeNs> next_send_ok_;
+
+  static constexpr std::uint32_t kMaxProtocols = 8;
+  std::array<ProtocolHandler*, kMaxProtocols> handlers_{};
+
+  // Planned work unit.
+  WorkKind planned_ = WorkKind::kNone;
+  std::optional<simnet::Packet> planned_packet_;
+  std::uint32_t planned_endpoint_ = shm::kInvalidEndpoint;
+  std::uint32_t planned_handler_ = 0;
+  DurationNs planned_cost_ = 0;
+
+  std::uint32_t scan_cursor_ = 0;
+  std::uint64_t send_seq_ = 0;
+
+  std::function<void(std::uint32_t, bool)> receive_hook_;
+  std::function<void(std::uint32_t)> send_complete_hook_;
+  DurationNs deferred_cost_ = 0;
+};
+
+}  // namespace flipc::engine
+
+#endif  // SRC_ENGINE_MESSAGING_ENGINE_H_

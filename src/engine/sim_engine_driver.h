@@ -1,0 +1,84 @@
+// Discrete-event engine driver: the virtual message coprocessor.
+//
+// Drives a MessagingEngine under a Simulator so every work unit occupies
+// the modeled amount of coprocessor time. The driver is kick-based: the
+// fabric's delivery callback and the application actors call Kick() when
+// they create work. While work remains the driver self-schedules
+// back-to-back work units, which models the coprocessor's non-preemptible
+// event loop (one protocol's burst delays the others, exactly the paper's
+// "excessive consumption may have undesirable side effects on unrelated
+// communications" concern).
+#ifndef SRC_ENGINE_SIM_ENGINE_DRIVER_H_
+#define SRC_ENGINE_SIM_ENGINE_DRIVER_H_
+
+#include "src/base/types.h"
+#include "src/engine/messaging_engine.h"
+#include "src/simnet/des.h"
+
+namespace flipc::engine {
+
+class SimEngineDriver {
+ public:
+  SimEngineDriver(simnet::Simulator& sim, MessagingEngine& engine)
+      : sim_(sim), engine_(engine) {}
+  SimEngineDriver(const SimEngineDriver&) = delete;
+  SimEngineDriver& operator=(const SimEngineDriver&) = delete;
+
+  // Notifies the driver that work may exist (packet delivered, buffer
+  // released). Idempotent while a step is already scheduled or running.
+  void Kick() {
+    if (scheduled_) {
+      return;
+    }
+    scheduled_ = true;
+    sim_.ScheduleAt(busy_until_ > sim_.Now() ? busy_until_ : sim_.Now(), [this] { RunUnit(); });
+  }
+
+  DurationNs busy_ns() const { return busy_ns_; }
+
+ private:
+  void RunUnit() {
+    scheduled_ = false;
+    const DurationNs cost = engine_.PlanStep();
+    if (cost == 0 && !engine_.HasWork()) {
+      // Idle — but a rate-limited endpoint may hold queued work; wake when
+      // its throttle window opens.
+      const TimeNs unthrottle = engine_.NextUnthrottleTime();
+      if (unthrottle != kTimeNever) {
+        scheduled_ = true;
+        sim_.ScheduleAt(unthrottle, [this] {
+          scheduled_ = false;
+          Kick();
+        });
+      }
+      return;
+    }
+    // The work unit's effects (packet entering the fabric, buffer state
+    // flips) occur when the coprocessor finishes the unit, not when it
+    // starts it.
+    busy_until_ = sim_.Now() + cost;
+    busy_ns_ += cost;
+    scheduled_ = true;
+    sim_.ScheduleAt(busy_until_, [this] {
+      scheduled_ = false;
+      engine_.CommitStep();
+      // Handler work prices itself as it runs; extend the busy window.
+      const DurationNs extra = engine_.TakeDeferredCost();
+      if (extra > 0) {
+        busy_until_ = sim_.Now() + extra;
+        busy_ns_ += extra;
+      }
+      Kick();  // More work? Chain the next unit.
+    });
+  }
+
+  simnet::Simulator& sim_;
+  MessagingEngine& engine_;
+  TimeNs busy_until_ = 0;
+  DurationNs busy_ns_ = 0;
+  bool scheduled_ = false;
+};
+
+}  // namespace flipc::engine
+
+#endif  // SRC_ENGINE_SIM_ENGINE_DRIVER_H_

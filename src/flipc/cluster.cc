@@ -1,0 +1,108 @@
+#include "src/flipc/cluster.h"
+
+#include <cmath>
+#include <utility>
+
+namespace flipc {
+
+// ================================ Cluster ===================================
+
+Result<std::unique_ptr<Cluster>> Cluster::Create(const Options& options) {
+  auto cluster = std::unique_ptr<Cluster>(new Cluster());
+  cluster->fabric_ = std::make_unique<simnet::ThreadFabric>(options.node_count);
+
+  for (NodeId n = 0; n < options.node_count; ++n) {
+    auto node = std::make_unique<Node>();
+    Domain::Options domain_options;
+    domain_options.comm = options.comm;
+    domain_options.node = n;
+    FLIPC_ASSIGN_OR_RETURN(node->domain,
+                           Domain::Create(domain_options, &cluster->semaphores_));
+    node->engine = std::make_unique<engine::MessagingEngine>(
+        node->domain->comm(), cluster->fabric_->wire(n), options.engine,
+        /*model=*/nullptr, &cluster->semaphores_);
+    node->engine->SetClock(&RealClock::Instance());
+    node->runner = std::make_unique<engine::EngineRunner>(*node->engine);
+
+    engine::EngineRunner* runner = node->runner.get();
+    node->domain->SetEngineKick([runner] { runner->Kick(); });
+    cluster->fabric_->SetDeliveryCallback(n, [runner] { runner->Kick(); });
+
+    cluster->nodes_.push_back(std::move(node));
+  }
+  return cluster;
+}
+
+Cluster::~Cluster() { Stop(); }
+
+void Cluster::Start() {
+  if (started_) {
+    return;
+  }
+  for (auto& node : nodes_) {
+    node->runner->Start();
+  }
+  started_ = true;
+}
+
+void Cluster::Stop() {
+  if (!started_) {
+    return;
+  }
+  for (auto& node : nodes_) {
+    node->runner->Stop();
+  }
+  started_ = false;
+}
+
+// =============================== SimCluster =================================
+
+Result<std::unique_ptr<SimCluster>> SimCluster::Create(Options options) {
+  auto cluster = std::unique_ptr<SimCluster>(new SimCluster());
+  cluster->model_ = options.model;
+
+  std::unique_ptr<simnet::LinkModel> link = std::move(options.link_model);
+  if (link == nullptr) {
+    simnet::MeshLinkModel::Params mesh;
+    mesh.width = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(options.node_count))));
+    if (mesh.width == 0) {
+      mesh.width = 1;
+    }
+    link = std::make_unique<simnet::MeshLinkModel>(mesh);
+  }
+  cluster->fabric_ = std::make_unique<simnet::SimFabric>(cluster->sim_, std::move(link),
+                                                         options.node_count);
+
+  for (NodeId n = 0; n < options.node_count; ++n) {
+    auto node = std::make_unique<Node>();
+    Domain::Options domain_options;
+    domain_options.comm = options.comm;
+    domain_options.node = n;
+    FLIPC_ASSIGN_OR_RETURN(node->domain,
+                           Domain::Create(domain_options, &cluster->semaphores_));
+
+    if (options.engine_kind == EngineKind::kKkt) {
+      node->engine = std::make_unique<kkt::KktMessagingEngine>(
+          node->domain->comm(), cluster->fabric_->wire(n), options.engine, &cluster->model_,
+          &options.kkt, &cluster->semaphores_);
+    } else {
+      node->engine = std::make_unique<engine::MessagingEngine>(
+          node->domain->comm(), cluster->fabric_->wire(n), options.engine, &cluster->model_,
+          &cluster->semaphores_);
+    }
+    node->engine->SetClock(&cluster->sim_.clock());
+    node->driver = std::make_unique<engine::SimEngineDriver>(cluster->sim_, *node->engine);
+
+    engine::SimEngineDriver* driver = node->driver.get();
+    node->domain->SetEngineKick([driver] { driver->Kick(); });
+    cluster->fabric_->SetDeliveryCallback(n, [driver] { driver->Kick(); });
+
+    cluster->nodes_.push_back(std::move(node));
+  }
+  return cluster;
+}
+
+SimCluster::~SimCluster() = default;
+
+}  // namespace flipc

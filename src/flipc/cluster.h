@@ -1,0 +1,123 @@
+// Ready-made FLIPC assemblies.
+//
+//   Cluster    — real-concurrency: one Domain per node, one native
+//                MessagingEngine per node on its own EngineRunner thread
+//                (the "message coprocessor"), all over a ThreadFabric.
+//                Used by the examples and the stress tests.
+//
+//   SimCluster — discrete-event: the same domains and engines driven by
+//                SimEngineDrivers over a SimFabric with a chosen link
+//                model. All paper-reproduction benchmarks use this.
+//
+// Both wire the kick paths: Domain::KickEngine() (after sends) and the
+// fabric delivery callback both wake the node's engine.
+#ifndef SRC_FLIPC_CLUSTER_H_
+#define SRC_FLIPC_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/engine/engine_runner.h"
+#include "src/engine/messaging_engine.h"
+#include "src/engine/platform_model.h"
+#include "src/engine/sim_engine_driver.h"
+#include "src/flipc/domain.h"
+#include "src/kkt/kkt_engine.h"
+#include "src/simnet/des.h"
+#include "src/simnet/fabric.h"
+#include "src/simnet/link_model.h"
+#include "src/simos/semaphore_table.h"
+
+namespace flipc {
+
+// ---------------------------------------------------------------------------
+
+class Cluster {
+ public:
+  struct Options {
+    std::uint32_t node_count = 2;
+    shm::CommBufferConfig comm;
+    engine::EngineOptions engine;
+  };
+
+  static Result<std::unique_ptr<Cluster>> Create(const Options& options);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Starts/stops all engine threads. Create() returns a stopped cluster.
+  void Start();
+  void Stop();
+
+  std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  Domain& domain(NodeId node) { return *nodes_[node]->domain; }
+  engine::MessagingEngine& engine(NodeId node) { return *nodes_[node]->engine; }
+  simos::SemaphoreTable& semaphores() { return semaphores_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Domain> domain;
+    std::unique_ptr<engine::MessagingEngine> engine;
+    std::unique_ptr<engine::EngineRunner> runner;
+  };
+
+  Cluster() = default;
+
+  simos::SemaphoreTable semaphores_;
+  std::unique_ptr<simnet::ThreadFabric> fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+};
+
+// ---------------------------------------------------------------------------
+
+class SimCluster {
+ public:
+  enum class EngineKind { kNative, kKkt };
+
+  struct Options {
+    std::uint32_t node_count = 2;
+    shm::CommBufferConfig comm;
+    engine::EngineOptions engine;
+    engine::PlatformModel model;          // calibrated costs (Paragon default)
+    EngineKind engine_kind = EngineKind::kNative;
+    engine::KktModel kkt;                 // used when engine_kind == kKkt
+    // Link model factory selector; default Paragon mesh sized to the node
+    // count (width = ceil(sqrt(n))).
+    std::unique_ptr<simnet::LinkModel> link_model;
+  };
+
+  static Result<std::unique_ptr<SimCluster>> Create(Options options);
+  ~SimCluster();
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  simnet::Simulator& sim() { return sim_; }
+  simnet::SimFabric& fabric() { return *fabric_; }
+  std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  Domain& domain(NodeId node) { return *nodes_[node]->domain; }
+  engine::MessagingEngine& engine(NodeId node) { return *nodes_[node]->engine; }
+  engine::SimEngineDriver& driver(NodeId node) { return *nodes_[node]->driver; }
+  const engine::PlatformModel& model() const { return model_; }
+  simos::SemaphoreTable& semaphores() { return semaphores_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Domain> domain;
+    std::unique_ptr<engine::MessagingEngine> engine;
+    std::unique_ptr<engine::SimEngineDriver> driver;
+  };
+
+  SimCluster() = default;
+
+  simnet::Simulator sim_;
+  engine::PlatformModel model_;
+  simos::SemaphoreTable semaphores_;
+  std::unique_ptr<simnet::SimFabric> fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace flipc
+
+#endif  // SRC_FLIPC_CLUSTER_H_

@@ -1,0 +1,119 @@
+#include "src/flipc/domain.h"
+
+#include <utility>
+
+#include "src/flipc/endpoint_group.h"
+
+namespace flipc {
+
+Domain::Domain(std::unique_ptr<shm::CommBuffer> comm, NodeId node,
+               simos::SemaphoreTable* semaphores)
+    : comm_(std::move(comm)), node_(node), semaphores_(semaphores) {}
+
+Domain::~Domain() = default;
+
+Result<std::unique_ptr<Domain>> Domain::Create(const Options& options,
+                                               simos::SemaphoreTable* semaphores) {
+  if (options.node > 0xffffu) {
+    return InvalidArgumentStatus();  // Addresses pack the node into 16 bits.
+  }
+  FLIPC_ASSIGN_OR_RETURN(std::unique_ptr<shm::CommBuffer> comm,
+                         shm::CommBuffer::Create(options.comm));
+  return std::unique_ptr<Domain>(new Domain(std::move(comm), options.node, semaphores));
+}
+
+Result<MessageBuffer> Domain::AllocateBuffer() {
+  FLIPC_ASSIGN_OR_RETURN(const waitfree::BufferIndex index, comm_->AllocateBuffer());
+  calls_.buffer_allocs.fetch_add(1, std::memory_order_relaxed);
+  return MessageBuffer(index, comm_->msg(index));
+}
+
+Status Domain::FreeBuffer(MessageBuffer buffer) {
+  if (!buffer.valid()) {
+    return InvalidArgumentStatus();
+  }
+  calls_.buffer_frees.fetch_add(1, std::memory_order_relaxed);
+  return comm_->FreeBuffer(buffer.index());
+}
+
+Result<MessageBuffer> Domain::BufferFromIndex(waitfree::BufferIndex index) {
+  if (!comm_->IsValidBufferIndex(index)) {
+    return InvalidArgumentStatus();
+  }
+  return MessageBuffer(index, comm_->msg(index));
+}
+
+Result<Endpoint> Domain::CreateEndpoint(const EndpointOptions& options) {
+  shm::CommBuffer::EndpointParams params;
+  params.type = options.type;
+  params.queue_capacity = options.queue_depth;
+  params.priority = options.priority;
+  params.allowed_peer = options.allowed_peer.packed();
+  params.min_send_interval_ns = options.min_send_interval_ns;
+
+  bool owns_semaphore = false;
+  if (options.group != nullptr) {
+    params.options |= shm::kEndpointOptSemaphore;
+    params.semaphore_id = options.group->semaphore_id();
+  } else if (options.enable_semaphore) {
+    if (semaphores_ == nullptr) {
+      return FailedPreconditionStatus();
+    }
+    FLIPC_ASSIGN_OR_RETURN(params.semaphore_id, semaphores_->Allocate());
+    params.options |= shm::kEndpointOptSemaphore;
+    owns_semaphore = true;
+  }
+
+  Result<std::uint32_t> index = comm_->AllocateEndpoint(params);
+  if (!index.ok()) {
+    if (owns_semaphore) {
+      (void)semaphores_->Free(params.semaphore_id);
+    }
+    return index.status();
+  }
+
+  Endpoint endpoint(this, *index);
+  if (options.group != nullptr) {
+    options.group->AddMember(endpoint);
+  }
+  return endpoint;
+}
+
+Status Domain::DestroyEndpoint(Endpoint& endpoint) {
+  if (!endpoint.valid() || endpoint.domain_ != this) {
+    return InvalidArgumentStatus();
+  }
+  const shm::EndpointRecord& record = comm_->endpoint(endpoint.index());
+  const bool had_semaphore =
+      (record.options.ReadRelaxed() & shm::kEndpointOptSemaphore) != 0;
+  const std::uint32_t semaphore_id = record.semaphore_id.ReadRelaxed();
+
+  FLIPC_RETURN_IF_ERROR(comm_->FreeEndpoint(endpoint.index()));
+
+  // Group semaphores are owned by their EndpointGroup; a group member must
+  // be removed from the group before destruction, at which point Free here
+  // fails harmlessly with waiters or succeeds. Individually owned
+  // semaphores are freed best-effort (waiters keep it alive).
+  bool group_owned;
+  {
+    std::lock_guard<std::mutex> guard(group_mutex_);
+    group_owned = group_semaphores_.contains(semaphore_id);
+  }
+  if (had_semaphore && semaphores_ != nullptr && !group_owned) {
+    (void)semaphores_->Free(semaphore_id);
+  }
+  endpoint = Endpoint();
+  return OkStatus();
+}
+
+void Domain::RegisterGroupSemaphore(std::uint32_t id) {
+  std::lock_guard<std::mutex> guard(group_mutex_);
+  group_semaphores_.insert(id);
+}
+
+void Domain::UnregisterGroupSemaphore(std::uint32_t id) {
+  std::lock_guard<std::mutex> guard(group_mutex_);
+  group_semaphores_.erase(id);
+}
+
+}  // namespace flipc

@@ -1,0 +1,143 @@
+// Domain: one node's FLIPC instance — the application interface layer over
+// a communication buffer (paper Figure 1, left box: "application interface
+// layer that provides formal interfaces to applications and hides the data
+// structures in the communication buffer").
+//
+// A Domain owns (or attaches to) the communication buffer and knows how to
+// kick the messaging engine that shares it. It does NOT own the engine:
+// the engine is an independently executing component (a thread, a DES
+// driver, or in principle real controller firmware) wired up by the
+// embedding code — see Cluster/SimCluster for ready-made assemblies.
+#ifndef SRC_FLIPC_DOMAIN_H_
+#define SRC_FLIPC_DOMAIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/flipc/endpoint.h"
+#include "src/flipc/message_buffer.h"
+#include "src/shm/comm_buffer.h"
+#include "src/simos/semaphore_table.h"
+
+namespace flipc {
+
+class EndpointGroup;
+
+// Per-domain API call counters, kept to reproduce the paper's future-work
+// observation that "a FLIPC application can expect to employ about half of
+// its calls to FLIPC to send or receive messages, and the other half for
+// message buffer management" (experiment E11).
+struct CallCounters {
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> receives{0};
+  std::atomic<std::uint64_t> buffer_posts{0};
+  std::atomic<std::uint64_t> buffer_reclaims{0};
+  std::atomic<std::uint64_t> buffer_allocs{0};
+  std::atomic<std::uint64_t> buffer_frees{0};
+
+  std::uint64_t MessagingCalls() const {
+    return sends.load(std::memory_order_relaxed) + receives.load(std::memory_order_relaxed);
+  }
+  std::uint64_t BufferManagementCalls() const {
+    return buffer_posts.load(std::memory_order_relaxed) +
+           buffer_reclaims.load(std::memory_order_relaxed) +
+           buffer_allocs.load(std::memory_order_relaxed) +
+           buffer_frees.load(std::memory_order_relaxed);
+  }
+};
+
+class Domain {
+ public:
+  struct Options {
+    shm::CommBufferConfig comm;
+    NodeId node = 0;  // must fit 16 bits (packed addresses)
+  };
+
+  // Creates a domain with a freshly allocated communication buffer.
+  // `semaphores` backs the blocking operations; it may be null if no
+  // endpoint ever uses them.
+  static Result<std::unique_ptr<Domain>> Create(const Options& options,
+                                                simos::SemaphoreTable* semaphores = nullptr);
+
+  ~Domain();
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  shm::CommBuffer& comm() { return *comm_; }
+  NodeId node() const { return node_; }
+  std::uint32_t payload_size() const { return comm_->payload_size(); }
+
+  // Wires the engine wake-up: called after operations that create engine
+  // work (sends). Typically EngineRunner::Kick or SimEngineDriver::Kick.
+  void SetEngineKick(std::function<void()> kick) { kick_ = std::move(kick); }
+  void KickEngine() {
+    if (kick_) {
+      kick_();
+    }
+  }
+
+  // ---- Message buffer management ----
+  Result<MessageBuffer> AllocateBuffer();
+  Status FreeBuffer(MessageBuffer buffer);
+  // Rebuilds a handle from an index (e.g. one passed between threads).
+  Result<MessageBuffer> BufferFromIndex(waitfree::BufferIndex index);
+
+  // ---- Endpoints ----
+  struct EndpointOptions {
+    shm::EndpointType type = shm::EndpointType::kReceive;
+    std::uint32_t queue_depth = 16;  // power of two
+    // Allocate a real-time semaphore so blocking operations work.
+    bool enable_semaphore = false;
+    // Engine scan priority (priority_scan engines transmit higher first).
+    std::uint32_t priority = shm::kDefaultEndpointPriority;
+    // Membership: share the group's semaphore and be scanned by its
+    // Receive()/ReceiveBlocking(). Implies semaphore signaling.
+    EndpointGroup* group = nullptr;
+    // Protection extension: restrict this send endpoint to one destination
+    // (engine-enforced, so an untrusted application cannot spray other
+    // applications' endpoints). Invalid = unrestricted.
+    Address allowed_peer = Address::Invalid();
+    // Capacity-control extension: minimum ns between transmissions from
+    // this send endpoint (engine-enforced token spacing). 0 = unlimited.
+    std::uint32_t min_send_interval_ns = 0;
+  };
+
+  Result<Endpoint> CreateEndpoint(const EndpointOptions& options);
+
+  // Frees the endpoint (its queue must be drained) and its semaphore.
+  Status DestroyEndpoint(Endpoint& endpoint);
+
+  simos::SemaphoreTable* semaphores() { return semaphores_; }
+  CallCounters& calls() { return calls_; }
+
+ private:
+  friend class Endpoint;
+  friend class EndpointGroup;
+
+  Domain(std::unique_ptr<shm::CommBuffer> comm, NodeId node,
+         simos::SemaphoreTable* semaphores);
+
+  // Group-owned semaphores must not be freed when a member endpoint is
+  // destroyed; EndpointGroup registers its semaphore here.
+  void RegisterGroupSemaphore(std::uint32_t id);
+  void UnregisterGroupSemaphore(std::uint32_t id);
+
+  std::unique_ptr<shm::CommBuffer> comm_;
+  NodeId node_;
+  simos::SemaphoreTable* semaphores_;
+  std::function<void()> kick_;
+  CallCounters calls_;
+
+  std::mutex group_mutex_;
+  std::unordered_set<std::uint32_t> group_semaphores_;
+};
+
+}  // namespace flipc
+
+#endif  // SRC_FLIPC_DOMAIN_H_

@@ -1,0 +1,180 @@
+#include "src/flipc/endpoint.h"
+
+#include <mutex>
+
+#include "src/base/clock.h"
+#include "src/flipc/domain.h"
+#include "src/waitfree/msg_state.h"
+
+namespace flipc {
+
+using shm::EndpointType;
+using waitfree::MsgState;
+
+shm::EndpointRecord& Endpoint::record() const { return domain_->comm().endpoint(index_); }
+
+shm::EndpointType Endpoint::type() const { return record().Type(); }
+
+Address Endpoint::address() const {
+  return Address(static_cast<std::uint16_t>(domain_->node()),
+                 static_cast<std::uint16_t>(index_));
+}
+
+Status Endpoint::ReleaseCommon(MessageBuffer& buffer, Address dst, EndpointType expected,
+                               bool locked) {
+  if (!valid() || !buffer.valid()) {
+    return InvalidArgumentStatus();
+  }
+  shm::EndpointRecord& rec = record();
+  if (rec.Type() != expected) {
+    return FailedPreconditionStatus();
+  }
+  if (expected == EndpointType::kSend) {
+    if (!dst.valid()) {
+      return InvalidArgumentStatus();
+    }
+    buffer.header()->set_peer_address(dst);
+  }
+  buffer.header()->state.Store(MsgState::kReady);
+
+  waitfree::BufferQueueView queue = domain_->comm().queue(index_);
+  bool released;
+  if (locked) {
+    std::lock_guard<TasLock> guard(rec.lock);
+    released = queue.Release(buffer.index());
+  } else {
+    released = queue.Release(buffer.index());
+  }
+  if (!released) {
+    return UnavailableStatus();  // Queue full: application resource control.
+  }
+
+  if (expected == EndpointType::kSend) {
+    domain_->calls().sends.fetch_add(1, std::memory_order_relaxed);
+    domain_->KickEngine();
+  } else {
+    domain_->calls().buffer_posts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return OkStatus();
+}
+
+Result<MessageBuffer> Endpoint::AcquireCommon(EndpointType expected, bool locked) {
+  if (!valid()) {
+    return InvalidArgumentStatus();
+  }
+  shm::EndpointRecord& rec = record();
+  if (rec.Type() != expected) {
+    return FailedPreconditionStatus();
+  }
+  waitfree::BufferQueueView queue = domain_->comm().queue(index_);
+  waitfree::BufferIndex index;
+  if (locked) {
+    std::lock_guard<TasLock> guard(rec.lock);
+    index = queue.Acquire();
+  } else {
+    index = queue.Acquire();
+  }
+  if (index == waitfree::kInvalidBuffer) {
+    return UnavailableStatus();
+  }
+  if (expected == EndpointType::kReceive) {
+    domain_->calls().receives.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    domain_->calls().buffer_reclaims.fetch_add(1, std::memory_order_relaxed);
+  }
+  return MessageBuffer(index, domain_->comm().msg(index));
+}
+
+Result<MessageBuffer> Endpoint::AcquireBlocking(EndpointType expected, simos::Priority priority,
+                                                DurationNs timeout_ns) {
+  shm::EndpointRecord& rec = record();
+  if ((rec.options.ReadRelaxed() & shm::kEndpointOptSemaphore) == 0 ||
+      domain_->semaphores() == nullptr) {
+    return FailedPreconditionStatus();
+  }
+  simos::RealTimeSemaphore* semaphore =
+      domain_->semaphores()->Get(rec.semaphore_id.ReadRelaxed());
+  if (semaphore == nullptr) {
+    return InternalStatus();
+  }
+
+  const TimeNs deadline =
+      timeout_ns < 0 ? kTimeNever : RealClock::Instance().NowNs() + timeout_ns;
+  for (;;) {
+    Result<MessageBuffer> result = AcquireCommon(expected, /*locked=*/true);
+    if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
+      return result;
+    }
+    DurationNs remaining = -1;
+    if (deadline != kTimeNever) {
+      remaining = deadline - RealClock::Instance().NowNs();
+      if (remaining <= 0) {
+        return TimedOutStatus();
+      }
+    }
+    const Status wait_status = semaphore->Wait(priority, remaining);
+    if (!wait_status.ok()) {
+      return wait_status;
+    }
+  }
+}
+
+Status Endpoint::Send(MessageBuffer& buffer, Address dst) {
+  return ReleaseCommon(buffer, dst, EndpointType::kSend, /*locked=*/true);
+}
+
+Status Endpoint::SendUnlocked(MessageBuffer& buffer, Address dst) {
+  return ReleaseCommon(buffer, dst, EndpointType::kSend, /*locked=*/false);
+}
+
+Result<MessageBuffer> Endpoint::Reclaim() {
+  return AcquireCommon(EndpointType::kSend, /*locked=*/true);
+}
+
+Result<MessageBuffer> Endpoint::ReclaimUnlocked() {
+  return AcquireCommon(EndpointType::kSend, /*locked=*/false);
+}
+
+Result<MessageBuffer> Endpoint::ReclaimBlocking(simos::Priority priority, DurationNs timeout_ns) {
+  return AcquireBlocking(EndpointType::kSend, priority, timeout_ns);
+}
+
+Status Endpoint::PostBuffer(MessageBuffer& buffer) {
+  return ReleaseCommon(buffer, Address::Invalid(), EndpointType::kReceive, /*locked=*/true);
+}
+
+Status Endpoint::PostBufferUnlocked(MessageBuffer& buffer) {
+  return ReleaseCommon(buffer, Address::Invalid(), EndpointType::kReceive, /*locked=*/false);
+}
+
+Result<MessageBuffer> Endpoint::Receive() {
+  return AcquireCommon(EndpointType::kReceive, /*locked=*/true);
+}
+
+Result<MessageBuffer> Endpoint::ReceiveUnlocked() {
+  return AcquireCommon(EndpointType::kReceive, /*locked=*/false);
+}
+
+Result<MessageBuffer> Endpoint::ReceiveBlocking(simos::Priority priority, DurationNs timeout_ns) {
+  return AcquireBlocking(EndpointType::kReceive, priority, timeout_ns);
+}
+
+std::uint64_t Endpoint::DropCount() const { return record().DropCount(); }
+
+std::uint64_t Endpoint::ReadAndResetDrops() { return record().ReadAndResetDrops(); }
+
+std::uint32_t Endpoint::QueuedCount() const {
+  return domain_->comm().queue(index_).Size();
+}
+
+std::uint32_t Endpoint::ReadyCount() const {
+  return domain_->comm().queue(index_).AcquirableCount();
+}
+
+std::uint32_t Endpoint::queue_capacity() const {
+  return record().queue_capacity.ReadRelaxed();
+}
+
+std::uint64_t Endpoint::ProcessedCount() const { return record().processed_total.Read(); }
+
+}  // namespace flipc

@@ -1,0 +1,88 @@
+#include "src/flipc/endpoint_group.h"
+
+#include <algorithm>
+
+#include "src/base/clock.h"
+#include "src/flipc/domain.h"
+
+namespace flipc {
+
+EndpointGroup::EndpointGroup(Domain& domain, std::uint32_t semaphore_id)
+    : domain_(domain), semaphore_id_(semaphore_id) {}
+
+Result<std::unique_ptr<EndpointGroup>> EndpointGroup::Create(Domain& domain) {
+  if (domain.semaphores() == nullptr) {
+    return FailedPreconditionStatus();
+  }
+  FLIPC_ASSIGN_OR_RETURN(const std::uint32_t semaphore_id, domain.semaphores()->Allocate());
+  auto group = std::unique_ptr<EndpointGroup>(new EndpointGroup(domain, semaphore_id));
+  domain.RegisterGroupSemaphore(semaphore_id);
+  return group;
+}
+
+EndpointGroup::~EndpointGroup() {
+  domain_.UnregisterGroupSemaphore(semaphore_id_);
+  (void)domain_.semaphores()->Free(semaphore_id_);
+}
+
+void EndpointGroup::AddMember(const Endpoint& endpoint) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  members_.push_back(endpoint);
+}
+
+void EndpointGroup::RemoveMember(const Endpoint& endpoint) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  members_.erase(std::remove(members_.begin(), members_.end(), endpoint), members_.end());
+  cursor_ = 0;
+}
+
+std::size_t EndpointGroup::size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return members_.size();
+}
+
+Result<EndpointGroup::ReceiveResult> EndpointGroup::Receive() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const std::size_t n = members_.size();
+  for (std::size_t off = 0; off < n; ++off) {
+    const std::size_t i = (cursor_ + off) % n;
+    Result<MessageBuffer> result = members_[i].Receive();
+    if (result.ok()) {
+      cursor_ = (i + 1) % n;  // Fairness: resume the scan after this member.
+      return ReceiveResult{std::move(result).value(), members_[i]};
+    }
+    if (result.status().code() != StatusCode::kUnavailable) {
+      return result.status();
+    }
+  }
+  return UnavailableStatus();
+}
+
+Result<EndpointGroup::ReceiveResult> EndpointGroup::ReceiveBlocking(simos::Priority priority,
+                                                                    DurationNs timeout_ns) {
+  simos::RealTimeSemaphore* semaphore = domain_.semaphores()->Get(semaphore_id_);
+  if (semaphore == nullptr) {
+    return InternalStatus();
+  }
+  const TimeNs deadline =
+      timeout_ns < 0 ? kTimeNever : RealClock::Instance().NowNs() + timeout_ns;
+  for (;;) {
+    Result<ReceiveResult> result = Receive();
+    if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
+      return result;
+    }
+    DurationNs remaining = -1;
+    if (deadline != kTimeNever) {
+      remaining = deadline - RealClock::Instance().NowNs();
+      if (remaining <= 0) {
+        return TimedOutStatus();
+      }
+    }
+    const Status wait_status = semaphore->Wait(priority, remaining);
+    if (!wait_status.ok()) {
+      return wait_status;
+    }
+  }
+}
+
+}  // namespace flipc

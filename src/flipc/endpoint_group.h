@@ -1,0 +1,78 @@
+// EndpointGroup (paper, Architecture and Design).
+//
+// "An endpoint group logically combines multiple endpoints into a single
+// abstraction. FLIPC supports a receive operation that retrieves a message
+// from an endpoint if there is an available message on any endpoint in the
+// group. This operation is implemented entirely in the library because the
+// resource control model's association of buffers with endpoints makes it
+// infeasible to merge the endpoint buffer queues."
+//
+// Accordingly, this class holds no shared-memory state of its own: it is a
+// library-side list of member endpoints plus one real-time semaphore that
+// every member signals on delivery, scanned round-robin for fairness.
+#ifndef SRC_FLIPC_ENDPOINT_GROUP_H_
+#define SRC_FLIPC_ENDPOINT_GROUP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/flipc/endpoint.h"
+#include "src/flipc/message_buffer.h"
+#include "src/simos/real_time_semaphore.h"
+
+namespace flipc {
+
+class Domain;
+
+class EndpointGroup {
+ public:
+  struct ReceiveResult {
+    MessageBuffer buffer;
+    Endpoint endpoint;  // which member delivered
+  };
+
+  // Allocates the group's semaphore from the domain's table. Endpoints
+  // join by being created with EndpointOptions::group pointing here.
+  static Result<std::unique_ptr<EndpointGroup>> Create(Domain& domain);
+
+  ~EndpointGroup();
+  EndpointGroup(const EndpointGroup&) = delete;
+  EndpointGroup& operator=(const EndpointGroup&) = delete;
+
+  // Retrieves a message from any member endpoint (round-robin scan
+  // starting after the last successful member). kUnavailable if none.
+  Result<ReceiveResult> Receive();
+
+  // Blocking variant via the group's real-time semaphore.
+  Result<ReceiveResult> ReceiveBlocking(simos::Priority priority = simos::kMinPriority,
+                                        DurationNs timeout_ns = -1);
+
+  std::uint32_t semaphore_id() const { return semaphore_id_; }
+  std::size_t size() const;
+
+  // Removes an endpoint from the group's scan set (e.g. before destroying
+  // it). The endpoint keeps signaling the group's semaphore until it is
+  // destroyed, so remove-then-drain-then-destroy is the safe order.
+  void RemoveMember(const Endpoint& endpoint);
+
+ private:
+  friend class Domain;
+
+  EndpointGroup(Domain& domain, std::uint32_t semaphore_id);
+
+  // Called by Domain::CreateEndpoint.
+  void AddMember(const Endpoint& endpoint);
+
+  Domain& domain_;
+  std::uint32_t semaphore_id_;
+
+  mutable std::mutex mutex_;  // guards members_ and cursor_ (library-side)
+  std::vector<Endpoint> members_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace flipc
+
+#endif  // SRC_FLIPC_ENDPOINT_GROUP_H_

@@ -1,0 +1,33 @@
+// FLIPC public API umbrella header.
+//
+// Quickstart (see examples/quickstart.cpp for the runnable version):
+//
+//   auto cluster = *flipc::Cluster::Create({.node_count = 2});
+//   cluster->Start();
+//   flipc::Domain& a = cluster->domain(0);
+//   flipc::Domain& b = cluster->domain(1);
+//
+//   // Receiver: create an endpoint and post a buffer into it (step 1).
+//   auto rx = *b.CreateEndpoint({.type = flipc::shm::EndpointType::kReceive});
+//   auto rx_buf = *b.AllocateBuffer();
+//   rx.PostBuffer(rx_buf);
+//
+//   // Sender: create a send endpoint and send (step 2).
+//   auto tx = *a.CreateEndpoint({.type = flipc::shm::EndpointType::kSend});
+//   auto msg = *a.AllocateBuffer();
+//   msg.Write("hello", 5);
+//   tx.Send(msg, rx.address());
+//
+//   // Steps 4 and 5: receive on b, reclaim the send buffer on a.
+//   // (Poll, or use the Blocking variants / EndpointGroup.)
+#ifndef SRC_FLIPC_FLIPC_H_
+#define SRC_FLIPC_FLIPC_H_
+
+#include "src/flipc/cluster.h"
+#include "src/flipc/domain.h"
+#include "src/flipc/endpoint.h"
+#include "src/flipc/endpoint_group.h"
+#include "src/flipc/message_buffer.h"
+#include "src/shm/address.h"
+
+#endif  // SRC_FLIPC_FLIPC_H_

@@ -1,0 +1,84 @@
+// MessageBuffer: the application's handle to one fixed-size message buffer
+// inside the communication buffer.
+//
+// "FLIPC shields applications from buffer alignment restrictions by
+// internalizing all message buffers. An application must call FLIPC to
+// allocate a message buffer, allowing the implementation to ensure that all
+// such buffers are correctly aligned."
+//
+// The handle is a cheap copyable (domain, index) pair; the bytes live in
+// the communication buffer and are valid for the domain's lifetime.
+#ifndef SRC_FLIPC_MESSAGE_BUFFER_H_
+#define SRC_FLIPC_MESSAGE_BUFFER_H_
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "src/shm/address.h"
+#include "src/shm/comm_buffer.h"
+#include "src/waitfree/msg_state.h"
+
+namespace flipc {
+
+class Domain;
+
+class MessageBuffer {
+ public:
+  MessageBuffer() = default;
+
+  bool valid() const { return view_.valid(); }
+  waitfree::BufferIndex index() const { return index_; }
+
+  // Application payload (message size minus the 8-byte internal header).
+  std::byte* data() { return view_.payload; }
+  const std::byte* data() const { return view_.payload; }
+  std::size_t size() const { return view_.payload_size; }
+
+  // Copies `n` bytes into the payload; false if it does not fit.
+  bool Write(const void* bytes, std::size_t n, std::size_t offset = 0) {
+    if (offset + n > size()) {
+      return false;
+    }
+    std::memcpy(view_.payload + offset, bytes, n);
+    return true;
+  }
+
+  bool Read(void* bytes, std::size_t n, std::size_t offset = 0) const {
+    if (offset + n > size()) {
+      return false;
+    }
+    std::memcpy(bytes, view_.payload + offset, n);
+    return true;
+  }
+
+  // Typed overlay on the payload. T must fit and be trivially copyable.
+  template <typename T>
+  T* As() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return sizeof(T) <= size() ? reinterpret_cast<T*>(view_.payload) : nullptr;
+  }
+
+  // After a completed receive: the sender's endpoint address (how the
+  // receiver learns whom to reply to).
+  Address peer() const { return view_.header->peer_address(); }
+
+  // Polls the wait-free per-buffer state field: true once the engine has
+  // finished processing this buffer (sent it, or filled it with a message).
+  bool completed() const { return view_.header->state.IsCompleted(); }
+
+ private:
+  friend class Domain;
+  friend class Endpoint;
+
+  MessageBuffer(waitfree::BufferIndex index, shm::MsgView view) : index_(index), view_(view) {}
+
+  shm::MsgHeader* header() { return view_.header; }
+
+  waitfree::BufferIndex index_ = waitfree::kInvalidBuffer;
+  shm::MsgView view_;
+};
+
+}  // namespace flipc
+
+#endif  // SRC_FLIPC_MESSAGE_BUFFER_H_

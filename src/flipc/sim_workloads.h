@@ -1,0 +1,87 @@
+// Simulated application workloads.
+//
+// The paper's measurements come from "a test program that measures the time
+// consumed by multiple two-way message exchanges between a pair of nodes";
+// RunPingPong is that test program as a discrete-event actor: the real
+// FLIPC API calls execute against the real communication buffer, while the
+// application-side costs (library call time, test-and-set locks, cache
+// effects) are charged to virtual time from the PlatformModel — mirroring
+// how the engine side charges its own costs.
+//
+// RunStream is the bandwidth counterpart used for the interconnect
+// utilisation experiment (E6): a sender keeps its endpoint full, a receiver
+// keeps buffers posted, and the achieved rate emerges from the pipeline's
+// bottleneck (engine per-message cost vs wire serialization).
+#ifndef SRC_FLIPC_SIM_WORKLOADS_H_
+#define SRC_FLIPC_SIM_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/flipc/cluster.h"
+
+namespace flipc::sim {
+
+struct PingPongConfig {
+  NodeId node_a = 0;
+  NodeId node_b = 1;
+  // Two-way exchanges to run (each contributes two one-way samples).
+  std::uint32_t exchanges = 200;
+  // Exchanges before the caches reach steady state; earlier exchanges skip
+  // the modeled steady-state cache-interference penalty (paper: short runs
+  // are ~3 us faster).
+  std::uint32_t cache_warm_exchanges = 8;
+  // Use the locked interface variants (bus-locked test-and-set per call).
+  bool locked_variants = false;
+  // Model the pre-tuning unpadded layout on the application side (the
+  // engine side is configured via EngineOptions::model_unpadded_layout).
+  bool model_unpadded_layout = false;
+  // Standard deviation of a zero-mean noise term added to each side's
+  // application cost, reproducing the paper's measurement spread
+  // (sigma 0.5-0.65 us in Figure 4). Deterministic (seeded); 0 disables.
+  DurationNs jitter_stddev_ns = 0;
+  std::uint64_t jitter_seed = 1996;
+  // 0 (default): record steady-state samples only (one-ways after the
+  // cache-cold window), as the paper's Figure 4 does. Nonzero: record
+  // exactly the first N one-way samples — the start-up transient view.
+  std::uint32_t record_first = 0;
+};
+
+struct PingPongResult {
+  RunningStats one_way_ns;
+  std::vector<double> samples_ns;
+  TimeNs finished_at = 0;
+};
+
+// Runs the ping-pong between two nodes of the cluster; the cluster must be
+// freshly created (it allocates endpoints and buffers itself).
+Result<PingPongResult> RunPingPong(SimCluster& cluster, const PingPongConfig& config);
+
+struct StreamConfig {
+  NodeId sender = 0;
+  NodeId receiver = 1;
+  std::uint32_t pipeline_depth = 8;  // buffers in flight (send queue depth)
+  std::uint64_t total_messages = 500;
+};
+
+struct StreamResult {
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t payload_bytes = 0;
+  TimeNs first_send_ns = 0;
+  TimeNs last_delivery_ns = 0;
+
+  double ThroughputMBps() const {
+    const double seconds =
+        static_cast<double>(last_delivery_ns - first_send_ns) / 1e9;
+    return seconds <= 0 ? 0.0
+                        : static_cast<double>(payload_bytes) / (1024.0 * 1024.0) / seconds;
+  }
+};
+
+Result<StreamResult> RunStream(SimCluster& cluster, const StreamConfig& config);
+
+}  // namespace flipc::sim
+
+#endif  // SRC_FLIPC_SIM_WORKLOADS_H_

@@ -1,0 +1,160 @@
+#include "src/flow/bulk_channel.h"
+
+#include <cstring>
+
+#include "src/base/checksum.h"
+#include "src/base/log.h"
+
+namespace flipc::flow {
+
+// ================================ BulkSender ================================
+
+Result<BulkSender> BulkSender::Create(Domain& domain, Endpoint data_tx, Endpoint credit_rx,
+                                      Address peer_data_rx, std::uint32_t window) {
+  if (domain.payload_size() <= kBulkFragHeaderSize) {
+    return InvalidArgumentStatus();  // messages too small to carry fragments
+  }
+  FLIPC_ASSIGN_OR_RETURN(
+      WindowSender sender,
+      WindowSender::Create(domain, data_tx, credit_rx, peer_data_rx, window));
+  const auto frag_data =
+      static_cast<std::uint32_t>(domain.payload_size() - kBulkFragHeaderSize);
+  return BulkSender(domain, std::move(sender), frag_data);
+}
+
+Result<std::uint32_t> BulkSender::Start(const std::byte* data, std::size_t size) {
+  if (data == nullptr || size == 0) {
+    return InvalidArgumentStatus();
+  }
+  PendingTransfer transfer;
+  transfer.id = next_id_++;
+  transfer.data = data;
+  transfer.size = size;
+  transfer.frag_count =
+      static_cast<std::uint32_t>((size + frag_data_bytes_ - 1) / frag_data_bytes_);
+  transfer.checksum = Fnv1a(data, size);
+  queue_.push_back(transfer);
+  return transfer.id;
+}
+
+bool BulkSender::SendOneFragment(PendingTransfer& transfer) {
+  // Recycle completed fragment buffers before allocating new ones.
+  MessageBuffer buffer;
+  for (;;) {
+    Result<MessageBuffer> reclaimed = sender_.Reclaim();
+    if (!reclaimed.ok()) {
+      break;
+    }
+    buffer_pool_.push_back(*reclaimed);
+  }
+  if (!buffer_pool_.empty()) {
+    buffer = buffer_pool_.front();
+    buffer_pool_.pop_front();
+  } else {
+    Result<MessageBuffer> fresh = domain_->AllocateBuffer();
+    if (!fresh.ok()) {
+      return false;
+    }
+    buffer = *fresh;
+  }
+
+  const std::uint64_t start =
+      static_cast<std::uint64_t>(transfer.next_frag) * frag_data_bytes_;
+  const std::size_t bytes =
+      transfer.size - start < frag_data_bytes_ ? transfer.size - start : frag_data_bytes_;
+
+  BulkFragHeader header{};
+  header.transfer_id = transfer.id;
+  header.frag_index = transfer.next_frag;
+  header.frag_count = transfer.frag_count;
+  header.frag_bytes = static_cast<std::uint32_t>(bytes);
+  header.total_bytes = transfer.size;
+  header.checksum = transfer.checksum;
+  buffer.Write(&header, sizeof(header));
+  buffer.Write(transfer.data + start, bytes, kBulkFragHeaderSize);
+
+  if (!sender_.Send(buffer).ok()) {
+    buffer_pool_.push_back(buffer);  // no credit: retry on the next Pump()
+    return false;
+  }
+  ++fragments_sent_;
+  ++transfer.next_frag;
+  return true;
+}
+
+bool BulkSender::Pump() {
+  sender_.PollCredits();
+  while (!queue_.empty()) {
+    PendingTransfer& transfer = queue_.front();
+    while (transfer.next_frag < transfer.frag_count) {
+      if (!SendOneFragment(transfer)) {
+        return true;  // window closed or buffers exhausted; still in progress
+      }
+    }
+    last_completed_id_ = transfer.id;
+    queue_.pop_front();
+  }
+  return false;
+}
+
+bool BulkSender::SendComplete(std::uint32_t transfer_id) const {
+  return transfer_id <= last_completed_id_;
+}
+
+// =============================== BulkReceiver ===============================
+
+Result<BulkReceiver> BulkReceiver::Create(Domain& domain, Endpoint data_rx,
+                                          Endpoint credit_tx, Address peer_credit_rx,
+                                          std::uint32_t window) {
+  if (domain.payload_size() <= kBulkFragHeaderSize) {
+    return InvalidArgumentStatus();
+  }
+  FLIPC_ASSIGN_OR_RETURN(
+      WindowReceiver receiver,
+      WindowReceiver::Create(domain, data_rx, credit_tx, peer_credit_rx, window,
+                             /*batch=*/window > 4 ? window / 4 : 1));
+  return BulkReceiver(domain, std::move(receiver));
+}
+
+Result<BulkReceiver::Transfer> BulkReceiver::Poll() {
+  for (;;) {
+    Result<MessageBuffer> message = receiver_.Receive();
+    if (!message.ok()) {
+      return UnavailableStatus();
+    }
+    BulkFragHeader header;
+    if (!message->Read(&header, sizeof(header)) || header.frag_count == 0 ||
+        header.frag_index >= header.frag_count) {
+      FLIPC_LOG(kWarning) << "bulk: malformed fragment discarded";
+      (void)receiver_.Release(*message);
+      continue;
+    }
+
+    Assembly& assembly = assemblies_[header.transfer_id];
+    if (assembly.data.empty()) {
+      assembly.data.resize(header.total_bytes);
+      assembly.frag_count = header.frag_count;
+      assembly.checksum = header.checksum;
+    }
+    const std::uint64_t start =
+        static_cast<std::uint64_t>(header.frag_index) *
+        (domain_->payload_size() - kBulkFragHeaderSize);
+    if (start + header.frag_bytes <= assembly.data.size()) {
+      message->Read(assembly.data.data() + start, header.frag_bytes, kBulkFragHeaderSize);
+      ++assembly.frags_seen;
+      ++fragments_received_;
+    }
+    (void)receiver_.Release(*message);
+
+    if (assembly.frags_seen == assembly.frag_count) {
+      Transfer out;
+      out.id = header.transfer_id;
+      out.data = std::move(assembly.data);
+      out.checksum_ok = Fnv1a(out.data.data(), out.data.size()) == assembly.checksum;
+      assemblies_.erase(header.transfer_id);
+      return out;
+    }
+  }
+}
+
+}  // namespace flipc::flow

@@ -1,0 +1,168 @@
+#include "src/flow/rpc_channel.h"
+
+#include <cstring>
+
+namespace flipc::flow {
+
+// ================================ RpcServer =================================
+
+Result<std::unique_ptr<RpcServer>> RpcServer::Create(Domain& domain, const RpcServerPlan& plan,
+                                                     Handler handler) {
+  if (plan.clients == 0 || handler == nullptr) {
+    return InvalidArgumentStatus();
+  }
+  auto server = std::unique_ptr<RpcServer>(new RpcServer(domain, std::move(handler)));
+
+  Domain::EndpointOptions rx;
+  rx.type = shm::EndpointType::kReceive;
+  rx.queue_depth = plan.RequiredQueueDepth();
+  rx.enable_semaphore = domain.semaphores() != nullptr;
+  FLIPC_ASSIGN_OR_RETURN(server->request_rx_, domain.CreateEndpoint(rx));
+
+  Domain::EndpointOptions tx;
+  tx.type = shm::EndpointType::kSend;
+  tx.queue_depth = plan.RequiredQueueDepth();
+  FLIPC_ASSIGN_OR_RETURN(server->reply_tx_, domain.CreateEndpoint(tx));
+
+  // Static reservation: one posted receive buffer per possible in-flight
+  // request; no runtime flow control needed (paper's RPC example).
+  for (std::uint32_t i = 0; i < plan.RequiredReceiveBuffers(); ++i) {
+    FLIPC_ASSIGN_OR_RETURN(MessageBuffer buffer, domain.AllocateBuffer());
+    FLIPC_RETURN_IF_ERROR(server->request_rx_.PostBuffer(buffer));
+  }
+  return server;
+}
+
+Status RpcServer::ServeMessage(MessageBuffer request) {
+  RpcHeader header;
+  if (!request.Read(&header, sizeof(header))) {
+    (void)request_rx_.PostBuffer(request);  // Malformed; recycle the buffer.
+    return InvalidArgumentStatus();
+  }
+
+  // Reuse a completed reply buffer if one is reclaimable; allocate otherwise.
+  Result<MessageBuffer> reply = reply_tx_.Reclaim();
+  if (!reply.ok()) {
+    reply = domain_.AllocateBuffer();
+    if (!reply.ok()) {
+      (void)request_rx_.PostBuffer(request);
+      return reply.status();
+    }
+  }
+
+  const std::size_t reply_capacity = reply->size() - kRpcHeaderSize;
+  std::size_t request_size = header.length;
+  if (request_size > request.size() - kRpcHeaderSize) {
+    request_size = request.size() - kRpcHeaderSize;  // malformed length: clamp
+  }
+  const std::size_t reply_size =
+      handler_(request.data() + kRpcHeaderSize, request_size,
+               reply->data() + kRpcHeaderSize, reply_capacity);
+  const RpcHeader reply_header{0, header.request_id,
+                               static_cast<std::uint32_t>(reply_size)};
+  reply->Write(&reply_header, sizeof(reply_header));
+
+  // Figure 2 step 1 again — and strictly BEFORE the reply goes out: the
+  // static-reservation invariant is "every client that can send already has
+  // a buffer posted for it". The reply authorizes the client's next call,
+  // so the request buffer must be back on the endpoint first; re-posting
+  // after the send races the client's next request and can drop it.
+  FLIPC_RETURN_IF_ERROR(request_rx_.PostBuffer(request));
+
+  const Status sent = reply_tx_.Send(*reply, Address::FromPacked(header.reply_to));
+  if (sent.ok()) {
+    ++served_;
+  }
+  return sent;
+}
+
+Status RpcServer::ServeOnce() {
+  FLIPC_ASSIGN_OR_RETURN(MessageBuffer request, request_rx_.Receive());
+  return ServeMessage(std::move(request));
+}
+
+Status RpcServer::ServeBlocking(simos::Priority priority, DurationNs timeout_ns) {
+  FLIPC_ASSIGN_OR_RETURN(MessageBuffer request,
+                         request_rx_.ReceiveBlocking(priority, timeout_ns));
+  return ServeMessage(std::move(request));
+}
+
+// ================================ RpcClient =================================
+
+Result<std::unique_ptr<RpcClient>> RpcClient::Create(Domain& domain, Address server,
+                                                     const RpcClientPlan& plan) {
+  if (!server.valid() || plan.in_flight == 0) {
+    return InvalidArgumentStatus();
+  }
+  auto client = std::unique_ptr<RpcClient>(new RpcClient(domain, server));
+
+  std::uint32_t depth = 1;
+  while (depth < plan.in_flight) {
+    depth <<= 1;
+  }
+
+  Domain::EndpointOptions tx;
+  tx.type = shm::EndpointType::kSend;
+  tx.queue_depth = depth;
+  FLIPC_ASSIGN_OR_RETURN(client->request_tx_, domain.CreateEndpoint(tx));
+
+  Domain::EndpointOptions rx;
+  rx.type = shm::EndpointType::kReceive;
+  rx.queue_depth = depth;
+  rx.enable_semaphore = domain.semaphores() != nullptr;
+  FLIPC_ASSIGN_OR_RETURN(client->reply_rx_, domain.CreateEndpoint(rx));
+
+  for (std::uint32_t i = 0; i < plan.RequiredReceiveBuffers(); ++i) {
+    FLIPC_ASSIGN_OR_RETURN(MessageBuffer buffer, domain.AllocateBuffer());
+    FLIPC_RETURN_IF_ERROR(client->reply_rx_.PostBuffer(buffer));
+  }
+  return client;
+}
+
+Result<std::size_t> RpcClient::Call(const void* request, std::size_t request_size, void* reply,
+                                    std::size_t reply_capacity, DurationNs timeout_ns) {
+  // Reclaim the previous request buffer or allocate the first one.
+  Result<MessageBuffer> buffer = request_tx_.Reclaim();
+  if (!buffer.ok()) {
+    buffer = domain_.AllocateBuffer();
+    if (!buffer.ok()) {
+      return buffer.status();
+    }
+  }
+  if (request_size + kRpcHeaderSize > buffer->size()) {
+    return InvalidArgumentStatus();
+  }
+
+  const RpcHeader header{reply_rx_.address().packed(), next_id_++,
+                         static_cast<std::uint32_t>(request_size)};
+  buffer->Write(&header, sizeof(header));
+  buffer->Write(request, request_size, kRpcHeaderSize);
+  FLIPC_RETURN_IF_ERROR(request_tx_.Send(*buffer, server_));
+  ++calls_;
+
+  for (;;) {
+    FLIPC_ASSIGN_OR_RETURN(MessageBuffer message,
+                           reply_rx_.ReceiveBlocking(simos::kMinPriority, timeout_ns));
+    RpcHeader reply_header;
+    message.Read(&reply_header, sizeof(reply_header));
+    const bool ours = reply_header.request_id == header.request_id;
+    std::size_t n = 0;
+    if (ours) {
+      n = reply_header.length;
+      if (n > message.size() - kRpcHeaderSize) {
+        n = message.size() - kRpcHeaderSize;
+      }
+      if (n > reply_capacity) {
+        n = reply_capacity;
+      }
+      std::memcpy(reply, message.data() + kRpcHeaderSize, n);
+    }
+    FLIPC_RETURN_IF_ERROR(reply_rx_.PostBuffer(message));
+    if (ours) {
+      return n;
+    }
+    // A stale reply (e.g. from a timed-out earlier call): keep waiting.
+  }
+}
+
+}  // namespace flipc::flow

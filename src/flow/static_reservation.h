@@ -1,0 +1,91 @@
+// Static buffer-reservation calculators.
+//
+// Paper, Message Transfer: "In some cases, static properties of the
+// application structure may remove the need for runtime flow control."
+// The two worked examples are reproduced as calculators applications can
+// evaluate at configuration time:
+//
+//   * an RPC server with a fixed client set sizes its receive endpoint by
+//     the maximum number of simultaneously outstanding requests;
+//   * a strictly periodic system sizes buffering from the producers'
+//     periods and the consumer's service time (worst-case arrivals while
+//     one service interval is in progress).
+#ifndef SRC_FLOW_STATIC_RESERVATION_H_
+#define SRC_FLOW_STATIC_RESERVATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace flipc::flow {
+
+// ---- RPC structure --------------------------------------------------------
+
+struct RpcServerPlan {
+  std::uint32_t clients = 0;
+  std::uint32_t in_flight_per_client = 1;
+
+  // Receive buffers the server must keep posted so no request is ever
+  // dropped: every client may have all its permitted calls in flight.
+  std::uint32_t RequiredReceiveBuffers() const { return clients * in_flight_per_client; }
+
+  // Queue depth must be a power of two at least that large.
+  std::uint32_t RequiredQueueDepth() const {
+    std::uint32_t depth = 1;
+    while (depth < RequiredReceiveBuffers()) {
+      depth <<= 1;
+    }
+    return depth;
+  }
+};
+
+struct RpcClientPlan {
+  std::uint32_t in_flight = 1;
+
+  // The client needs buffers for requests in flight plus posted reply
+  // buffers for every outstanding call.
+  std::uint32_t RequiredSendBuffers() const { return in_flight; }
+  std::uint32_t RequiredReceiveBuffers() const { return in_flight; }
+};
+
+// ---- Strictly periodic structure -------------------------------------------
+
+struct PeriodicProducer {
+  DurationNs period_ns = 0;   // one message per period
+  std::uint32_t burst = 1;    // messages released back-to-back per period
+};
+
+struct PeriodicPlan {
+  std::vector<PeriodicProducer> producers;
+  // Consumer drains the endpoint at least once per service interval.
+  DurationNs service_interval_ns = 0;
+
+  // Worst-case messages that can arrive within one service interval:
+  // for each producer, ceil(interval / period) + 1 periods may start
+  // (release-boundary effect), each contributing `burst` messages.
+  std::uint32_t RequiredReceiveBuffers() const {
+    std::uint64_t total = 0;
+    for (const PeriodicProducer& p : producers) {
+      if (p.period_ns <= 0) {
+        continue;
+      }
+      const std::uint64_t periods =
+          static_cast<std::uint64_t>((service_interval_ns + p.period_ns - 1) / p.period_ns) + 1;
+      total += periods * p.burst;
+    }
+    return static_cast<std::uint32_t>(total);
+  }
+
+  std::uint32_t RequiredQueueDepth() const {
+    std::uint32_t depth = 1;
+    while (depth < RequiredReceiveBuffers()) {
+      depth <<= 1;
+    }
+    return depth;
+  }
+};
+
+}  // namespace flipc::flow
+
+#endif  // SRC_FLOW_STATIC_RESERVATION_H_

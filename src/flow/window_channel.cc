@@ -1,0 +1,92 @@
+#include "src/flow/window_channel.h"
+
+namespace flipc::flow {
+
+Result<WindowSender> WindowSender::Create(Domain& domain, Endpoint data_tx, Endpoint credit_rx,
+                                          Address peer_data_rx, std::uint32_t window) {
+  if (window == 0 || data_tx.queue_capacity() < window) {
+    return InvalidArgumentStatus();
+  }
+  WindowSender sender(domain, data_tx, credit_rx, peer_data_rx, window);
+
+  // Post buffers for inbound credit messages: one per possible outstanding
+  // credit batch is enough; window covers the worst case (batch == 1).
+  for (std::uint32_t i = 0; i < window && i < credit_rx.queue_capacity(); ++i) {
+    FLIPC_ASSIGN_OR_RETURN(MessageBuffer buffer, domain.AllocateBuffer());
+    FLIPC_RETURN_IF_ERROR(sender.credit_rx_.PostBuffer(buffer));
+  }
+  return sender;
+}
+
+Status WindowSender::Send(MessageBuffer& buffer) {
+  if (credits_ == 0) {
+    PollCredits();
+    if (credits_ == 0) {
+      return UnavailableStatus();
+    }
+  }
+  FLIPC_RETURN_IF_ERROR(data_tx_.Send(buffer, peer_));
+  --credits_;
+  return OkStatus();
+}
+
+std::uint32_t WindowSender::PollCredits() {
+  std::uint32_t banked = 0;
+  for (;;) {
+    Result<MessageBuffer> message = credit_rx_.Receive();
+    if (!message.ok()) {
+      break;
+    }
+    const CreditMsg* credit = message->As<CreditMsg>();
+    if (credit != nullptr) {
+      banked += credit->credits;
+    }
+    // Re-post the credit buffer for the next batch.
+    (void)credit_rx_.PostBuffer(*message);
+  }
+  credits_ += banked;
+  return banked;
+}
+
+Result<WindowReceiver> WindowReceiver::Create(Domain& domain, Endpoint data_rx,
+                                              Endpoint credit_tx, Address peer_credit_rx,
+                                              std::uint32_t window, std::uint32_t batch) {
+  if (window == 0 || batch == 0 || batch > window || data_rx.queue_capacity() < window) {
+    return InvalidArgumentStatus();
+  }
+  WindowReceiver receiver(domain, data_rx, credit_tx, peer_credit_rx, batch);
+  for (std::uint32_t i = 0; i < window; ++i) {
+    FLIPC_ASSIGN_OR_RETURN(MessageBuffer buffer, domain.AllocateBuffer());
+    FLIPC_RETURN_IF_ERROR(receiver.data_rx_.PostBuffer(buffer));
+  }
+  return receiver;
+}
+
+Status WindowReceiver::Release(MessageBuffer buffer) {
+  FLIPC_RETURN_IF_ERROR(data_rx_.PostBuffer(buffer));
+  ++pending_credits_;
+  if (pending_credits_ < batch_) {
+    return OkStatus();
+  }
+
+  // Send the batched credit. The credit channel needs its own send buffer;
+  // reclaim a completed one first so the channel stays self-sustaining
+  // with at most `window` buffers.
+  Result<MessageBuffer> credit_buffer = credit_tx_.Reclaim();
+  if (!credit_buffer.ok()) {
+    credit_buffer = domain_->AllocateBuffer();
+    if (!credit_buffer.ok()) {
+      return credit_buffer.status();
+    }
+  }
+  CreditMsg* credit = credit_buffer->As<CreditMsg>();
+  if (credit == nullptr) {
+    return InternalStatus();
+  }
+  credit->credits = pending_credits_;
+  FLIPC_RETURN_IF_ERROR(credit_tx_.Send(*credit_buffer, peer_));
+  pending_credits_ = 0;
+  return OkStatus();
+}
+
+}  // namespace flipc::flow

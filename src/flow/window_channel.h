@@ -1,0 +1,108 @@
+// Window (credit) flow control over FLIPC.
+//
+// Paper, Message Transfer: "Flow control to avoid discarded messages can be
+// provided either by applications or by libraries designed to fit between
+// applications and FLIPC. This structure greatly simplifies the buffer
+// management logic in FLIPC and allows flow control policies to be
+// customized to application needs." The window protocol here is the same
+// style PAM used for its active-message facility.
+//
+// Protocol: the receiver keeps `window` buffers posted on its data
+// endpoint. The sender starts with `window` credits and spends one per
+// Send(). After the receiver consumes a message and re-posts the buffer, it
+// accumulates a credit; credits are returned in batches over a reverse
+// FLIPC channel (a small credit message), and the sender's PollCredits()
+// banks them. Invariant: messages in flight never exceed posted buffers,
+// so the data endpoint's optimistic transport never discards.
+#ifndef SRC_FLOW_WINDOW_CHANNEL_H_
+#define SRC_FLOW_WINDOW_CHANNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/flipc/domain.h"
+#include "src/flipc/endpoint.h"
+
+namespace flipc::flow {
+
+// Payload of a credit message.
+struct CreditMsg {
+  std::uint32_t credits;
+};
+
+class WindowSender {
+ public:
+  // `data_tx`   — send endpoint for data messages (queue depth >= window).
+  // `credit_rx` — receive endpoint for returning credits.
+  // The sender posts `credit_buffers` buffers on credit_rx itself.
+  static Result<WindowSender> Create(Domain& domain, Endpoint data_tx, Endpoint credit_rx,
+                                     Address peer_data_rx, std::uint32_t window);
+
+  // Sends the buffer if a credit is available; kUnavailable otherwise
+  // (call PollCredits / Reclaim and retry — or size the window so this
+  // never happens, the paper's static-reservation style).
+  Status Send(MessageBuffer& buffer);
+
+  // Drains the credit channel; returns credits banked.
+  std::uint32_t PollCredits();
+
+  // Recovers completed send buffers (Figure 2, step 5).
+  Result<MessageBuffer> Reclaim() { return data_tx_.Reclaim(); }
+
+  std::uint32_t credits() const { return credits_; }
+  Endpoint& data_endpoint() { return data_tx_; }
+
+ private:
+  WindowSender(Domain& domain, Endpoint data_tx, Endpoint credit_rx, Address peer,
+               std::uint32_t window)
+      : domain_(&domain),
+        data_tx_(data_tx),
+        credit_rx_(credit_rx),
+        peer_(peer),
+        credits_(window) {}
+
+  Domain* domain_;
+  Endpoint data_tx_;
+  Endpoint credit_rx_;
+  Address peer_;
+  std::uint32_t credits_;
+};
+
+class WindowReceiver {
+ public:
+  // `data_rx`   — receive endpoint (depth >= window); `window` buffers are
+  //               allocated and posted by Create().
+  // `credit_tx` — send endpoint addressing the sender's credit_rx.
+  // `batch`     — credits accumulated before a credit message is sent
+  //               (1 = immediate; larger amortizes the reverse traffic).
+  static Result<WindowReceiver> Create(Domain& domain, Endpoint data_rx, Endpoint credit_tx,
+                                       Address peer_credit_rx, std::uint32_t window,
+                                       std::uint32_t batch = 1);
+
+  // Retrieves the next message, if any. The caller must hand the buffer
+  // back via Release() when done with the payload.
+  Result<MessageBuffer> Receive() { return data_rx_.Receive(); }
+
+  // Re-posts the buffer and returns credit to the sender (batched).
+  Status Release(MessageBuffer buffer);
+
+  Endpoint& data_endpoint() { return data_rx_; }
+  Address data_address() const { return data_rx_.address(); }
+
+ private:
+  WindowReceiver(Domain& domain, Endpoint data_rx, Endpoint credit_tx, Address peer,
+                 std::uint32_t batch)
+      : domain_(&domain), data_rx_(data_rx), credit_tx_(credit_tx), peer_(peer), batch_(batch) {}
+
+  Domain* domain_;
+  Endpoint data_rx_;
+  Endpoint credit_tx_;
+  Address peer_;
+  std::uint32_t batch_;
+  std::uint32_t pending_credits_ = 0;
+};
+
+}  // namespace flipc::flow
+
+#endif  // SRC_FLOW_WINDOW_CHANNEL_H_

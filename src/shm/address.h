@@ -1,0 +1,50 @@
+// FLIPC endpoint addressing.
+//
+// Paper: "FLIPC message destinations (receive endpoint addresses) are opaque
+// and determined by the system. This requires receivers to obtain endpoint
+// addresses of endpoints they have allocated from FLIPC and pass those
+// addresses to senders." FLIPC has no name service; applications move these
+// addresses around themselves (our examples pass them through bootstrap
+// messages or program arguments).
+//
+// An address packs (node, endpoint index) into 32 bits so it fits in the
+// 8-byte per-message internal header alongside the state word.
+#ifndef SRC_SHM_ADDRESS_H_
+#define SRC_SHM_ADDRESS_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace flipc {
+
+class Address {
+ public:
+  constexpr Address() = default;
+  constexpr Address(std::uint16_t node, std::uint16_t endpoint)
+      : packed_((static_cast<std::uint32_t>(node) << 16) | endpoint) {}
+
+  static constexpr Address FromPacked(std::uint32_t packed) {
+    Address a;
+    a.packed_ = packed;
+    return a;
+  }
+
+  static constexpr Address Invalid() { return FromPacked(0xffffffffu); }
+
+  constexpr std::uint32_t packed() const { return packed_; }
+  constexpr std::uint16_t node() const { return static_cast<std::uint16_t>(packed_ >> 16); }
+  constexpr std::uint16_t endpoint() const { return static_cast<std::uint16_t>(packed_ & 0xffffu); }
+
+  constexpr bool valid() const { return packed_ != 0xffffffffu; }
+
+  friend constexpr bool operator==(Address a, Address b) { return a.packed_ == b.packed_; }
+  friend constexpr bool operator!=(Address a, Address b) { return !(a == b); }
+
+ private:
+  std::uint32_t packed_ = 0xffffffffu;
+};
+
+}  // namespace flipc
+
+#endif  // SRC_SHM_ADDRESS_H_

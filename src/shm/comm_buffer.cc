@@ -1,0 +1,285 @@
+#include "src/shm/comm_buffer.h"
+
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include "src/base/log.h"
+
+namespace flipc::shm {
+
+Status CommBufferConfig::Validate() const {
+  if (message_size < kMinMessageSize || message_size % kMessageSizeMultiple != 0) {
+    return InvalidArgumentStatus();
+  }
+  if (buffer_count == 0 || buffer_count >= kInvalidBuffer) {
+    return InvalidArgumentStatus();
+  }
+  if (max_endpoints == 0 || max_endpoints > 0xffffu) {
+    // Endpoint indices must fit the 16-bit field of a packed Address.
+    return InvalidArgumentStatus();
+  }
+  if (effective_cell_arena_size() == 0) {
+    return InvalidArgumentStatus();
+  }
+  return OkStatus();
+}
+
+Result<CommBufferLayout> CommBufferLayout::For(const CommBufferConfig& config) {
+  FLIPC_RETURN_IF_ERROR(config.Validate());
+  CommBufferLayout layout;
+  std::size_t offset = AlignUp(sizeof(CommBufferHeader), kCacheLineSize);
+  layout.endpoint_table_offset = offset;
+  offset += static_cast<std::size_t>(config.max_endpoints) * sizeof(EndpointRecord);
+  layout.cell_arena_offset = AlignUp(offset, kCacheLineSize);
+  offset = layout.cell_arena_offset +
+           static_cast<std::size_t>(config.effective_cell_arena_size()) *
+               sizeof(waitfree::SingleWriterCell<BufferIndex>);
+  layout.freelist_offset = AlignUp(offset, kCacheLineSize);
+  offset = layout.freelist_offset +
+           static_cast<std::size_t>(config.buffer_count) * sizeof(std::uint32_t);
+  layout.buffers_offset = AlignUp(offset, kCacheLineSize);
+  offset = layout.buffers_offset +
+           static_cast<std::size_t>(config.buffer_count) * config.message_size;
+  layout.total_size = AlignUp(offset, kCacheLineSize);
+  return layout;
+}
+
+CommBuffer::CommBuffer(std::byte* base, bool owns) : base_(base), owns_(owns) {
+  header_ = reinterpret_cast<CommBufferHeader*>(base_);
+}
+
+CommBuffer::~CommBuffer() {
+  if (owns_) {
+    ::operator delete[](base_, std::align_val_t(kCacheLineSize));
+  }
+}
+
+Result<std::unique_ptr<CommBuffer>> CommBuffer::Create(const CommBufferConfig& config) {
+  FLIPC_ASSIGN_OR_RETURN(const CommBufferLayout layout, CommBufferLayout::For(config));
+  auto* raw = static_cast<std::byte*>(
+      ::operator new[](layout.total_size, std::align_val_t(kCacheLineSize), std::nothrow));
+  if (raw == nullptr) {
+    return ResourceExhaustedStatus();
+  }
+  auto buffer = std::unique_ptr<CommBuffer>(new CommBuffer(raw, /*owns=*/true));
+  buffer->FormatRegion(config, layout);
+  return buffer;
+}
+
+Result<std::unique_ptr<CommBuffer>> CommBuffer::Format(void* base, std::size_t size,
+                                                       const CommBufferConfig& config) {
+  FLIPC_ASSIGN_OR_RETURN(const CommBufferLayout layout, CommBufferLayout::For(config));
+  if (base == nullptr || size < layout.total_size ||
+      !IsAligned(reinterpret_cast<std::uintptr_t>(base), kCacheLineSize)) {
+    return InvalidArgumentStatus();
+  }
+  auto buffer = std::unique_ptr<CommBuffer>(
+      new CommBuffer(static_cast<std::byte*>(base), /*owns=*/false));
+  buffer->FormatRegion(config, layout);
+  return buffer;
+}
+
+Result<std::unique_ptr<CommBuffer>> CommBuffer::Attach(void* base, std::size_t size) {
+  if (base == nullptr || size < sizeof(CommBufferHeader) ||
+      !IsAligned(reinterpret_cast<std::uintptr_t>(base), kCacheLineSize)) {
+    return InvalidArgumentStatus();
+  }
+  const auto* header = static_cast<const CommBufferHeader*>(base);
+  if (header->magic != kCommBufferMagic || header->version != kCommBufferVersion) {
+    return InvalidArgumentStatus();
+  }
+  if (header->total_size > size) {
+    return InvalidArgumentStatus();
+  }
+  return std::unique_ptr<CommBuffer>(
+      new CommBuffer(static_cast<std::byte*>(base), /*owns=*/false));
+}
+
+void CommBuffer::FormatRegion(const CommBufferConfig& config, const CommBufferLayout& layout) {
+  std::memset(base_, 0, layout.total_size);
+
+  header_ = new (base_) CommBufferHeader();
+  header_->magic = kCommBufferMagic;
+  header_->version = kCommBufferVersion;
+  header_->message_size = config.message_size;
+  header_->buffer_count = config.buffer_count;
+  header_->max_endpoints = config.max_endpoints;
+  header_->cell_arena_size = config.effective_cell_arena_size();
+  header_->endpoint_table_offset = layout.endpoint_table_offset;
+  header_->cell_arena_offset = layout.cell_arena_offset;
+  header_->freelist_offset = layout.freelist_offset;
+  header_->buffers_offset = layout.buffers_offset;
+  header_->total_size = layout.total_size;
+
+  for (std::uint32_t i = 0; i < config.max_endpoints; ++i) {
+    new (&endpoint_table()[i]) EndpointRecord();
+  }
+
+  auto* cells = cell_arena();
+  for (std::uint32_t i = 0; i < header_->cell_arena_size; ++i) {
+    new (&cells[i]) waitfree::SingleWriterCell<BufferIndex>(kInvalidBuffer);
+  }
+
+  // Thread the buffer free list: each buffer's freelist slot names the next
+  // free buffer.
+  auto* next = freelist();
+  for (std::uint32_t i = 0; i < config.buffer_count; ++i) {
+    next[i] = (i + 1 < config.buffer_count) ? i + 1 : kInvalidBuffer;
+    new (&msg(i).header->state) waitfree::HandoffState();
+  }
+  header_->free_head = 0;
+  header_->free_count = config.buffer_count;
+  header_->cells_used = 0;
+  header_->endpoints_active = 0;
+}
+
+EndpointRecord* CommBuffer::endpoint_table() {
+  return reinterpret_cast<EndpointRecord*>(base_ + header_->endpoint_table_offset);
+}
+
+waitfree::SingleWriterCell<BufferIndex>* CommBuffer::cell_arena() {
+  return reinterpret_cast<waitfree::SingleWriterCell<BufferIndex>*>(
+      base_ + header_->cell_arena_offset);
+}
+
+std::uint32_t* CommBuffer::freelist() {
+  return reinterpret_cast<std::uint32_t*>(base_ + header_->freelist_offset);
+}
+
+MsgView CommBuffer::msg(BufferIndex index) {
+  MsgView view;
+  std::byte* start =
+      base_ + header_->buffers_offset + static_cast<std::size_t>(index) * header_->message_size;
+  view.header = reinterpret_cast<MsgHeader*>(start);
+  view.payload = start + kMsgHeaderSize;
+  view.payload_size = payload_size();
+  return view;
+}
+
+Result<BufferIndex> CommBuffer::AllocateBuffer() {
+  std::lock_guard<TasLock> guard(header_->alloc_lock);
+  if (header_->free_head == kInvalidBuffer) {
+    return ResourceExhaustedStatus();
+  }
+  const BufferIndex index = header_->free_head;
+  header_->free_head = freelist()[index];
+  --header_->free_count;
+  msg(index).header->state.Store(waitfree::MsgState::kFree);
+  return index;
+}
+
+Status CommBuffer::FreeBuffer(BufferIndex index) {
+  if (!IsValidBufferIndex(index)) {
+    return InvalidArgumentStatus();
+  }
+  std::lock_guard<TasLock> guard(header_->alloc_lock);
+  freelist()[index] = header_->free_head;
+  header_->free_head = index;
+  ++header_->free_count;
+  return OkStatus();
+}
+
+std::uint32_t CommBuffer::FreeBufferCount() {
+  std::lock_guard<TasLock> guard(header_->alloc_lock);
+  return header_->free_count;
+}
+
+Result<std::uint32_t> CommBuffer::AllocateEndpoint(const EndpointParams& params) {
+  if (!IsPowerOfTwo(params.queue_capacity)) {
+    return InvalidArgumentStatus();
+  }
+  if (params.type != EndpointType::kSend && params.type != EndpointType::kReceive) {
+    return InvalidArgumentStatus();
+  }
+
+  std::lock_guard<TasLock> guard(header_->alloc_lock);
+
+  // Prefer an inactive record whose prior cell reservation is big enough to
+  // reuse; otherwise take any inactive record and extend the arena.
+  std::uint32_t chosen = kInvalidEndpoint;
+  std::uint32_t fallback = kInvalidEndpoint;
+  for (std::uint32_t i = 0; i < header_->max_endpoints; ++i) {
+    EndpointRecord& record = endpoint_table()[i];
+    if (record.IsActive()) {
+      continue;
+    }
+    if (record.cells_reserved.ReadRelaxed() >= params.queue_capacity) {
+      chosen = i;
+      break;
+    }
+    if (fallback == kInvalidEndpoint) {
+      fallback = i;
+    }
+  }
+  if (chosen == kInvalidEndpoint) {
+    chosen = fallback;
+  }
+  if (chosen == kInvalidEndpoint) {
+    return ResourceExhaustedStatus();
+  }
+
+  EndpointRecord& record = endpoint_table()[chosen];
+  if (record.cells_reserved.ReadRelaxed() < params.queue_capacity) {
+    if (header_->cells_used + params.queue_capacity > header_->cell_arena_size) {
+      return ResourceExhaustedStatus();
+    }
+    record.cells_offset.StoreRelaxed(header_->cells_used);
+    record.cells_reserved.StoreRelaxed(params.queue_capacity);
+    header_->cells_used += params.queue_capacity;
+  }
+
+  record.queue_capacity.StoreRelaxed(params.queue_capacity);
+  record.semaphore_id.StoreRelaxed(params.semaphore_id);
+  record.priority.StoreRelaxed(params.priority);
+  record.options.StoreRelaxed(params.options);
+  record.allowed_peer.StoreRelaxed(params.allowed_peer);
+  record.min_send_interval_ns.StoreRelaxed(params.min_send_interval_ns);
+  record.release_count.StoreRelaxed(0);
+  record.acquire_count.StoreRelaxed(0);
+  record.process_count.StoreRelaxed(0);
+  record.drops_total.StoreRelaxed(0);
+  record.drops_reclaimed.StoreRelaxed(0);
+  record.processed_total.StoreRelaxed(0);
+
+  // Publish the type last: the engine treats a non-inactive type as the
+  // endpoint being live, and the release-store orders all the setup above.
+  record.type.Publish(static_cast<std::uint32_t>(params.type));
+  ++header_->endpoints_active;
+  return chosen;
+}
+
+Status CommBuffer::FreeEndpoint(std::uint32_t index) {
+  if (!IsValidEndpointIndex(index)) {
+    return InvalidArgumentStatus();
+  }
+  std::lock_guard<TasLock> guard(header_->alloc_lock);
+  EndpointRecord& record = endpoint_table()[index];
+  if (!record.IsActive()) {
+    return FailedPreconditionStatus();
+  }
+  // The queue must be fully drained (every released buffer acquired back),
+  // otherwise the engine may still be processing into endpoint buffers.
+  if (record.release_count.Read() != record.acquire_count.Read()) {
+    return FailedPreconditionStatus();
+  }
+  record.type.Publish(static_cast<std::uint32_t>(EndpointType::kInactive));
+  --header_->endpoints_active;
+  // cells_offset / cells_reserved are kept for reuse by a later allocation.
+  return OkStatus();
+}
+
+EndpointRecord& CommBuffer::endpoint(std::uint32_t index) { return endpoint_table()[index]; }
+
+const EndpointRecord& CommBuffer::endpoint(std::uint32_t index) const {
+  return const_cast<CommBuffer*>(this)->endpoint_table()[index];
+}
+
+waitfree::BufferQueueView CommBuffer::queue(std::uint32_t endpoint_index) {
+  EndpointRecord& record = endpoint_table()[endpoint_index];
+  return waitfree::BufferQueueView(
+      &record.release_count, &record.acquire_count, &record.process_count,
+      cell_arena() + record.cells_offset.ReadRelaxed(), record.queue_capacity.ReadRelaxed());
+}
+
+}  // namespace flipc::shm

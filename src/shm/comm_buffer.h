@@ -1,0 +1,192 @@
+// The communication buffer (paper Figure 1, center).
+//
+// "The communication buffer is the focal point of FLIPC. It is located in
+// shared memory accessible to both the application(s) and the messaging
+// engine, and it contains all of the memory resources used for messaging."
+//
+// The buffer is a single fixed-size contiguous region whose internal
+// references are all offsets/indices (never raw pointers), so the same bytes
+// can be mapped by an application process and by the messaging engine (here:
+// another thread, a DES actor, or a process sharing a POSIX shm segment).
+// Nothing in it is ever paged, grown, or relocated after creation — the
+// paper fixes its size and the message size "at boot time".
+//
+// Region layout (all offsets cache-line aligned):
+//
+//   [CommBufferHeader]   identity + application-side allocation state
+//   [EndpointRecord x max_endpoints]
+//   [cell arena]         queue cells, carved out per endpoint at allocation
+//   [buffer free list]   application-side singly linked free list
+//   [message buffers]    buffer_count x message_size bytes
+//
+// Allocation (buffers, endpoints, arena cells) is an application-side
+// activity guarded by a test-and-set lock in the header; the engine never
+// allocates, so allocation needs no wait-free treatment.
+#ifndef SRC_SHM_COMM_BUFFER_H_
+#define SRC_SHM_COMM_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/base/locks.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/shm/endpoint_record.h"
+#include "src/shm/msg_header.h"
+#include "src/waitfree/buffer_queue.h"
+
+namespace flipc::shm {
+
+using waitfree::BufferIndex;
+using waitfree::kInvalidBuffer;
+
+inline constexpr std::uint32_t kInvalidEndpoint = 0xffffffffu;
+
+// Paper constraints for the Paragon: messages at least 64 bytes and a
+// multiple of 32 (DMA requirement); 8 bytes reserved for the internal
+// header.
+inline constexpr std::uint32_t kMinMessageSize = 64;
+inline constexpr std::uint32_t kMessageSizeMultiple = 32;
+
+struct CommBufferConfig {
+  // Fixed message size in bytes, including the 8-byte internal header.
+  std::uint32_t message_size = 128;
+  // Number of message buffers in the region.
+  std::uint32_t buffer_count = 1024;
+  // Endpoint table size.
+  std::uint32_t max_endpoints = 64;
+  // Total queue cells available to endpoints; 0 means 4 * buffer_count.
+  std::uint32_t cell_arena_size = 0;
+
+  std::uint32_t effective_cell_arena_size() const {
+    return cell_arena_size == 0 ? 4 * buffer_count : cell_arena_size;
+  }
+
+  Status Validate() const;
+};
+
+struct CommBufferLayout {
+  std::size_t endpoint_table_offset = 0;
+  std::size_t cell_arena_offset = 0;
+  std::size_t freelist_offset = 0;
+  std::size_t buffers_offset = 0;
+  std::size_t total_size = 0;
+
+  static Result<CommBufferLayout> For(const CommBufferConfig& config);
+};
+
+// In-region header. Identity fields are written once at creation; the
+// allocation block is application-side state guarded by alloc_lock.
+struct alignas(kCacheLineSize) CommBufferHeader {
+  // ---- Identity (immutable after creation) ----
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t message_size;
+  std::uint32_t buffer_count;
+  std::uint32_t max_endpoints;
+  std::uint32_t cell_arena_size;
+  std::uint64_t endpoint_table_offset;
+  std::uint64_t cell_arena_offset;
+  std::uint64_t freelist_offset;
+  std::uint64_t buffers_offset;
+  std::uint64_t total_size;
+
+  // ---- Application-side allocation state ----
+  alignas(kCacheLineSize) TasLock alloc_lock;
+  std::uint32_t free_head;        // guarded by alloc_lock; kInvalidBuffer if empty
+  std::uint32_t free_count;       // guarded by alloc_lock
+  std::uint32_t cells_used;       // guarded by alloc_lock (bump allocator)
+  std::uint32_t endpoints_active; // guarded by alloc_lock
+};
+
+inline constexpr std::uint64_t kCommBufferMagic = 0x464c495043313936ull;  // "FLIPC196"
+inline constexpr std::uint32_t kCommBufferVersion = 1;
+
+class CommBuffer {
+ public:
+  // Allocates a fresh region and formats it.
+  static Result<std::unique_ptr<CommBuffer>> Create(const CommBufferConfig& config);
+
+  // Formats caller-owned memory (e.g. a POSIX shm mapping). `base` must be
+  // cache-line aligned and at least CommBufferLayout::For(config).total_size
+  // bytes. The returned CommBuffer does not own the memory.
+  static Result<std::unique_ptr<CommBuffer>> Format(void* base, std::size_t size,
+                                                    const CommBufferConfig& config);
+
+  // Attaches to memory already formatted by Format()/Create() (validates the
+  // magic, version and layout). Does not own the memory.
+  static Result<std::unique_ptr<CommBuffer>> Attach(void* base, std::size_t size);
+
+  ~CommBuffer();
+  CommBuffer(const CommBuffer&) = delete;
+  CommBuffer& operator=(const CommBuffer&) = delete;
+
+  const CommBufferHeader& header() const { return *header_; }
+  std::byte* base() { return base_; }
+  std::size_t total_size() const { return header_->total_size; }
+  std::uint32_t message_size() const { return header_->message_size; }
+  std::uint32_t payload_size() const {
+    return header_->message_size - static_cast<std::uint32_t>(kMsgHeaderSize);
+  }
+  std::uint32_t buffer_count() const { return header_->buffer_count; }
+  std::uint32_t max_endpoints() const { return header_->max_endpoints; }
+
+  // ---- Message buffers (application side) ----
+  Result<BufferIndex> AllocateBuffer();
+  Status FreeBuffer(BufferIndex index);
+  std::uint32_t FreeBufferCount();
+
+  // View of a buffer; callers must pass a valid index.
+  MsgView msg(BufferIndex index);
+
+  bool IsValidBufferIndex(BufferIndex index) const {
+    return index < header_->buffer_count;
+  }
+
+  // ---- Endpoints (application side) ----
+  struct EndpointParams {
+    EndpointType type = EndpointType::kReceive;
+    std::uint32_t queue_capacity = 16;  // power of two
+    std::uint32_t options = kEndpointOptNone;
+    std::uint32_t semaphore_id = kNoSemaphore;
+    std::uint32_t priority = kDefaultEndpointPriority;
+    // Packed Address of the only permitted destination (send endpoints);
+    // 0xffffffff = unrestricted.
+    std::uint32_t allowed_peer = 0xffffffffu;
+    // Minimum ns between transmissions (send endpoints); 0 = unlimited.
+    std::uint32_t min_send_interval_ns = 0;
+  };
+
+  Result<std::uint32_t> AllocateEndpoint(const EndpointParams& params);
+
+  // The endpoint's queue must be empty (all buffers acquired back).
+  Status FreeEndpoint(std::uint32_t index);
+
+  EndpointRecord& endpoint(std::uint32_t index);
+  const EndpointRecord& endpoint(std::uint32_t index) const;
+
+  bool IsValidEndpointIndex(std::uint32_t index) const {
+    return index < header_->max_endpoints;
+  }
+
+  // Queue view bound to an endpoint's cursors and cells.
+  waitfree::BufferQueueView queue(std::uint32_t endpoint_index);
+
+ private:
+  CommBuffer(std::byte* base, bool owns);
+
+  void FormatRegion(const CommBufferConfig& config, const CommBufferLayout& layout);
+
+  EndpointRecord* endpoint_table();
+  waitfree::SingleWriterCell<BufferIndex>* cell_arena();
+  std::uint32_t* freelist();
+
+  std::byte* base_ = nullptr;
+  CommBufferHeader* header_ = nullptr;
+  bool owns_ = false;
+};
+
+}  // namespace flipc::shm
+
+#endif  // SRC_SHM_COMM_BUFFER_H_

@@ -1,0 +1,98 @@
+// Endpoint records inside the communication buffer.
+//
+// Each record is laid out in four cache lines grouped by writer, the
+// concrete form of the paper's false-sharing fix ("ensure that concurrent
+// writes from the application and messaging engine can never occur in the
+// same cache line"):
+//
+//   line 0 — configuration: written by the application library only while
+//            the endpoint is being (de)allocated, read-only to the engine;
+//   line 1 — application-written cursors and counters (release, acquire,
+//            reclaimed drop count);
+//   line 2 — engine-written cursors and counters (process, total drops,
+//            processed-message count);
+//   line 3 — a test-and-set lock for mutual exclusion among application
+//            threads; the engine never touches it (the paper's locked
+//            interface variants use it, the lock-free variants skip it).
+#ifndef SRC_SHM_ENDPOINT_RECORD_H_
+#define SRC_SHM_ENDPOINT_RECORD_H_
+
+#include <cstdint>
+
+#include "src/base/locks.h"
+#include "src/base/types.h"
+#include "src/waitfree/buffer_queue.h"
+#include "src/waitfree/single_writer.h"
+
+namespace flipc::shm {
+
+enum class EndpointType : std::uint32_t {
+  kInactive = 0,
+  kSend = 1,
+  kReceive = 2,
+};
+
+// Endpoint option flags (configuration line).
+inline constexpr std::uint32_t kEndpointOptNone = 0;
+// A semaphore should be signaled when the engine completes processing a
+// buffer on this endpoint (receive: message arrived; send: buffer free).
+inline constexpr std::uint32_t kEndpointOptSemaphore = 1u << 0;
+
+inline constexpr std::uint32_t kNoSemaphore = 0xffffffffu;
+
+// Default engine scan priority; higher values are scanned first when the
+// engine's priority scheduling extension is enabled.
+inline constexpr std::uint32_t kDefaultEndpointPriority = 0;
+
+struct alignas(kCacheLineSize) EndpointRecord {
+  // ---- Line 0: configuration (application-written, quiescent) ----
+  waitfree::SingleWriterCell<std::uint32_t> type;            // EndpointType
+  waitfree::SingleWriterCell<std::uint32_t> cells_offset;    // index into cell arena
+  waitfree::SingleWriterCell<std::uint32_t> queue_capacity;  // power of two
+  waitfree::SingleWriterCell<std::uint32_t> cells_reserved;  // arena cells owned
+  waitfree::SingleWriterCell<std::uint32_t> semaphore_id;    // kNoSemaphore if none
+  waitfree::SingleWriterCell<std::uint32_t> priority;
+  waitfree::SingleWriterCell<std::uint32_t> options;
+  // Protection (future-work): packed Address this endpoint may send to;
+  // 0xffffffff (invalid) means unrestricted. Enforced by the engine.
+  waitfree::SingleWriterCell<std::uint32_t> allowed_peer;
+  // Capacity control (future-work): minimum ns between transmissions from
+  // this endpoint; 0 means unlimited. Enforced by the engine's scheduler.
+  waitfree::SingleWriterCell<std::uint32_t> min_send_interval_ns;
+
+  // ---- Line 1: application-written hot state ----
+  alignas(kCacheLineSize) waitfree::SingleWriterCell<std::uint32_t> release_count;
+  waitfree::SingleWriterCell<std::uint32_t> acquire_count;
+  waitfree::SingleWriterCell<std::uint64_t> drops_reclaimed;
+
+  // ---- Line 2: engine-written hot state ----
+  alignas(kCacheLineSize) waitfree::SingleWriterCell<std::uint32_t> process_count;
+  waitfree::SingleWriterCell<std::uint64_t> drops_total;
+  waitfree::SingleWriterCell<std::uint64_t> processed_total;
+
+  // ---- Line 3: application-thread lock ----
+  alignas(kCacheLineSize) TasLock lock;
+
+  EndpointType Type() const { return static_cast<EndpointType>(type.Read()); }
+  bool IsActive() const { return Type() != EndpointType::kInactive; }
+
+  // Wait-free dual-location drop counter (see src/waitfree/drop_counter.h);
+  // drops_total is the engine-written location, drops_reclaimed the
+  // application-written one.
+  void RecordDrop() { drops_total.Publish(drops_total.ReadRelaxed() + 1); }
+  std::uint64_t DropCount() const {
+    return drops_total.Read() - drops_reclaimed.ReadRelaxed();
+  }
+  std::uint64_t ReadAndResetDrops() {
+    const std::uint64_t observed = drops_total.Read();
+    const std::uint64_t prior = drops_reclaimed.ReadRelaxed();
+    drops_reclaimed.Publish(observed);
+    return observed - prior;
+  }
+};
+static_assert(sizeof(EndpointRecord) == 4 * kCacheLineSize);
+static_assert(alignof(EndpointRecord) == kCacheLineSize);
+
+}  // namespace flipc::shm
+
+#endif  // SRC_SHM_ENDPOINT_RECORD_H_

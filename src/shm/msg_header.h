@@ -1,0 +1,51 @@
+// Per-message internal header.
+//
+// Paper: "FLIPC uses 8 bytes of each message for internal addressing and
+// synchronization purposes, so 56 bytes is the minimum application message
+// size" (with the 64-byte minimum message). We keep the 8-byte budget:
+// 4 bytes of handoff state + a 4-byte packed destination address.
+#ifndef SRC_SHM_MSG_HEADER_H_
+#define SRC_SHM_MSG_HEADER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/shm/address.h"
+#include "src/waitfree/msg_state.h"
+#include "src/waitfree/single_writer.h"
+
+namespace flipc::shm {
+
+struct MsgHeader {
+  // Handoff state: written by the application when releasing the buffer,
+  // by the engine when processing completes — never concurrently (ownership
+  // alternates with the buffer's queue position).
+  waitfree::HandoffState state;
+
+  // Destination address, written by the application before a send release.
+  // On a receive endpoint the engine overwrites it with the *source*
+  // endpoint address of the delivered message, which is how receivers learn
+  // whom to reply to.
+  waitfree::SingleWriterCell<std::uint32_t> peer;
+
+  Address peer_address() const { return Address::FromPacked(peer.Read()); }
+  void set_peer_address(Address a) { peer.Publish(a.packed()); }
+};
+
+inline constexpr std::size_t kMsgHeaderSize = 8;
+static_assert(sizeof(MsgHeader) == kMsgHeaderSize,
+              "the paper reserves exactly 8 bytes per message for FLIPC");
+
+// A message buffer as seen by either side: the internal header followed by
+// the application payload.
+struct MsgView {
+  MsgHeader* header = nullptr;
+  std::byte* payload = nullptr;
+  std::uint32_t payload_size = 0;
+
+  bool valid() const { return header != nullptr; }
+};
+
+}  // namespace flipc::shm
+
+#endif  // SRC_SHM_MSG_HEADER_H_

@@ -1,0 +1,70 @@
+#include "src/shm/posix_region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/base/log.h"
+#include "src/base/types.h"
+
+namespace flipc::shm {
+
+Result<std::unique_ptr<PosixShmRegion>> PosixShmRegion::Create(const std::string& name,
+                                                               std::size_t size) {
+  if (name.empty() || name[0] != '/' || size == 0) {
+    return InvalidArgumentStatus();
+  }
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    return ResourceExhaustedStatus();
+  }
+  const std::size_t mapped_size = AlignUp(size, 4096);
+  if (::ftruncate(fd, static_cast<off_t>(mapped_size)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return ResourceExhaustedStatus();
+  }
+  void* base = ::mmap(nullptr, mapped_size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    return ResourceExhaustedStatus();
+  }
+  return std::unique_ptr<PosixShmRegion>(
+      new PosixShmRegion(name, base, mapped_size, /*owner=*/true));
+}
+
+Result<std::unique_ptr<PosixShmRegion>> PosixShmRegion::Open(const std::string& name) {
+  if (name.empty() || name[0] != '/') {
+    return InvalidArgumentStatus();
+  }
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    return NotFoundStatus();
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return InternalStatus();
+  }
+  const auto mapped_size = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, mapped_size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return ResourceExhaustedStatus();
+  }
+  return std::unique_ptr<PosixShmRegion>(
+      new PosixShmRegion(name, base, mapped_size, /*owner=*/false));
+}
+
+PosixShmRegion::~PosixShmRegion() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+  }
+  if (owner_) {
+    ::shm_unlink(name_.c_str());
+  }
+}
+
+}  // namespace flipc::shm

@@ -1,0 +1,50 @@
+// POSIX shared-memory backing for communication buffers.
+//
+// The paper's communication buffer lives in memory "shared between the
+// messaging engine and all applications that use FLIPC" — across a real
+// protection boundary. CommBuffer's in-region layout is already position
+// independent (offsets only); this helper supplies an actual shm_open
+// mapping so separate processes can Format()/Attach() the same region,
+// which the multiprocess tests exercise with fork().
+#ifndef SRC_SHM_POSIX_REGION_H_
+#define SRC_SHM_POSIX_REGION_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+
+namespace flipc::shm {
+
+class PosixShmRegion {
+ public:
+  // Creates (O_CREAT|O_EXCL) and maps a region of at least `size` bytes.
+  // The creator owns the name and unlinks it on destruction.
+  static Result<std::unique_ptr<PosixShmRegion>> Create(const std::string& name,
+                                                        std::size_t size);
+
+  // Opens and maps an existing region.
+  static Result<std::unique_ptr<PosixShmRegion>> Open(const std::string& name);
+
+  ~PosixShmRegion();
+  PosixShmRegion(const PosixShmRegion&) = delete;
+  PosixShmRegion& operator=(const PosixShmRegion&) = delete;
+
+  void* base() { return base_; }
+  std::size_t size() const { return size_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  PosixShmRegion(std::string name, void* base, std::size_t size, bool owner)
+      : name_(std::move(name)), base_(base), size_(size), owner_(owner) {}
+
+  std::string name_;
+  void* base_;
+  std::size_t size_;
+  bool owner_;
+};
+
+}  // namespace flipc::shm
+
+#endif  // SRC_SHM_POSIX_REGION_H_

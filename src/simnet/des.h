@@ -1,0 +1,124 @@
+// Discrete-event simulation core.
+//
+// The quantitative benchmarks replay the paper's experiments under virtual
+// time: the same communication-buffer data structures and messaging-engine
+// code execute, but every operation charges its cost to a virtual clock from
+// the calibrated platform model instead of being timed on 2026 hardware.
+// The simulator is single-threaded and deterministic: events at equal times
+// fire in scheduling order.
+#ifndef SRC_SIMNET_DES_H_
+#define SRC_SIMNET_DES_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/types.h"
+
+namespace flipc::simnet {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return clock_.NowNs(); }
+  const Clock& clock() const { return clock_; }
+
+  // Schedules `fn` at absolute virtual time `t` (>= Now()).
+  void ScheduleAt(TimeNs t, std::function<void()> fn) {
+    events_.push(Event{t < Now() ? Now() : t, next_seq_++, std::move(fn)});
+  }
+
+  void ScheduleAfter(DurationNs delay, std::function<void()> fn) {
+    ScheduleAt(Now() + delay, std::move(fn));
+  }
+
+  // Runs the earliest event; returns false when none remain.
+  bool Step() {
+    if (events_.empty()) {
+      return false;
+    }
+    // Move the event out before firing: the handler may schedule new events.
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    clock_.AdvanceTo(event.time);
+    event.fn();
+    ++executed_;
+    return true;
+  }
+
+  // Runs until the event queue drains.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  // Runs events with time <= deadline; the clock ends at the later of the
+  // deadline and the last executed event.
+  void RunUntil(TimeNs deadline) {
+    while (!events_.empty() && events_.top().time <= deadline) {
+      Step();
+    }
+    if (clock_.NowNs() < deadline) {
+      clock_.AdvanceTo(deadline);
+    }
+  }
+
+  void RunFor(DurationNs duration) { RunUntil(Now() + duration); }
+
+  // Runs until `done` returns true or the queue drains. Returns whether the
+  // predicate was satisfied.
+  bool RunWhile(const std::function<bool()>& pending) {
+    while (pending()) {
+      if (!Step()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::size_t pending_events() const { return events_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  ManualClock clock_;
+};
+
+// Accumulates modeled execution cost. The messaging engine charges its
+// per-operation costs here; under the DES the driver advances virtual time
+// by the accumulated amount, and in real-concurrency mode a null sink is
+// used and charging is a no-op.
+class CostAccumulator {
+ public:
+  void Charge(DurationNs ns) { total_ += ns; }
+  DurationNs Take() {
+    const DurationNs t = total_;
+    total_ = 0;
+    return t;
+  }
+  DurationNs total() const { return total_; }
+
+ private:
+  DurationNs total_ = 0;
+};
+
+}  // namespace flipc::simnet
+
+#endif  // SRC_SIMNET_DES_H_

@@ -1,0 +1,170 @@
+#include "src/simnet/fabric.h"
+
+#include <utility>
+
+namespace flipc::simnet {
+
+// ============================== SimFabric ====================================
+
+class SimFabric::SimWire final : public Wire {
+ public:
+  SimWire(SimFabric& fabric, NodeId node) : fabric_(fabric), node_(node) {}
+
+  Status Send(Packet packet) override {
+    packet.src_node = node_;
+    return fabric_.SendFrom(node_, std::move(packet));
+  }
+
+  bool Poll(Packet* out) override {
+    if (inbox_.empty()) {
+      return false;
+    }
+    *out = std::move(inbox_.front());
+    inbox_.pop_front();
+    return true;
+  }
+
+  std::size_t PendingCount() const override { return inbox_.size(); }
+  NodeId node() const override { return node_; }
+
+  void Deliver(Packet packet) {
+    inbox_.push_back(std::move(packet));
+    if (delivery_callback_) {
+      delivery_callback_();
+    }
+  }
+
+  void SetDeliveryCallback(std::function<void()> callback) {
+    delivery_callback_ = std::move(callback);
+  }
+
+ private:
+  SimFabric& fabric_;
+  NodeId node_;
+  std::deque<Packet> inbox_;
+  std::function<void()> delivery_callback_;
+};
+
+SimFabric::SimFabric(Simulator& sim, std::unique_ptr<LinkModel> link_model,
+                     std::uint32_t node_count, Options options)
+    : sim_(sim),
+      link_model_(std::move(link_model)),
+      options_(options),
+      fault_rng_(options.fault_seed),
+      link_free_at_(node_count, 0),
+      last_arrival_(static_cast<std::size_t>(node_count) * node_count, 0) {
+  wires_.reserve(node_count);
+  for (NodeId n = 0; n < node_count; ++n) {
+    wires_.push_back(std::make_unique<SimWire>(*this, n));
+  }
+}
+
+SimFabric::~SimFabric() = default;
+
+Wire& SimFabric::wire(NodeId node) { return *wires_[node]; }
+
+void SimFabric::SetDeliveryCallback(NodeId node, std::function<void()> callback) {
+  wires_[node]->SetDeliveryCallback(std::move(callback));
+}
+
+Status SimFabric::SendFrom(NodeId src, Packet packet) {
+  if (packet.dst_node >= node_count()) {
+    return NotFoundStatus();
+  }
+  ++packets_sent_;
+  bytes_sent_ += packet.wire_size();
+
+  if (options_.drop_probability > 0.0 && fault_rng_.Chance(options_.drop_probability)) {
+    ++packets_dropped_;
+    return OkStatus();  // Silent loss, as a faulty interconnect would be.
+  }
+
+  const std::size_t wire_bytes = packet.wire_size();
+  const TimeNs depart = std::max(sim_.Now(), link_free_at_[src]);
+  const DurationNs serialization = link_model_->SerializationNs(src, packet.dst_node, wire_bytes);
+  link_free_at_[src] = depart + serialization;
+
+  TimeNs arrive = depart + serialization + link_model_->TransitNs(src, packet.dst_node, wire_bytes);
+  TimeNs& last = last_arrival_[static_cast<std::size_t>(src) * node_count() + packet.dst_node];
+  if (arrive <= last) {
+    arrive = last + 1;  // Preserve per-(src,dst) FIFO delivery order.
+  }
+  last = arrive;
+
+  SimWire* dst_wire = wires_[packet.dst_node].get();
+  sim_.ScheduleAt(arrive, [dst_wire, p = std::move(packet)]() mutable {
+    dst_wire->Deliver(std::move(p));
+  });
+  return OkStatus();
+}
+
+// ============================= ThreadFabric ==================================
+
+class ThreadFabric::ThreadWire final : public Wire {
+ public:
+  ThreadWire(ThreadFabric& fabric, NodeId node) : fabric_(fabric), node_(node) {}
+
+  Status Send(Packet packet) override {
+    packet.src_node = node_;
+    if (packet.dst_node >= fabric_.node_count()) {
+      return NotFoundStatus();
+    }
+    ThreadWire& dst = *fabric_.wires_[packet.dst_node];
+    std::function<void()> callback;
+    {
+      std::lock_guard<std::mutex> guard(dst.mutex_);
+      dst.inbox_.push_back(std::move(packet));
+      callback = dst.delivery_callback_;
+    }
+    if (callback) {
+      callback();
+    }
+    return OkStatus();
+  }
+
+  bool Poll(Packet* out) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (inbox_.empty()) {
+      return false;
+    }
+    *out = std::move(inbox_.front());
+    inbox_.pop_front();
+    return true;
+  }
+
+  std::size_t PendingCount() const override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return inbox_.size();
+  }
+
+  NodeId node() const override { return node_; }
+
+  void SetDeliveryCallback(std::function<void()> callback) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    delivery_callback_ = std::move(callback);
+  }
+
+ private:
+  ThreadFabric& fabric_;
+  NodeId node_;
+  mutable std::mutex mutex_;
+  std::deque<Packet> inbox_;
+  std::function<void()> delivery_callback_;
+};
+
+ThreadFabric::ThreadFabric(std::uint32_t node_count) {
+  wires_.reserve(node_count);
+  for (NodeId n = 0; n < node_count; ++n) {
+    wires_.push_back(std::make_unique<ThreadWire>(*this, n));
+  }
+}
+
+ThreadFabric::~ThreadFabric() = default;
+
+Wire& ThreadFabric::wire(NodeId node) { return *wires_[node]; }
+
+void ThreadFabric::SetDeliveryCallback(NodeId node, std::function<void()> callback) {
+  wires_[node]->SetDeliveryCallback(std::move(callback));
+}
+
+}  // namespace flipc::simnet

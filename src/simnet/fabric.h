@@ -1,0 +1,130 @@
+// Fabrics: the interconnect a messaging engine sends packets through.
+//
+// A Fabric owns one Wire per node. Wires are reliable and preserve order
+// between each (source, destination) node pair — the property FLIPC's
+// optimistic transport depends on ("a reliable transport that preserves
+// order for messages sent from the same source endpoint to the same
+// destination endpoint"). Two implementations:
+//
+//   * SimFabric    — discrete-event simulated; delivery times come from a
+//     LinkModel, sends serialize at the source interface, and an optional
+//     fault injector can drop packets (used only by tests probing how the
+//     layers above would misbehave on an unreliable interconnect).
+//   * ThreadFabric — real-concurrency; lock-guarded in-order delivery
+//     queues for the examples and stress tests.
+#ifndef SRC_SIMNET_FABRIC_H_
+#define SRC_SIMNET_FABRIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/simnet/des.h"
+#include "src/simnet/link_model.h"
+#include "src/simnet/packet.h"
+
+namespace flipc::simnet {
+
+class Wire {
+ public:
+  virtual ~Wire() = default;
+
+  // Queues a packet for transmission. src_node is filled in by the wire.
+  virtual Status Send(Packet packet) = 0;
+
+  // Retrieves the next delivered packet, if any.
+  virtual bool Poll(Packet* out) = 0;
+
+  // Number of packets delivered and waiting.
+  virtual std::size_t PendingCount() const = 0;
+
+  virtual NodeId node() const = 0;
+};
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  virtual std::uint32_t node_count() const = 0;
+  virtual Wire& wire(NodeId node) = 0;
+
+  // Registers a callback fired when a packet is delivered to `node`
+  // (used by engine drivers to wake an idle engine).
+  virtual void SetDeliveryCallback(NodeId node, std::function<void()> callback) = 0;
+};
+
+// ----------------------------------------------------------------------------
+
+class SimFabric final : public Fabric {
+ public:
+  struct Options {
+    // Probability of silently dropping a packet (tests only; FLIPC assumes
+    // a reliable interconnect, and the default models that).
+    double drop_probability = 0.0;
+    std::uint64_t fault_seed = 1;
+  };
+
+  SimFabric(Simulator& sim, std::unique_ptr<LinkModel> link_model, std::uint32_t node_count)
+      : SimFabric(sim, std::move(link_model), node_count, Options()) {}
+  SimFabric(Simulator& sim, std::unique_ptr<LinkModel> link_model, std::uint32_t node_count,
+            Options options);
+  ~SimFabric() override;
+
+  std::uint32_t node_count() const override { return static_cast<std::uint32_t>(wires_.size()); }
+  Wire& wire(NodeId node) override;
+  void SetDeliveryCallback(NodeId node, std::function<void()> callback) override;
+
+  const LinkModel& link_model() const { return *link_model_; }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_dropped_by_fabric() const { return packets_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  class SimWire;
+
+  Status SendFrom(NodeId src, Packet packet);
+
+  Simulator& sim_;
+  std::unique_ptr<LinkModel> link_model_;
+  Options options_;
+  Rng fault_rng_;
+
+  std::vector<std::unique_ptr<SimWire>> wires_;
+  // Time each source interface becomes free (sends serialize).
+  std::vector<TimeNs> link_free_at_;
+  // Last delivery time per (src, dst) to enforce FIFO even if a later,
+  // smaller packet would otherwise overtake.
+  std::vector<TimeNs> last_arrival_;
+
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+// ----------------------------------------------------------------------------
+
+class ThreadFabric final : public Fabric {
+ public:
+  explicit ThreadFabric(std::uint32_t node_count);
+  ~ThreadFabric() override;
+
+  std::uint32_t node_count() const override { return static_cast<std::uint32_t>(wires_.size()); }
+  Wire& wire(NodeId node) override;
+  void SetDeliveryCallback(NodeId node, std::function<void()> callback) override;
+
+ private:
+  class ThreadWire;
+
+  std::vector<std::unique_ptr<ThreadWire>> wires_;
+};
+
+}  // namespace flipc::simnet
+
+#endif  // SRC_SIMNET_FABRIC_H_

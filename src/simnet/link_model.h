@@ -1,0 +1,119 @@
+// Link cost models for the three platforms the paper implemented FLIPC on:
+// the Paragon mesh interconnect, Ethernet PC clusters, and SCSI-bus PC
+// clusters.
+//
+// A link model answers two questions about moving one packet:
+//   * SerializationNs — how long the sender's interface is occupied putting
+//     the packet on the medium (back-to-back sends queue behind this);
+//   * TransitNs       — time from the end of serialization at the source to
+//     delivery at the destination interface (routing, propagation).
+//
+// The Paragon numbers are calibrated against the paper: hardware peak
+// 200 MB/s (5 ns/byte serialization), and the fixed wire component sized so
+// the end-to-end FLIPC pipeline reproduces Figure 4 (see
+// src/engine/platform_model.h for the full decomposition).
+#ifndef SRC_SIMNET_LINK_MODEL_H_
+#define SRC_SIMNET_LINK_MODEL_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/base/types.h"
+
+namespace flipc::simnet {
+
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  virtual DurationNs SerializationNs(NodeId src, NodeId dst, std::size_t wire_bytes) const = 0;
+  virtual DurationNs TransitNs(NodeId src, NodeId dst, std::size_t wire_bytes) const = 0;
+};
+
+// Paragon-style 2-D mesh with XY wormhole routing. With wormhole routing the
+// message head reaches the destination after per-hop router delays while the
+// body streams behind it, so transit is hops * per_hop and the per-byte cost
+// shows up only in serialization.
+class MeshLinkModel final : public LinkModel {
+ public:
+  struct Params {
+    std::uint32_t width = 4;            // mesh X dimension
+    DurationNs per_hop_ns = 40;         // router cut-through latency
+    DurationNs per_byte_ns_x100 = 500;  // 5.00 ns/byte == 200 MB/s hardware peak
+    DurationNs fixed_ns = 100;          // source injection + destination ejection
+  };
+
+  MeshLinkModel() : MeshLinkModel(Params()) {}
+  explicit MeshLinkModel(Params params) : params_(params) {}
+
+  std::uint32_t Hops(NodeId src, NodeId dst) const {
+    const auto sx = static_cast<std::int32_t>(src % params_.width);
+    const auto sy = static_cast<std::int32_t>(src / params_.width);
+    const auto dx = static_cast<std::int32_t>(dst % params_.width);
+    const auto dy = static_cast<std::int32_t>(dst / params_.width);
+    return static_cast<std::uint32_t>(std::abs(sx - dx) + std::abs(sy - dy));
+  }
+
+  DurationNs SerializationNs(NodeId, NodeId, std::size_t wire_bytes) const override {
+    return static_cast<DurationNs>(wire_bytes) * params_.per_byte_ns_x100 / 100;
+  }
+
+  DurationNs TransitNs(NodeId src, NodeId dst, std::size_t) const override {
+    return params_.fixed_ns + static_cast<DurationNs>(Hops(src, dst)) * params_.per_hop_ns;
+  }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+// 10 Mb/s-class shared Ethernet (the paper's PC development cluster era):
+// high serialization cost, modest fixed latency.
+class EthernetLinkModel final : public LinkModel {
+ public:
+  struct Params {
+    DurationNs per_byte_ns = 800;   // ~1.25 MB/s effective
+    DurationNs fixed_ns = 50'000;   // driver + adapter turnaround
+  };
+
+  EthernetLinkModel() : EthernetLinkModel(Params()) {}
+  explicit EthernetLinkModel(Params params) : params_(params) {}
+
+  DurationNs SerializationNs(NodeId, NodeId, std::size_t wire_bytes) const override {
+    return static_cast<DurationNs>(wire_bytes) * params_.per_byte_ns;
+  }
+
+  DurationNs TransitNs(NodeId, NodeId, std::size_t) const override { return params_.fixed_ns; }
+
+ private:
+  Params params_;
+};
+
+// Fast-SCSI-2 bus used as a host-to-host link (paper reference [3]):
+// 10 MB/s transfer once the bus is won, plus arbitration/selection overhead
+// charged per packet.
+class ScsiLinkModel final : public LinkModel {
+ public:
+  struct Params {
+    DurationNs per_byte_ns = 100;       // 10 MB/s synchronous transfer
+    DurationNs arbitration_ns = 12'000; // arbitration + (re)selection phases
+    DurationNs fixed_ns = 4'000;        // command/status phases
+  };
+
+  ScsiLinkModel() : ScsiLinkModel(Params()) {}
+  explicit ScsiLinkModel(Params params) : params_(params) {}
+
+  DurationNs SerializationNs(NodeId, NodeId, std::size_t wire_bytes) const override {
+    return params_.arbitration_ns + static_cast<DurationNs>(wire_bytes) * params_.per_byte_ns;
+  }
+
+  DurationNs TransitNs(NodeId, NodeId, std::size_t) const override { return params_.fixed_ns; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace flipc::simnet
+
+#endif  // SRC_SIMNET_LINK_MODEL_H_

@@ -1,0 +1,81 @@
+#include "src/simos/real_time_semaphore.h"
+
+#include <chrono>
+
+namespace flipc::simos {
+
+void RealTimeSemaphore::GrantLocked() {
+  while (permits_ > 0) {
+    Waiter* best = nullptr;
+    for (Waiter& w : waiters_) {
+      if (w.granted) {
+        continue;
+      }
+      if (best == nullptr || w.priority > best->priority ||
+          (w.priority == best->priority && w.ticket < best->ticket)) {
+        best = &w;
+      }
+    }
+    if (best == nullptr) {
+      return;
+    }
+    --permits_;
+    best->granted = true;
+    best->cv.notify_one();
+  }
+}
+
+void RealTimeSemaphore::Post() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++permits_;
+  GrantLocked();
+}
+
+Status RealTimeSemaphore::Wait(Priority priority, DurationNs timeout_ns) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = waiters_.emplace(waiters_.end());
+  it->priority = priority;
+  it->ticket = next_ticket_++;
+  GrantLocked();
+
+  auto granted = [&] { return it->granted; };
+  if (timeout_ns < 0) {
+    it->cv.wait(lock, granted);
+  } else if (!it->cv.wait_for(lock, std::chrono::nanoseconds(timeout_ns), granted)) {
+    waiters_.erase(it);
+    return TimedOutStatus();
+  }
+  waiters_.erase(it);
+  return OkStatus();
+}
+
+bool RealTimeSemaphore::TryWait() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (permits_ == 0) {
+    return false;
+  }
+  // Permits already spoken for by blocked waiters are not stealable.
+  std::uint32_t ungranted_waiters = 0;
+  for (const Waiter& w : waiters_) {
+    if (!w.granted) {
+      ++ungranted_waiters;
+    }
+  }
+  if (ungranted_waiters > 0) {
+    return false;
+  }
+  --permits_;
+  return true;
+}
+
+std::uint32_t RealTimeSemaphore::permits() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return permits_;
+}
+
+std::uint32_t RealTimeSemaphore::waiter_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return static_cast<std::uint32_t>(waiters_.size());
+}
+
+}  // namespace flipc::simos

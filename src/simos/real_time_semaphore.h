@@ -1,0 +1,71 @@
+// Real-time semaphore (paper, Architecture and Design).
+//
+// "FLIPC provides a real time semaphore option that causes the thread
+// awakened by a message arrival to be presented to the scheduler in the OS
+// kernel, allowing it to determine when it is appropriate to execute that
+// thread." — i.e. no interrupting upcalls; arrival makes a thread *runnable*
+// and the scheduler picks the most important runnable thread.
+//
+// This implementation emulates that on host threads: Post() grants a permit;
+// among the threads blocked in Wait(), the one with the highest priority
+// (ties broken FIFO) takes each permit. This reproduces the scheduling
+// property the paper cares about — a low-priority receiver cannot steal a
+// wakeup from a high-priority one.
+#ifndef SRC_SIMOS_REAL_TIME_SEMAPHORE_H_
+#define SRC_SIMOS_REAL_TIME_SEMAPHORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace flipc::simos {
+
+using Priority = std::uint32_t;
+inline constexpr Priority kMinPriority = 0;
+inline constexpr Priority kMaxPriority = 0xffffffffu;
+
+class RealTimeSemaphore {
+ public:
+  RealTimeSemaphore() = default;
+  RealTimeSemaphore(const RealTimeSemaphore&) = delete;
+  RealTimeSemaphore& operator=(const RealTimeSemaphore&) = delete;
+
+  // Adds one permit and wakes the highest-priority waiter, if any.
+  // Callable from any thread, including the messaging engine's.
+  void Post();
+
+  // Blocks until a permit is granted to this caller. Returns kOk, or
+  // kTimedOut if `timeout_ns` elapses first (negative = wait forever).
+  Status Wait(Priority priority, DurationNs timeout_ns = -1);
+
+  // Non-blocking: takes a permit if one is immediately available *and* no
+  // higher-priority thread is already waiting for it.
+  bool TryWait();
+
+  std::uint32_t permits() const;
+  std::uint32_t waiter_count() const;
+
+ private:
+  struct Waiter {
+    Priority priority;
+    std::uint64_t ticket;  // FIFO tie-break
+    bool granted = false;
+    std::condition_variable cv;
+  };
+
+  // Grants available permits to the best waiters. Caller holds mutex_.
+  void GrantLocked();
+
+  mutable std::mutex mutex_;
+  std::uint32_t permits_ = 0;
+  std::uint64_t next_ticket_ = 0;
+  std::list<Waiter> waiters_;
+};
+
+}  // namespace flipc::simos
+
+#endif  // SRC_SIMOS_REAL_TIME_SEMAPHORE_H_

@@ -1,0 +1,42 @@
+#include "src/simos/semaphore_table.h"
+
+namespace flipc::simos {
+
+SemaphoreTable::SemaphoreTable(std::uint32_t capacity) : slots_(capacity) {}
+
+Result<std::uint32_t> SemaphoreTable::Allocate() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] == nullptr) {
+      slots_[i] = std::make_unique<RealTimeSemaphore>();
+      return i;
+    }
+  }
+  return ResourceExhaustedStatus();
+}
+
+Status SemaphoreTable::Free(std::uint32_t id) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (id >= slots_.size() || slots_[id] == nullptr) {
+    return NotFoundStatus();
+  }
+  if (slots_[id]->waiter_count() != 0) {
+    return FailedPreconditionStatus();
+  }
+  slots_[id].reset();
+  return OkStatus();
+}
+
+RealTimeSemaphore* SemaphoreTable::Get(std::uint32_t id) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return id < slots_.size() ? slots_[id].get() : nullptr;
+}
+
+void SemaphoreTable::Signal(std::uint32_t id) {
+  RealTimeSemaphore* semaphore = Get(id);
+  if (semaphore != nullptr) {
+    semaphore->Post();
+  }
+}
+
+}  // namespace flipc::simos

@@ -1,0 +1,47 @@
+// Semaphore table: the kernel-object namespace behind endpoint semaphore
+// ids.
+//
+// Endpoints store only a small integer semaphore id in the communication
+// buffer (kernel objects cannot live in user-shared memory — the paper's
+// Figure 1 shows the synchronization arrows crossing into the OS kernel).
+// The messaging engine signals by id through this table; the application
+// waits on the semaphore it registered.
+#ifndef SRC_SIMOS_SEMAPHORE_TABLE_H_
+#define SRC_SIMOS_SEMAPHORE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/simos/real_time_semaphore.h"
+
+namespace flipc::simos {
+
+class SemaphoreTable {
+ public:
+  explicit SemaphoreTable(std::uint32_t capacity = 256);
+
+  // Creates a semaphore and returns its id.
+  Result<std::uint32_t> Allocate();
+
+  // Destroys a semaphore. Any threads still blocked on it are woken by the
+  // caller's responsibility; freeing a semaphore with waiters is an error.
+  Status Free(std::uint32_t id);
+
+  // nullptr when the id is invalid or unallocated.
+  RealTimeSemaphore* Get(std::uint32_t id);
+
+  // Engine-side signal: posts the semaphore if the id is live; otherwise a
+  // no-op (the endpoint may have been torn down concurrently).
+  void Signal(std::uint32_t id);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<RealTimeSemaphore>> slots_;
+};
+
+}  // namespace flipc::simos
+
+#endif  // SRC_SIMOS_SEMAPHORE_TABLE_H_

@@ -1,0 +1,33 @@
+#include "src/simos/sim_scheduler.h"
+
+#include <utility>
+
+namespace flipc::simos {
+
+void SimScheduler::Submit(Priority priority, DurationNs duration, std::function<void()> body) {
+  queue_.push(Item{priority, next_seq_++, duration, std::move(body)});
+  if (!running_) {
+    DispatchNext();
+  }
+}
+
+void SimScheduler::DispatchNext() {
+  if (queue_.empty()) {
+    running_ = false;
+    return;
+  }
+  running_ = true;
+  Item item = std::move(const_cast<Item&>(queue_.top()));
+  queue_.pop();
+
+  const DurationNs total = dispatch_cost_ns_ + item.duration;
+  busy_ns_ += total;
+  sim_.ScheduleAfter(total, [this, body = std::move(item.body)]() {
+    if (body) {
+      body();
+    }
+    DispatchNext();
+  });
+}
+
+}  // namespace flipc::simos

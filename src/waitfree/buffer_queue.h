@@ -1,0 +1,184 @@
+// The endpoint buffer queue (paper Figure 3).
+//
+// Each endpoint holds a circular queue of buffer pointers (here: 32-bit
+// buffer indices into the communication buffer) with three cursors moving in
+// one direction around the ring:
+//
+//     release (head)  — application inserts buffers for the engine;
+//     process (middle)— engine sends-from / receives-into these buffers;
+//     acquire (tail)  — application removes buffers the engine finished.
+//
+// Cursor ownership follows the single-writer rule: release and acquire are
+// written only by the application, process only by the engine. Cell values
+// are written only by the application (at release time); the engine
+// communicates per-buffer completion through the buffer's state field, not
+// the queue cells. The queue is therefore wait-free on both sides with plain
+// acquire/release loads and stores — no RMW, matching the paper's controller
+// memory model.
+//
+// Cursors are free-running 32-bit counters; a cursor's ring position is
+// counter % capacity (capacity is a power of two). The paper's conditions
+// map directly: queue empty <=> all three counters equal; nothing to process
+// <=> process == release; nothing to acquire <=> acquire == process.
+// Unlike the paper's cell-pointer formulation this wastes no ring slot.
+#ifndef SRC_WAITFREE_BUFFER_QUEUE_H_
+#define SRC_WAITFREE_BUFFER_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/waitfree/single_writer.h"
+
+namespace flipc::waitfree {
+
+// Index of a message buffer within a communication buffer's buffer table.
+using BufferIndex = std::uint32_t;
+inline constexpr BufferIndex kInvalidBuffer = 0xffffffffu;
+
+// Cursor block, laid out so application-written and engine-written words
+// never share a cache line (the paper's false-sharing fix; it was worth
+// almost a factor of two in latency on the Paragon).
+struct alignas(kCacheLineSize) QueueCursors {
+  // --- Application-owned line ---
+  SingleWriterCell<std::uint32_t> release_count;  // Writer::kApplication
+  SingleWriterCell<std::uint32_t> acquire_count;  // Writer::kApplication
+  // --- Engine-owned line ---
+  alignas(kCacheLineSize) SingleWriterCell<std::uint32_t> process_count;  // Writer::kEngine
+};
+static_assert(sizeof(QueueCursors) == 2 * kCacheLineSize);
+
+// Non-owning view over cursors + a cell array living in the communication
+// buffer. Capacity must be a power of two.
+//
+// The cursor cells are passed individually (rather than as a QueueCursors*)
+// because the communication-buffer endpoint record interleaves them with
+// other same-writer fields to pack each writer's state into one cache line.
+class BufferQueueView {
+ public:
+  BufferQueueView() = default;
+  BufferQueueView(SingleWriterCell<std::uint32_t>* release,
+                  SingleWriterCell<std::uint32_t>* acquire,
+                  SingleWriterCell<std::uint32_t>* process,
+                  SingleWriterCell<BufferIndex>* cells, std::uint32_t capacity)
+      : release_(release),
+        acquire_(acquire),
+        process_(process),
+        cells_(cells),
+        mask_(capacity - 1),
+        capacity_(capacity) {}
+
+  BufferQueueView(QueueCursors* cursors, SingleWriterCell<BufferIndex>* cells,
+                  std::uint32_t capacity)
+      : BufferQueueView(&cursors->release_count, &cursors->acquire_count,
+                        &cursors->process_count, cells, capacity) {}
+
+  bool valid() const { return release_ != nullptr; }
+  std::uint32_t capacity() const { return capacity_; }
+
+  // ======================= Application side ================================
+
+  // Inserts `buffer` at the head. Returns false when the ring is full
+  // (the application has released `capacity` buffers it has not yet
+  // re-acquired).
+  bool Release(BufferIndex buffer) {
+    const std::uint32_t release = release_->ReadRelaxed();
+    const std::uint32_t acquire = acquire_->ReadRelaxed();
+    if (release - acquire >= capacity_) {
+      return false;
+    }
+    // The cell must be visible before the cursor that publishes it.
+    cells_[release & mask_].StoreRelaxed(buffer);
+    release_->Publish(release + 1);
+    return true;
+  }
+
+  // Removes the buffer at the tail if the engine has finished processing
+  // it. Returns kInvalidBuffer when none is available.
+  BufferIndex Acquire() {
+    const std::uint32_t acquire = acquire_->ReadRelaxed();
+    const std::uint32_t process = process_->Read();
+    if (acquire == process) {
+      return kInvalidBuffer;
+    }
+    // The application wrote this cell itself at release time; the engine
+    // never writes cells, so a relaxed load suffices (the acquire-load of
+    // process_count ordered the engine's buffer-content writes).
+    const BufferIndex buffer = cells_[acquire & mask_].ReadRelaxed();
+    acquire_->Publish(acquire + 1);
+    return buffer;
+  }
+
+  // Buffers inserted but not yet acquired back.
+  std::uint32_t Size() const {
+    return release_->ReadRelaxed() - acquire_->ReadRelaxed();
+  }
+
+  // Buffers the engine has completed that the application can take now.
+  std::uint32_t AcquirableCount() const {
+    return process_->Read() - acquire_->ReadRelaxed();
+  }
+
+  bool Empty() const { return Size() == 0; }
+  bool Full() const { return Size() >= capacity_; }
+
+  // ========================== Engine side ==================================
+
+  // Returns the next unprocessed buffer without consuming it, or
+  // kInvalidBuffer when the application has released nothing new.
+  BufferIndex PeekProcess() const {
+    const std::uint32_t process = process_->ReadRelaxed();
+    const std::uint32_t release = release_->Read();
+    if (process == release) {
+      return kInvalidBuffer;
+    }
+    return cells_[process & mask_].ReadRelaxed();
+  }
+
+  // Marks the peeked buffer processed, exposing it to Acquire(). All engine
+  // writes to the buffer contents must precede this call.
+  void AdvanceProcess() {
+    process_->Publish(process_->ReadRelaxed() + 1);
+  }
+
+  // Buffers released by the application the engine has not yet processed.
+  std::uint32_t ProcessableCount() const {
+    return release_->Read() - process_->ReadRelaxed();
+  }
+
+  // ==================== Introspection (either side) =========================
+
+  std::uint32_t release_count() const { return release_->Read(); }
+  std::uint32_t process_count() const { return process_->Read(); }
+  std::uint32_t acquire_count() const { return acquire_->Read(); }
+
+ private:
+  SingleWriterCell<std::uint32_t>* release_ = nullptr;
+  SingleWriterCell<std::uint32_t>* acquire_ = nullptr;
+  SingleWriterCell<std::uint32_t>* process_ = nullptr;
+  SingleWriterCell<BufferIndex>* cells_ = nullptr;
+
+  std::uint32_t mask_ = 0;
+  std::uint32_t capacity_ = 0;
+};
+
+// Owning queue for unit tests and microbenchmarks; production queues live in
+// the communication buffer (src/shm/comm_buffer.h).
+template <std::uint32_t kCapacity>
+class InlineBufferQueue {
+  static_assert((kCapacity & (kCapacity - 1)) == 0, "capacity must be a power of two");
+
+ public:
+  InlineBufferQueue() : view_(&cursors_, cells_, kCapacity) {}
+
+  BufferQueueView& view() { return view_; }
+
+ private:
+  QueueCursors cursors_{};
+  SingleWriterCell<BufferIndex> cells_[kCapacity] = {};
+  BufferQueueView view_;
+};
+
+}  // namespace flipc::waitfree
+
+#endif  // SRC_WAITFREE_BUFFER_QUEUE_H_

@@ -1,0 +1,74 @@
+// The dual-location wait-free drop counter (paper, "Wait-Free
+// Synchronization" section).
+//
+// FLIPC counts messages discarded at an endpoint and lets the application
+// read-and-reset that count without losing events. A single location cannot
+// do this with loads/stores only: a drop between the application's read and
+// its zeroing write would vanish. Instead:
+//
+//   * `dropped`   — incremented by the messaging engine on each discard
+//                   (engine-written, on an engine-owned cache line);
+//   * `reclaimed` — the value of `dropped` as of the last read-and-reset
+//                   (application-written, on an app-owned cache line).
+//
+// The logical count is dropped - reclaimed; reset copies dropped into
+// reclaimed. Each word has exactly one writer, so no drop event can be lost
+// regardless of interleaving.
+#ifndef SRC_WAITFREE_DROP_COUNTER_H_
+#define SRC_WAITFREE_DROP_COUNTER_H_
+
+#include <cstdint>
+
+#include "src/waitfree/single_writer.h"
+
+namespace flipc::waitfree {
+
+class DropCounter {
+ public:
+  // --- Engine side ---------------------------------------------------------
+  // Records one discarded message. Engine is the only caller, so a plain
+  // load/store increment is race-free.
+  void RecordDrop() { dropped_.Publish(dropped_.ReadRelaxed() + 1); }
+
+  // --- Application side ----------------------------------------------------
+  // Number of drops since the last ReadAndReset().
+  std::uint64_t Count() const { return dropped_.Read() - reclaimed_.ReadRelaxed(); }
+
+  // Atomically (in the logical sense) returns the current count and resets
+  // it to zero. Drops that race with this call are counted either in this
+  // result or in a later one — never lost, never double-counted.
+  std::uint64_t ReadAndReset() {
+    const std::uint64_t observed = dropped_.Read();
+    const std::uint64_t prior = reclaimed_.ReadRelaxed();
+    reclaimed_.Publish(observed);
+    return observed - prior;
+  }
+
+  // Total drops over the endpoint's lifetime (monotone; not reset).
+  std::uint64_t LifetimeCount() const { return dropped_.Read(); }
+
+ private:
+  SingleWriterCell<std::uint64_t> dropped_;    // Writer::kEngine
+  SingleWriterCell<std::uint64_t> reclaimed_;  // Writer::kApplication
+};
+
+// Cache-line-separated wrapper used when the counter is embedded directly in
+// the communication buffer: the engine-written and app-written words must
+// not share a line (paper's false-sharing fix).
+struct PaddedDropCounterParts {
+  alignas(kCacheLineSize) SingleWriterCell<std::uint64_t> dropped;    // engine line
+  alignas(kCacheLineSize) SingleWriterCell<std::uint64_t> reclaimed;  // app line
+
+  void RecordDrop() { dropped.Publish(dropped.ReadRelaxed() + 1); }
+  std::uint64_t Count() const { return dropped.Read() - reclaimed.ReadRelaxed(); }
+  std::uint64_t ReadAndReset() {
+    const std::uint64_t observed = dropped.Read();
+    const std::uint64_t prior = reclaimed.ReadRelaxed();
+    reclaimed.Publish(observed);
+    return observed - prior;
+  }
+};
+
+}  // namespace flipc::waitfree
+
+#endif  // SRC_WAITFREE_DROP_COUNTER_H_

@@ -1,0 +1,49 @@
+// Per-buffer state field (paper Figure 3: "Each buffer also contains a state
+// field that is changed when processing has been completed, allowing an
+// application to determine when processing of a specific buffer is
+// complete.")
+//
+// The field has two writers — the application (marking a buffer ready when it
+// releases it) and the engine (marking it completed) — but never
+// concurrently: ownership alternates with the buffer's position relative to
+// the queue cursors, and every handoff is ordered by an acquire/release
+// cursor publication. The store/load pairs here add the same ordering for
+// applications that poll the state field directly instead of the queue.
+#ifndef SRC_WAITFREE_MSG_STATE_H_
+#define SRC_WAITFREE_MSG_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace flipc::waitfree {
+
+enum class MsgState : std::uint32_t {
+  // Owned by the application: free for writing / not enqueued.
+  kFree = 0,
+  // Released to the engine: queued for sending (send endpoint) or posted to
+  // receive into (receive endpoint).
+  kReady = 1,
+  // Engine finished: message sent, or message data delivered into buffer.
+  kCompleted = 2,
+};
+
+class HandoffState {
+ public:
+  MsgState Load() const {
+    return static_cast<MsgState>(rep_.load(std::memory_order_acquire));
+  }
+
+  void Store(MsgState s) {
+    rep_.store(static_cast<std::uint32_t>(s), std::memory_order_release);
+  }
+
+  // Polling helper: true once the engine has completed processing.
+  bool IsCompleted() const { return Load() == MsgState::kCompleted; }
+
+ private:
+  std::atomic<std::uint32_t> rep_{static_cast<std::uint32_t>(MsgState::kFree)};
+};
+
+}  // namespace flipc::waitfree
+
+#endif  // SRC_WAITFREE_MSG_STATE_H_

@@ -1,0 +1,55 @@
+// Single-writer shared cells.
+//
+// FLIPC's application<->engine synchronization must be wait-free and must
+// work in a memory model with no atomic read-modify-write operations (the
+// SCSI and Myrinet controllers the paper targets can only issue loads and
+// stores to host memory). The design rule from the paper: separate or
+// duplicate data so that the application and the messaging engine never
+// concurrently write the same location. Every shared word therefore has
+// exactly one writer, and plain atomic loads/stores with acquire/release
+// ordering are sufficient.
+//
+// The paper's second tuning lesson — false sharing between app-written and
+// engine-written words cost almost a factor of two — is encoded here as
+// alignment: engine-written cells and app-written cells are placed on
+// distinct cache lines by the communication-buffer layout (src/shm/).
+#ifndef SRC_WAITFREE_SINGLE_WRITER_H_
+#define SRC_WAITFREE_SINGLE_WRITER_H_
+
+#include <atomic>
+#include <type_traits>
+
+#include "src/base/types.h"
+
+namespace flipc::waitfree {
+
+// Which side of the protection boundary owns (writes) a cell. Purely
+// documentary at runtime; tests use it to assert the single-writer rule.
+enum class Writer : std::uint8_t { kApplication, kEngine };
+
+// A word written by one side and read by the other. Publish() makes all
+// writes sequenced before it visible to a Read() that observes the value
+// (release/acquire pairing).
+template <typename T>
+class SingleWriterCell {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SingleWriterCell() = default;
+  explicit SingleWriterCell(T initial) : value_(initial) {}
+
+  // Reader side.
+  T Read() const { return value_.load(std::memory_order_acquire); }
+  T ReadRelaxed() const { return value_.load(std::memory_order_relaxed); }
+
+  // Writer side.
+  void Publish(T value) { value_.store(value, std::memory_order_release); }
+  void StoreRelaxed(T value) { value_.store(value, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<T> value_{};
+};
+
+}  // namespace flipc::waitfree
+
+#endif  // SRC_WAITFREE_SINGLE_WRITER_H_

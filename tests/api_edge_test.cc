@@ -1,0 +1,189 @@
+// Edge cases and misuse of the public API: default handles, wrong-domain
+// handles, exhaustion paths, and double-use patterns the library must
+// survive (resource control is the application's job, but nothing may
+// crash or corrupt the engine).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/flipc/flipc.h"
+
+namespace flipc {
+namespace {
+
+std::unique_ptr<SimCluster> TwoNodes(std::uint32_t buffers = 8) {
+  SimCluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = 128;
+  options.comm.buffer_count = buffers;
+  options.comm.max_endpoints = 4;
+  auto cluster = SimCluster::Create(std::move(options));
+  EXPECT_TRUE(cluster.ok());
+  return std::move(cluster).value();
+}
+
+TEST(ApiEdge, DefaultHandlesRejectEverything) {
+  Endpoint endpoint;  // default-constructed: invalid
+  MessageBuffer buffer;
+  EXPECT_FALSE(endpoint.valid());
+  EXPECT_FALSE(buffer.valid());
+  EXPECT_EQ(endpoint.Send(buffer, Address(0, 0)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(endpoint.PostBuffer(buffer).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(endpoint.Receive().status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(endpoint.Reclaim().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApiEdge, InvalidBufferHandleRejected) {
+  auto cluster = TwoNodes();
+  Domain& a = cluster->domain(0);
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  ASSERT_TRUE(tx.ok());
+  MessageBuffer invalid;
+  EXPECT_EQ(tx->Send(invalid, Address(1, 0)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.FreeBuffer(invalid).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApiEdge, BufferExhaustionAndRecovery) {
+  auto cluster = TwoNodes(/*buffers=*/4);
+  Domain& a = cluster->domain(0);
+  std::vector<MessageBuffer> held;
+  for (int i = 0; i < 4; ++i) {
+    auto buffer = a.AllocateBuffer();
+    ASSERT_TRUE(buffer.ok());
+    held.push_back(*buffer);
+  }
+  EXPECT_EQ(a.AllocateBuffer().status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(a.FreeBuffer(held.back()).ok());
+  held.pop_back();
+  EXPECT_TRUE(a.AllocateBuffer().ok());
+}
+
+TEST(ApiEdge, EndpointTableExhaustionThroughDomain) {
+  auto cluster = TwoNodes();
+  Domain& a = cluster->domain(0);
+  std::vector<Endpoint> endpoints;
+  // Small queues so the cell arena outlasts the endpoint table.
+  Domain::EndpointOptions options{.type = shm::EndpointType::kReceive, .queue_depth = 4};
+  for (int i = 0; i < 4; ++i) {  // max_endpoints = 4
+    auto endpoint = a.CreateEndpoint(options);
+    ASSERT_TRUE(endpoint.ok());
+    endpoints.push_back(*endpoint);
+  }
+  EXPECT_EQ(a.CreateEndpoint(options).status().code(), StatusCode::kResourceExhausted);
+  // Destroy one; creation works again.
+  ASSERT_TRUE(a.DestroyEndpoint(endpoints.back()).ok());
+  EXPECT_TRUE(a.CreateEndpoint(options).ok());
+}
+
+TEST(ApiEdge, DestroyForeignEndpointRejected) {
+  auto cluster = TwoNodes();
+  auto endpoint = cluster->domain(1).CreateEndpoint({.type = shm::EndpointType::kReceive});
+  ASSERT_TRUE(endpoint.ok());
+  // Wrong domain: node 0's domain does not own it.
+  EXPECT_EQ(cluster->domain(0).DestroyEndpoint(*endpoint).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ApiEdge, NonPowerOfTwoQueueDepthRejected) {
+  auto cluster = TwoNodes();
+  Domain::EndpointOptions options;
+  options.type = shm::EndpointType::kReceive;
+  options.queue_depth = 6;
+  EXPECT_EQ(cluster->domain(0).CreateEndpoint(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ApiEdge, SemaphoreOptionWithoutTableRejected) {
+  // A Domain created without a semaphore table cannot make blocking
+  // endpoints.
+  Domain::Options options;
+  options.comm.message_size = 128;
+  options.comm.buffer_count = 8;
+  auto domain = Domain::Create(options, /*semaphores=*/nullptr);
+  ASSERT_TRUE(domain.ok());
+  Domain::EndpointOptions endpoint_options;
+  endpoint_options.type = shm::EndpointType::kReceive;
+  endpoint_options.enable_semaphore = true;
+  EXPECT_EQ((*domain)->CreateEndpoint(endpoint_options).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Group creation likewise.
+  EXPECT_EQ(EndpointGroup::Create(**domain).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Double-posting the same buffer is an application resource-control error;
+// the paper's model does not police it — but the system must not corrupt
+// or crash, and every queued slot must flow through the normal lifecycle.
+TEST(ApiEdge, DoublePostSurvives) {
+  auto cluster = TwoNodes();
+  Domain& a = cluster->domain(0);
+  Domain& b = cluster->domain(1);
+  auto rx = b.CreateEndpoint({.type = shm::EndpointType::kReceive});
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  ASSERT_TRUE(rx.ok() && tx.ok());
+
+  auto rx_buf = b.AllocateBuffer();
+  ASSERT_TRUE(rx_buf.ok());
+  ASSERT_TRUE(rx->PostBuffer(*rx_buf).ok());
+  ASSERT_TRUE(rx->PostBuffer(*rx_buf).ok());  // same buffer twice
+
+  for (int i = 0; i < 2; ++i) {
+    auto msg = a.AllocateBuffer();
+    ASSERT_TRUE(msg.ok());
+    ASSERT_TRUE(tx->SendUnlocked(*msg, rx->address()).ok());
+  }
+  cluster->sim().Run();
+  // Both deliveries landed (into the same bytes — the second wins); both
+  // queue slots are acquirable; nothing wedged.
+  EXPECT_EQ(cluster->engine(1).stats().messages_delivered, 2u);
+  EXPECT_TRUE(rx->Receive().ok());
+  EXPECT_TRUE(rx->Receive().ok());
+  EXPECT_EQ(rx->Receive().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ApiEdge, MinimumMessageSizeDomain) {
+  // 64-byte messages: the paper's minimum, 56-byte payload.
+  SimCluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = 64;
+  auto cluster = SimCluster::Create(std::move(options));
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ((*cluster)->domain(0).payload_size(), 56u);
+
+  Domain& a = (*cluster)->domain(0);
+  Domain& b = (*cluster)->domain(1);
+  auto rx = b.CreateEndpoint({.type = shm::EndpointType::kReceive});
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  auto rx_buf = b.AllocateBuffer();
+  ASSERT_TRUE(rx->PostBuffer(*rx_buf).ok());
+  auto msg = a.AllocateBuffer();
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->size(), 56u);
+  msg->Write("minimum", 8);
+  ASSERT_TRUE(tx->Send(*msg, rx->address()).ok());
+  (*cluster)->sim().Run();
+  auto received = rx->Receive();
+  ASSERT_TRUE(received.ok());
+  EXPECT_STREQ(reinterpret_cast<const char*>(received->data()), "minimum");
+}
+
+TEST(ApiEdge, SelfSendOnSameNode) {
+  // A node can message itself: same engine serves both endpoints.
+  auto cluster = TwoNodes();
+  Domain& a = cluster->domain(0);
+  auto rx = a.CreateEndpoint({.type = shm::EndpointType::kReceive});
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  ASSERT_TRUE(rx.ok() && tx.ok());
+  auto rx_buf = a.AllocateBuffer();
+  ASSERT_TRUE(rx->PostBuffer(*rx_buf).ok());
+  auto msg = a.AllocateBuffer();
+  msg->Write("loopback", 9);
+  ASSERT_TRUE(tx->Send(*msg, rx->address()).ok());
+  cluster->sim().Run();
+  auto received = rx->Receive();
+  ASSERT_TRUE(received.ok());
+  EXPECT_STREQ(reinterpret_cast<const char*>(received->data()), "loopback");
+}
+
+}  // namespace
+}  // namespace flipc

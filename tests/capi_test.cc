@@ -1,0 +1,165 @@
+// Tests for the C API shim: the full five-step transfer, blocking
+// receives, drop accounting, completion polling, and argument validation —
+// all through the C ABI.
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/capi/flipc_c.h"
+
+namespace {
+
+class CApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(flipc_cluster_create(2, 128, 64, &cluster_), FLIPC_OK);
+  }
+  void TearDown() override { flipc_cluster_destroy(cluster_); }
+
+  flipc_cluster_t* cluster_ = nullptr;
+};
+
+TEST_F(CApiTest, FiveStepTransfer) {
+  flipc_endpoint_t rx{}, tx{};
+  ASSERT_EQ(flipc_endpoint_create(cluster_, 1, FLIPC_ENDPOINT_RECEIVE, 8, 0, &rx), FLIPC_OK);
+  ASSERT_EQ(flipc_endpoint_create(cluster_, 0, FLIPC_ENDPOINT_SEND, 8, 0, &tx), FLIPC_OK);
+
+  // Step 1: post a receive buffer.
+  flipc_buffer_t rx_buf{};
+  ASSERT_EQ(flipc_buffer_allocate(cluster_, 1, &rx_buf), FLIPC_OK);
+  ASSERT_EQ(flipc_post_buffer(cluster_, rx, rx_buf), FLIPC_OK);
+
+  // Step 2: write and send.
+  flipc_buffer_t msg{};
+  ASSERT_EQ(flipc_buffer_allocate(cluster_, 0, &msg), FLIPC_OK);
+  void* data = nullptr;
+  size_t size = 0;
+  ASSERT_EQ(flipc_buffer_data(cluster_, msg, &data, &size), FLIPC_OK);
+  ASSERT_EQ(size, 120u);
+  std::memcpy(data, "via the C ABI", 14);
+
+  flipc_address_t dest = 0;
+  ASSERT_EQ(flipc_endpoint_address(cluster_, rx, &dest), FLIPC_OK);
+  ASSERT_EQ(flipc_send(cluster_, tx, msg, dest), FLIPC_OK);
+
+  // Step 4: poll-receive.
+  flipc_buffer_t received{};
+  flipc_status_t status = FLIPC_UNAVAILABLE;
+  for (int i = 0; i < 1000000 && status == FLIPC_UNAVAILABLE; ++i) {
+    status = flipc_receive(cluster_, rx, &received);
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(status, FLIPC_OK);
+  ASSERT_EQ(flipc_buffer_data(cluster_, received, &data, &size), FLIPC_OK);
+  EXPECT_STREQ(static_cast<const char*>(data), "via the C ABI");
+
+  flipc_address_t peer = 0;
+  ASSERT_EQ(flipc_buffer_peer(cluster_, received, &peer), FLIPC_OK);
+  flipc_address_t tx_address = 0;
+  ASSERT_EQ(flipc_endpoint_address(cluster_, tx, &tx_address), FLIPC_OK);
+  EXPECT_EQ(peer, tx_address);
+
+  // Step 5: reclaim.
+  flipc_buffer_t reclaimed{};
+  status = FLIPC_UNAVAILABLE;
+  for (int i = 0; i < 1000000 && status == FLIPC_UNAVAILABLE; ++i) {
+    status = flipc_reclaim(cluster_, tx, &reclaimed);
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(status, FLIPC_OK);
+  EXPECT_EQ(reclaimed.index, msg.index);
+  EXPECT_EQ(flipc_buffer_completed(cluster_, reclaimed), FLIPC_OK);
+}
+
+TEST_F(CApiTest, BlockingReceive) {
+  flipc_endpoint_t rx{}, tx{};
+  ASSERT_EQ(flipc_endpoint_create(cluster_, 1, FLIPC_ENDPOINT_RECEIVE, 8,
+                                  FLIPC_EP_BLOCKING, &rx),
+            FLIPC_OK);
+  ASSERT_EQ(flipc_endpoint_create(cluster_, 0, FLIPC_ENDPOINT_SEND, 8, 0, &tx), FLIPC_OK);
+
+  flipc_buffer_t rx_buf{};
+  ASSERT_EQ(flipc_buffer_allocate(cluster_, 1, &rx_buf), FLIPC_OK);
+  ASSERT_EQ(flipc_post_buffer(cluster_, rx, rx_buf), FLIPC_OK);
+
+  flipc_address_t dest = 0;
+  ASSERT_EQ(flipc_endpoint_address(cluster_, rx, &dest), FLIPC_OK);
+
+  std::thread sender([&] {
+    flipc_buffer_t msg{};
+    ASSERT_EQ(flipc_buffer_allocate(cluster_, 0, &msg), FLIPC_OK);
+    ASSERT_EQ(flipc_send(cluster_, tx, msg, dest), FLIPC_OK);
+  });
+
+  flipc_buffer_t received{};
+  EXPECT_EQ(flipc_receive_blocking(cluster_, rx, 0, 5'000'000'000, &received), FLIPC_OK);
+  sender.join();
+}
+
+TEST_F(CApiTest, BlockingTimesOut) {
+  flipc_endpoint_t rx{};
+  ASSERT_EQ(flipc_endpoint_create(cluster_, 1, FLIPC_ENDPOINT_RECEIVE, 8,
+                                  FLIPC_EP_BLOCKING, &rx),
+            FLIPC_OK);
+  flipc_buffer_t received{};
+  EXPECT_EQ(flipc_receive_blocking(cluster_, rx, 0, 20'000'000, &received),
+            FLIPC_TIMED_OUT);
+}
+
+TEST_F(CApiTest, DropAccounting) {
+  flipc_endpoint_t rx{}, tx{};
+  ASSERT_EQ(flipc_endpoint_create(cluster_, 1, FLIPC_ENDPOINT_RECEIVE, 8, 0, &rx), FLIPC_OK);
+  ASSERT_EQ(flipc_endpoint_create(cluster_, 0, FLIPC_ENDPOINT_SEND, 8, 0, &tx), FLIPC_OK);
+  flipc_address_t dest = 0;
+  ASSERT_EQ(flipc_endpoint_address(cluster_, rx, &dest), FLIPC_OK);
+
+  // No posted buffer: the message drops and the counter sees it.
+  flipc_buffer_t msg{};
+  ASSERT_EQ(flipc_buffer_allocate(cluster_, 0, &msg), FLIPC_OK);
+  ASSERT_EQ(flipc_send(cluster_, tx, msg, dest), FLIPC_OK);
+  std::uint64_t drops = 0;
+  for (int i = 0; i < 1000000 && drops == 0; ++i) {
+    ASSERT_EQ(flipc_drop_count(cluster_, rx, &drops), FLIPC_OK);
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(drops, 1u);
+  std::uint64_t reclaimed_count = 0;
+  ASSERT_EQ(flipc_read_and_reset_drops(cluster_, rx, &reclaimed_count), FLIPC_OK);
+  EXPECT_EQ(reclaimed_count, 1u);
+  ASSERT_EQ(flipc_drop_count(cluster_, rx, &drops), FLIPC_OK);
+  EXPECT_EQ(drops, 0u);
+}
+
+TEST_F(CApiTest, ValidationAndErrors) {
+  // Bad cluster args.
+  flipc_cluster_t* bad = nullptr;
+  EXPECT_EQ(flipc_cluster_create(0, 128, 16, &bad), FLIPC_INVALID_ARGUMENT);
+  EXPECT_EQ(flipc_cluster_create(2, 100, 16, &bad), FLIPC_INVALID_ARGUMENT);  // not %32
+
+  // Unknown endpoint handles.
+  flipc_endpoint_t bogus{0, 99};
+  flipc_address_t address = 0;
+  EXPECT_EQ(flipc_endpoint_address(cluster_, bogus, &address), FLIPC_NOT_FOUND);
+  flipc_buffer_t out{};
+  EXPECT_EQ(flipc_receive(cluster_, bogus, &out), FLIPC_NOT_FOUND);
+
+  // Bad node in buffer ops.
+  flipc_buffer_t buffer{7, 0};
+  void* data = nullptr;
+  size_t size = 0;
+  EXPECT_EQ(flipc_buffer_data(cluster_, buffer, &data, &size), FLIPC_INVALID_ARGUMENT);
+
+  // Status names.
+  EXPECT_STREQ(flipc_status_name(FLIPC_OK), "OK");
+  EXPECT_STREQ(flipc_status_name(FLIPC_TIMED_OUT), "TIMED_OUT");
+}
+
+TEST_F(CApiTest, EndpointDestroy) {
+  flipc_endpoint_t rx{};
+  ASSERT_EQ(flipc_endpoint_create(cluster_, 1, FLIPC_ENDPOINT_RECEIVE, 8, 0, &rx), FLIPC_OK);
+  EXPECT_EQ(flipc_endpoint_destroy(cluster_, rx), FLIPC_OK);
+  EXPECT_EQ(flipc_endpoint_destroy(cluster_, rx), FLIPC_NOT_FOUND);
+}
+
+}  // namespace

@@ -1,0 +1,272 @@
+// Real-concurrency tests: engines on their own threads (the "message
+// coprocessor"), applications on the main/test threads, blocking receives
+// through the real-time semaphore. These exercise the same wait-free
+// structures under genuine parallel execution.
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/flipc/flipc.h"
+
+namespace flipc {
+namespace {
+
+std::unique_ptr<Cluster> MakeCluster(std::uint32_t nodes = 2) {
+  Cluster::Options options;
+  options.node_count = nodes;
+  options.comm.message_size = 128;
+  options.comm.buffer_count = 256;
+  options.comm.max_endpoints = 16;
+  auto cluster = Cluster::Create(options);
+  EXPECT_TRUE(cluster.ok());
+  (*cluster)->Start();
+  return std::move(cluster).value();
+}
+
+// Polls until the result is ready or a generous deadline passes.
+template <typename F>
+auto PollUntilOk(F&& f) {
+  for (int i = 0; i < 200000; ++i) {
+    auto result = f();
+    if (result.ok()) {
+      return result;
+    }
+    std::this_thread::yield();
+  }
+  return f();
+}
+
+TEST(Cluster, PollingPingPong) {
+  auto cluster = MakeCluster();
+  Domain& a = cluster->domain(0);
+  Domain& b = cluster->domain(1);
+
+  auto a_rx = a.CreateEndpoint({.type = shm::EndpointType::kReceive});
+  auto a_tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  auto b_rx = b.CreateEndpoint({.type = shm::EndpointType::kReceive});
+  auto b_tx = b.CreateEndpoint({.type = shm::EndpointType::kSend});
+  ASSERT_TRUE(a_rx.ok() && a_tx.ok() && b_rx.ok() && b_tx.ok());
+
+  for (Domain* d : {&a, &b}) {
+    Endpoint& rx = d == &a ? *a_rx : *b_rx;
+    auto buffer = d->AllocateBuffer();
+    ASSERT_TRUE(buffer.ok());
+    ASSERT_TRUE(rx.PostBuffer(*buffer).ok());
+  }
+
+  constexpr int kExchanges = 200;
+  std::thread responder([&] {
+    for (int i = 0; i < kExchanges; ++i) {
+      auto message = PollUntilOk([&] { return b_rx->Receive(); });
+      ASSERT_TRUE(message.ok());
+      const std::uint32_t value = *message->As<std::uint32_t>();
+      ASSERT_TRUE(b_rx->PostBuffer(*message).ok());
+
+      auto reply = i == 0 ? b.AllocateBuffer() : PollUntilOk([&] { return b_tx->Reclaim(); });
+      ASSERT_TRUE(reply.ok());
+      *reply->As<std::uint32_t>() = value + 1;
+      ASSERT_TRUE(b_tx->Send(*reply, a_rx->address()).ok());
+    }
+  });
+
+  for (std::uint32_t i = 0; i < kExchanges; ++i) {
+    auto msg = i == 0 ? a.AllocateBuffer() : PollUntilOk([&] { return a_tx->Reclaim(); });
+    ASSERT_TRUE(msg.ok());
+    *msg->As<std::uint32_t>() = i * 2;
+    ASSERT_TRUE(a_tx->Send(*msg, b_rx->address()).ok());
+
+    auto reply = PollUntilOk([&] { return a_rx->Receive(); });
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(*reply->As<std::uint32_t>(), i * 2 + 1);
+    ASSERT_TRUE(a_rx->PostBuffer(*reply).ok());
+  }
+  responder.join();
+  EXPECT_EQ(a_rx->DropCount(), 0u);
+  EXPECT_EQ(b_rx->DropCount(), 0u);
+}
+
+TEST(Cluster, BlockingReceiveWakesOnArrival) {
+  auto cluster = MakeCluster();
+  Domain& a = cluster->domain(0);
+  Domain& b = cluster->domain(1);
+
+  auto rx = b.CreateEndpoint(
+      {.type = shm::EndpointType::kReceive, .enable_semaphore = true});
+  ASSERT_TRUE(rx.ok());
+  auto rx_buf = b.AllocateBuffer();
+  ASSERT_TRUE(rx_buf.ok());
+  ASSERT_TRUE(rx->PostBuffer(*rx_buf).ok());
+
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    auto message = rx->ReceiveBlocking(simos::kMinPriority, 5'000'000'000);
+    ASSERT_TRUE(message.ok());
+    EXPECT_STREQ(reinterpret_cast<const char*>(message->data()), "wake-up");
+    got.store(true);
+  });
+
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  ASSERT_TRUE(tx.ok());
+  auto msg = a.AllocateBuffer();
+  ASSERT_TRUE(msg.ok());
+  msg->Write("wake-up", 8);
+  ASSERT_TRUE(tx->Send(*msg, rx->address()).ok());
+
+  receiver.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(Cluster, BlockingReceiveTimesOut) {
+  auto cluster = MakeCluster();
+  auto rx = cluster->domain(0).CreateEndpoint(
+      {.type = shm::EndpointType::kReceive, .enable_semaphore = true});
+  ASSERT_TRUE(rx.ok());
+  const auto result = rx->ReceiveBlocking(simos::kMinPriority, 50'000'000);  // 50 ms
+  EXPECT_EQ(result.status().code(), StatusCode::kTimedOut);
+}
+
+TEST(Cluster, BlockingReceiveRequiresSemaphore) {
+  auto cluster = MakeCluster();
+  auto rx = cluster->domain(0).CreateEndpoint({.type = shm::EndpointType::kReceive});
+  ASSERT_TRUE(rx.ok());
+  EXPECT_EQ(rx->ReceiveBlocking(0, 1000).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Cluster, GroupBlockingReceiveAcrossEndpoints) {
+  auto cluster = MakeCluster();
+  Domain& a = cluster->domain(0);
+  Domain& b = cluster->domain(1);
+
+  auto group = EndpointGroup::Create(b);
+  ASSERT_TRUE(group.ok());
+  Domain::EndpointOptions member;
+  member.type = shm::EndpointType::kReceive;
+  member.group = group->get();
+  auto rx1 = b.CreateEndpoint(member);
+  auto rx2 = b.CreateEndpoint(member);
+  ASSERT_TRUE(rx1.ok() && rx2.ok());
+  for (auto* rx : {&*rx1, &*rx2}) {
+    auto buffer = b.AllocateBuffer();
+    ASSERT_TRUE(buffer.ok());
+    ASSERT_TRUE(rx->PostBuffer(*buffer).ok());
+  }
+
+  std::thread receiver([&] {
+    auto first = (*group)->ReceiveBlocking(simos::kMinPriority, 5'000'000'000);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first->endpoint.index(), rx2->index());
+  });
+
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  ASSERT_TRUE(tx.ok());
+  auto msg = a.AllocateBuffer();
+  ASSERT_TRUE(msg.ok());
+  ASSERT_TRUE(tx->Send(*msg, rx2->address()).ok());
+  receiver.join();
+}
+
+TEST(Cluster, ManyToOneTrafficNoLoss) {
+  auto cluster = MakeCluster(4);
+  Domain& sink_domain = cluster->domain(3);
+  auto sink = sink_domain.CreateEndpoint(
+      {.type = shm::EndpointType::kReceive, .queue_depth = 64});
+  ASSERT_TRUE(sink.ok());
+  for (int i = 0; i < 64; ++i) {
+    auto buffer = sink_domain.AllocateBuffer();
+    ASSERT_TRUE(buffer.ok());
+    ASSERT_TRUE(sink->PostBuffer(*buffer).ok());
+  }
+
+  constexpr int kPerSender = 40;
+  std::vector<std::thread> senders;
+  for (NodeId n = 0; n < 3; ++n) {
+    senders.emplace_back([&, n] {
+      Domain& d = cluster->domain(n);
+      auto tx = d.CreateEndpoint({.type = shm::EndpointType::kSend, .queue_depth = 4});
+      ASSERT_TRUE(tx.ok());
+      auto msg = d.AllocateBuffer();
+      ASSERT_TRUE(msg.ok());
+      for (std::uint32_t i = 0; i < kPerSender; ++i) {
+        *msg->As<std::uint32_t>() = (n << 16) | i;
+        ASSERT_TRUE(tx->Send(*msg, sink->address()).ok());
+        msg = *PollUntilOk([&] { return tx->Reclaim(); });
+      }
+    });
+  }
+
+  int received = 0;
+  std::uint32_t last_seq[3] = {0, 0, 0};
+  bool seen[3] = {false, false, false};
+  while (received < 3 * kPerSender) {
+    auto message = PollUntilOk([&] { return sink->Receive(); });
+    ASSERT_TRUE(message.ok());
+    const std::uint32_t value = *message->As<std::uint32_t>();
+    const std::uint32_t sender = value >> 16;
+    const std::uint32_t seq = value & 0xffff;
+    ASSERT_LT(sender, 3u);
+    if (seen[sender]) {
+      EXPECT_EQ(seq, last_seq[sender] + 1);  // per-pair FIFO
+    } else {
+      EXPECT_EQ(seq, 0u);
+      seen[sender] = true;
+    }
+    last_seq[sender] = seq;
+    ASSERT_TRUE(sink->PostBuffer(*message).ok());
+    ++received;
+  }
+  for (auto& t : senders) {
+    t.join();
+  }
+  EXPECT_EQ(sink->DropCount(), 0u);
+}
+
+TEST(Cluster, LockedVariantsSafeWithConcurrentSenders) {
+  auto cluster = MakeCluster();
+  Domain& a = cluster->domain(0);
+  Domain& b = cluster->domain(1);
+
+  auto rx = b.CreateEndpoint({.type = shm::EndpointType::kReceive, .queue_depth = 64});
+  ASSERT_TRUE(rx.ok());
+  for (int i = 0; i < 64; ++i) {
+    auto buffer = b.AllocateBuffer();
+    ASSERT_TRUE(buffer.ok());
+    ASSERT_TRUE(rx->PostBuffer(*buffer).ok());
+  }
+
+  // Two application threads share ONE send endpoint using the locked
+  // variants — the configuration the paper's default interface supports.
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend, .queue_depth = 32});
+  ASSERT_TRUE(tx.ok());
+  constexpr int kPerThread = 50;
+  std::atomic<int> sent{0};
+  auto sender = [&] {
+    auto msg = a.AllocateBuffer();
+    ASSERT_TRUE(msg.ok());
+    for (int i = 0; i < kPerThread; ++i) {
+      while (!tx->Send(*msg, rx->address()).ok()) {
+        std::this_thread::yield();
+      }
+      ++sent;
+      msg = *PollUntilOk([&] { return tx->Reclaim(); });
+    }
+  };
+  std::thread t1(sender), t2(sender);
+
+  int received = 0;
+  while (received < 2 * kPerThread) {
+    auto message = PollUntilOk([&] { return rx->Receive(); });
+    ASSERT_TRUE(message.ok());
+    ASSERT_TRUE(rx->PostBuffer(*message).ok());
+    ++received;
+  }
+  t1.join();
+  t2.join();
+  EXPECT_EQ(sent.load(), 2 * kPerThread);
+  EXPECT_EQ(rx->DropCount(), 0u);
+}
+
+}  // namespace
+}  // namespace flipc

@@ -1,0 +1,386 @@
+// Tests for the messaging engine: the optimistic transport's delivery and
+// discard rules, ordering, validity checks, the protocol framework, and
+// the endpoint-scan policies.
+#include <cstring>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/messaging_engine.h"
+#include "src/engine/sim_engine_driver.h"
+#include "src/shm/comm_buffer.h"
+#include "src/simnet/des.h"
+#include "src/simnet/fabric.h"
+#include "src/simnet/link_model.h"
+
+namespace flipc::engine {
+namespace {
+
+using shm::CommBuffer;
+using shm::EndpointType;
+using waitfree::BufferIndex;
+using waitfree::MsgState;
+
+// Two hand-wired nodes with manually stepped engines: every test drives the
+// engines explicitly, so interleavings are exact.
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    shm::CommBufferConfig config;
+    config.message_size = 128;
+    config.buffer_count = 32;
+    config.max_endpoints = 8;
+
+    fabric_ = std::make_unique<simnet::SimFabric>(
+        sim_, std::make_unique<simnet::MeshLinkModel>(), 2);
+    for (int n = 0; n < 2; ++n) {
+      auto comm = CommBuffer::Create(config);
+      ASSERT_TRUE(comm.ok());
+      comm_[n] = std::move(comm).value();
+      engine_[n] = std::make_unique<MessagingEngine>(*comm_[n], fabric_->wire(
+          static_cast<NodeId>(n)), options_, &model_);
+    }
+  }
+
+  // Runs both engines and the fabric to quiescence.
+  void RunAll() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      progress |= engine_[0]->Step();
+      progress |= engine_[1]->Step();
+      if (sim_.pending_events() > 0) {
+        sim_.Run();
+        progress = true;
+      }
+    }
+  }
+
+  // Creates an endpoint and returns its index.
+  std::uint32_t MakeEndpoint(int node, EndpointType type, std::uint32_t depth = 8,
+                             std::uint32_t priority = 0) {
+    CommBuffer::EndpointParams params;
+    params.type = type;
+    params.queue_capacity = depth;
+    params.priority = priority;
+    auto index = comm_[node]->AllocateEndpoint(params);
+    EXPECT_TRUE(index.ok());
+    return *index;
+  }
+
+  // Posts a fresh buffer on a receive endpoint; returns its index.
+  BufferIndex PostRecvBuffer(int node, std::uint32_t endpoint) {
+    auto buffer = comm_[node]->AllocateBuffer();
+    EXPECT_TRUE(buffer.ok());
+    comm_[node]->msg(*buffer).header->state.Store(MsgState::kReady);
+    EXPECT_TRUE(comm_[node]->queue(endpoint).Release(*buffer));
+    return *buffer;
+  }
+
+  // Queues a send of `text` from `endpoint` on node to a destination.
+  BufferIndex QueueSend(int node, std::uint32_t endpoint, Address dst,
+                        const char* text = "hello") {
+    auto buffer = comm_[node]->AllocateBuffer();
+    EXPECT_TRUE(buffer.ok());
+    shm::MsgView view = comm_[node]->msg(*buffer);
+    std::memcpy(view.payload, text, std::strlen(text) + 1);
+    view.header->set_peer_address(dst);
+    view.header->state.Store(MsgState::kReady);
+    EXPECT_TRUE(comm_[node]->queue(endpoint).Release(*buffer));
+    return *buffer;
+  }
+
+  simnet::Simulator sim_;
+  PlatformModel model_;
+  EngineOptions options_;
+  std::unique_ptr<simnet::SimFabric> fabric_;
+  std::unique_ptr<CommBuffer> comm_[2];
+  std::unique_ptr<MessagingEngine> engine_[2];
+};
+
+TEST_F(EngineTest, TransfersOneMessage) {
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  const std::uint32_t rx = MakeEndpoint(1, EndpointType::kReceive);
+  const BufferIndex rx_buf = PostRecvBuffer(1, rx);
+  const BufferIndex tx_buf = QueueSend(0, tx, Address(1, static_cast<std::uint16_t>(rx)));
+
+  RunAll();
+
+  // Sender side: buffer completed and re-acquirable (step 5).
+  EXPECT_TRUE(comm_[0]->msg(tx_buf).header->state.IsCompleted());
+  EXPECT_EQ(comm_[0]->queue(tx).Acquire(), tx_buf);
+
+  // Receiver side: message landed in the posted buffer (step 4).
+  EXPECT_EQ(comm_[1]->queue(rx).Acquire(), rx_buf);
+  shm::MsgView view = comm_[1]->msg(rx_buf);
+  EXPECT_STREQ(reinterpret_cast<const char*>(view.payload), "hello");
+  EXPECT_TRUE(view.header->state.IsCompleted());
+  // The receiver learns the source endpoint address.
+  EXPECT_EQ(view.header->peer_address(), Address(0, static_cast<std::uint16_t>(tx)));
+
+  EXPECT_EQ(engine_[0]->stats().messages_sent, 1u);
+  EXPECT_EQ(engine_[1]->stats().messages_delivered, 1u);
+}
+
+TEST_F(EngineTest, DiscardsWithoutPostedBuffer) {
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  const std::uint32_t rx = MakeEndpoint(1, EndpointType::kReceive);
+  QueueSend(0, tx, Address(1, static_cast<std::uint16_t>(rx)));
+
+  RunAll();
+
+  EXPECT_EQ(engine_[1]->stats().drops_no_buffer, 1u);
+  EXPECT_EQ(comm_[1]->endpoint(rx).DropCount(), 1u);
+  // The sender is unaffected — its buffer completed normally (optimistic).
+  EXPECT_EQ(engine_[0]->stats().messages_sent, 1u);
+
+  // A buffer posted later receives the NEXT message, not the dropped one.
+  const BufferIndex rx_buf = PostRecvBuffer(1, rx);
+  QueueSend(0, tx, Address(1, static_cast<std::uint16_t>(rx)), "second");
+  RunAll();
+  EXPECT_EQ(comm_[1]->queue(rx).Acquire(), rx_buf);
+  EXPECT_STREQ(reinterpret_cast<const char*>(comm_[1]->msg(rx_buf).payload), "second");
+}
+
+TEST_F(EngineTest, PreservesOrderPerEndpointPair) {
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  const std::uint32_t rx = MakeEndpoint(1, EndpointType::kReceive);
+  const Address dst(1, static_cast<std::uint16_t>(rx));
+
+  BufferIndex rx_bufs[5];
+  for (auto& b : rx_bufs) {
+    b = PostRecvBuffer(1, rx);
+  }
+  for (int i = 0; i < 5; ++i) {
+    char text[16];
+    std::snprintf(text, sizeof(text), "msg-%d", i);
+    QueueSend(0, tx, dst, text);
+  }
+  RunAll();
+
+  for (int i = 0; i < 5; ++i) {
+    const BufferIndex b = comm_[1]->queue(rx).Acquire();
+    ASSERT_EQ(b, rx_bufs[i]);  // delivered into buffers in posting order
+    char expect[16];
+    std::snprintf(expect, sizeof(expect), "msg-%d", i);
+    EXPECT_STREQ(reinterpret_cast<const char*>(comm_[1]->msg(b).payload), expect);
+  }
+}
+
+TEST_F(EngineTest, BadDestinationEndpointCounted) {
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  QueueSend(0, tx, Address(1, 999));  // out of range at the receiver
+  QueueSend(0, tx, Address(1, 5));    // valid index but inactive
+  RunAll();
+  EXPECT_EQ(engine_[1]->stats().drops_bad_address, 2u);
+}
+
+TEST_F(EngineTest, SendToUnknownNodeCompletesBuffer) {
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  const BufferIndex buffer = QueueSend(0, tx, Address(77, 0));
+  RunAll();
+  EXPECT_EQ(engine_[0]->stats().drops_bad_address, 1u);
+  // The application can still reclaim its buffer.
+  EXPECT_EQ(comm_[0]->queue(tx).Acquire(), buffer);
+}
+
+TEST_F(EngineTest, SendToWrongTypeEndpointDropped) {
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  const std::uint32_t peer_tx = MakeEndpoint(1, EndpointType::kSend);
+  QueueSend(0, tx, Address(1, static_cast<std::uint16_t>(peer_tx)));
+  RunAll();
+  EXPECT_EQ(engine_[1]->stats().drops_bad_address, 1u);
+}
+
+TEST_F(EngineTest, InvalidBufferIndexRejectedSafely) {
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  // An errant application writes garbage into its queue cell.
+  ASSERT_TRUE(comm_[0]->queue(tx).Release(0xdeadbeef));
+  RunAll();
+  EXPECT_EQ(engine_[0]->stats().validity_rejections, 1u);
+  EXPECT_EQ(engine_[0]->stats().messages_sent, 0u);
+  // The queue advanced past the garbage; the endpoint still works.
+  const std::uint32_t rx = MakeEndpoint(1, EndpointType::kReceive);
+  PostRecvBuffer(1, rx);
+  QueueSend(0, tx, Address(1, static_cast<std::uint16_t>(rx)));
+  RunAll();
+  EXPECT_EQ(engine_[1]->stats().messages_delivered, 1u);
+}
+
+TEST_F(EngineTest, ValidityChecksRejectInvalidDestination) {
+  // Rebuild engine 0 with checks on.
+  options_.validity_checks = true;
+  engine_[0] = std::make_unique<MessagingEngine>(*comm_[0], fabric_->wire(0), options_,
+                                                 &model_);
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  QueueSend(0, tx, Address::Invalid());
+  RunAll();
+  EXPECT_EQ(engine_[0]->stats().validity_rejections, 1u);
+  EXPECT_EQ(engine_[0]->stats().messages_sent, 0u);
+}
+
+TEST_F(EngineTest, RoundRobinAcrossSendEndpoints) {
+  const std::uint32_t tx_a = MakeEndpoint(0, EndpointType::kSend);
+  const std::uint32_t tx_b = MakeEndpoint(0, EndpointType::kSend);
+  const std::uint32_t rx = MakeEndpoint(1, EndpointType::kReceive);
+  const Address dst(1, static_cast<std::uint16_t>(rx));
+  for (int i = 0; i < 4; ++i) {
+    PostRecvBuffer(1, rx);
+  }
+  QueueSend(0, tx_a, dst, "a1");
+  QueueSend(0, tx_a, dst, "a2");
+  QueueSend(0, tx_b, dst, "b1");
+  QueueSend(0, tx_b, dst, "b2");
+
+  // Step the sender engine four times: round-robin must alternate.
+  std::vector<std::string> arrival_order;
+  for (int i = 0; i < 4; ++i) {
+    engine_[0]->Step();
+  }
+  sim_.Run();
+  while (engine_[1]->Step()) {
+  }
+  waitfree::BufferQueueView rx_queue = comm_[1]->queue(rx);
+  for (int i = 0; i < 4; ++i) {
+    const BufferIndex b = rx_queue.Acquire();
+    ASSERT_NE(b, waitfree::kInvalidBuffer);
+    arrival_order.emplace_back(reinterpret_cast<const char*>(comm_[1]->msg(b).payload));
+  }
+  EXPECT_EQ(arrival_order, (std::vector<std::string>{"a1", "b1", "a2", "b2"}));
+}
+
+TEST_F(EngineTest, PriorityScanPrefersHighPriorityEndpoint) {
+  options_.priority_scan = true;
+  engine_[0] = std::make_unique<MessagingEngine>(*comm_[0], fabric_->wire(0), options_,
+                                                 &model_);
+  const std::uint32_t tx_low = MakeEndpoint(0, EndpointType::kSend, 8, /*priority=*/1);
+  const std::uint32_t tx_high = MakeEndpoint(0, EndpointType::kSend, 8, /*priority=*/9);
+  const std::uint32_t rx = MakeEndpoint(1, EndpointType::kReceive);
+  const Address dst(1, static_cast<std::uint16_t>(rx));
+  for (int i = 0; i < 4; ++i) {
+    PostRecvBuffer(1, rx);
+  }
+  QueueSend(0, tx_low, dst, "low1");
+  QueueSend(0, tx_low, dst, "low2");
+  QueueSend(0, tx_high, dst, "high1");
+  QueueSend(0, tx_high, dst, "high2");
+
+  for (int i = 0; i < 4; ++i) {
+    engine_[0]->Step();
+  }
+  sim_.Run();
+  while (engine_[1]->Step()) {
+  }
+  std::vector<std::string> order;
+  waitfree::BufferQueueView rx_queue = comm_[1]->queue(rx);
+  for (int i = 0; i < 4; ++i) {
+    const BufferIndex b = rx_queue.Acquire();
+    ASSERT_NE(b, waitfree::kInvalidBuffer);
+    order.emplace_back(reinterpret_cast<const char*>(comm_[1]->msg(b).payload));
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"high1", "high2", "low1", "low2"}));
+}
+
+TEST_F(EngineTest, HooksFire) {
+  int receive_hook_calls = 0;
+  int send_hook_calls = 0;
+  bool last_delivered = false;
+  engine_[1]->SetReceiveHook([&](std::uint32_t, bool delivered) {
+    ++receive_hook_calls;
+    last_delivered = delivered;
+  });
+  engine_[0]->SetSendCompleteHook([&](std::uint32_t) { ++send_hook_calls; });
+
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  const std::uint32_t rx = MakeEndpoint(1, EndpointType::kReceive);
+  QueueSend(0, tx, Address(1, static_cast<std::uint16_t>(rx)));  // will drop
+  RunAll();
+  EXPECT_EQ(receive_hook_calls, 1);
+  EXPECT_FALSE(last_delivered);
+  EXPECT_EQ(send_hook_calls, 1);
+
+  PostRecvBuffer(1, rx);
+  QueueSend(0, tx, Address(1, static_cast<std::uint16_t>(rx)));
+  RunAll();
+  EXPECT_EQ(receive_hook_calls, 2);
+  EXPECT_TRUE(last_delivered);
+  EXPECT_EQ(send_hook_calls, 2);
+}
+
+// ------------------------- Protocol framework -------------------------------
+
+class RecordingHandler : public ProtocolHandler {
+ public:
+  void HandlePacket(simnet::Packet packet, simnet::CostAccumulator& cost) override {
+    cost.Charge(1234);
+    packets.push_back(std::move(packet));
+  }
+  bool PollWork(simnet::CostAccumulator&) override { return false; }
+
+  std::vector<simnet::Packet> packets;
+};
+
+TEST_F(EngineTest, ProtocolFrameworkDispatchesById) {
+  RecordingHandler handler;
+  ASSERT_TRUE(engine_[1]->RegisterProtocol(simnet::kProtocolKernelIpc, &handler).ok());
+
+  simnet::Packet packet;
+  packet.dst_node = 1;
+  packet.protocol = simnet::kProtocolKernelIpc;
+  packet.payload.resize(64);
+  ASSERT_TRUE(fabric_->wire(0).Send(std::move(packet)).ok());
+  RunAll();
+
+  ASSERT_EQ(handler.packets.size(), 1u);
+  EXPECT_EQ(handler.packets[0].src_node, 0u);
+  // Handler cost reaches the deferred-cost channel for the DES driver.
+  EXPECT_EQ(engine_[1]->TakeDeferredCost(), 1234);
+}
+
+TEST_F(EngineTest, UnknownProtocolCounted) {
+  simnet::Packet packet;
+  packet.dst_node = 1;
+  packet.protocol = 6;  // registered by nobody
+  ASSERT_TRUE(fabric_->wire(0).Send(std::move(packet)).ok());
+  RunAll();
+  EXPECT_EQ(engine_[1]->stats().unknown_protocol_packets, 1u);
+}
+
+TEST_F(EngineTest, RegisterProtocolValidation) {
+  RecordingHandler handler;
+  EXPECT_FALSE(engine_[0]->RegisterProtocol(simnet::kProtocolFlipc, &handler).ok());
+  EXPECT_FALSE(engine_[0]->RegisterProtocol(99, &handler).ok());
+  EXPECT_TRUE(engine_[0]->RegisterProtocol(3, &handler).ok());
+  EXPECT_EQ(engine_[0]->RegisterProtocol(3, &handler).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --------------------------- Plan/commit contract ----------------------------
+
+TEST_F(EngineTest, PlanIsIdempotentUntilCommit) {
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  const std::uint32_t rx = MakeEndpoint(1, EndpointType::kReceive);
+  PostRecvBuffer(1, rx);
+  QueueSend(0, tx, Address(1, static_cast<std::uint16_t>(rx)));
+
+  const DurationNs cost1 = engine_[0]->PlanStep();
+  const DurationNs cost2 = engine_[0]->PlanStep();
+  EXPECT_GT(cost1, 0);
+  EXPECT_EQ(cost1, cost2);
+  EXPECT_TRUE(engine_[0]->CommitStep());
+  EXPECT_EQ(engine_[0]->PlanStep(), 0);  // no more work
+  EXPECT_FALSE(engine_[0]->CommitStep());
+}
+
+TEST_F(EngineTest, HasWorkTracksState) {
+  EXPECT_FALSE(engine_[0]->HasWork());
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  EXPECT_FALSE(engine_[0]->HasWork());
+  QueueSend(0, tx, Address(1, 0));
+  EXPECT_TRUE(engine_[0]->HasWork());
+  engine_[0]->Step();
+  EXPECT_FALSE(engine_[0]->HasWork());
+}
+
+}  // namespace
+}  // namespace flipc::engine

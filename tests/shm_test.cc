@@ -1,0 +1,319 @@
+// Tests for the communication buffer: layout computation, formatting and
+// attach, buffer and endpoint allocation, and the 8-byte internal header
+// budget the paper specifies.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/shm/address.h"
+#include "src/shm/comm_buffer.h"
+#include "src/shm/endpoint_record.h"
+#include "src/shm/msg_header.h"
+
+namespace flipc::shm {
+namespace {
+
+CommBufferConfig SmallConfig() {
+  CommBufferConfig config;
+  config.message_size = 128;
+  config.buffer_count = 16;
+  config.max_endpoints = 4;
+  return config;
+}
+
+// --------------------------------- Address ---------------------------------
+
+TEST(Address, PackUnpack) {
+  const Address a(513, 7);
+  EXPECT_EQ(a.node(), 513);
+  EXPECT_EQ(a.endpoint(), 7);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(Address::FromPacked(a.packed()), a);
+}
+
+TEST(Address, InvalidSentinel) {
+  EXPECT_FALSE(Address::Invalid().valid());
+  EXPECT_FALSE(Address().valid());
+  EXPECT_TRUE(Address(0xffff, 0xfffe).valid());  // only all-ones is invalid
+}
+
+// -------------------------------- MsgHeader ---------------------------------
+
+TEST(MsgHeader, ExactlyEightBytes) {
+  // "FLIPC uses 8 bytes of each message for internal addressing and
+  // synchronization purposes."
+  EXPECT_EQ(sizeof(MsgHeader), 8u);
+  EXPECT_EQ(kMsgHeaderSize, 8u);
+}
+
+// ---------------------------------- Config ----------------------------------
+
+TEST(CommBufferConfig, ValidatesMessageSize) {
+  CommBufferConfig config = SmallConfig();
+  config.message_size = 32;  // below the 64-byte minimum
+  EXPECT_FALSE(config.Validate().ok());
+  config.message_size = 100;  // not a multiple of 32
+  EXPECT_FALSE(config.Validate().ok());
+  config.message_size = 64;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(CommBufferConfig, ValidatesCounts) {
+  CommBufferConfig config = SmallConfig();
+  config.buffer_count = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.max_endpoints = 0x10000;  // must fit the 16-bit address field
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+// ---------------------------------- Layout ----------------------------------
+
+TEST(CommBufferLayout, OffsetsAlignedAndOrdered) {
+  auto layout = CommBufferLayout::For(SmallConfig());
+  ASSERT_TRUE(layout.ok());
+  EXPECT_TRUE(IsAligned(layout->endpoint_table_offset, kCacheLineSize));
+  EXPECT_TRUE(IsAligned(layout->cell_arena_offset, kCacheLineSize));
+  EXPECT_TRUE(IsAligned(layout->freelist_offset, kCacheLineSize));
+  EXPECT_TRUE(IsAligned(layout->buffers_offset, kCacheLineSize));
+  EXPECT_LT(layout->endpoint_table_offset, layout->cell_arena_offset);
+  EXPECT_LT(layout->cell_arena_offset, layout->freelist_offset);
+  EXPECT_LT(layout->freelist_offset, layout->buffers_offset);
+  EXPECT_LT(layout->buffers_offset, layout->total_size);
+}
+
+class LayoutSizeTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(LayoutSizeTest, TotalCoversAllRegions) {
+  const auto [message_size, buffer_count] = GetParam();
+  CommBufferConfig config;
+  config.message_size = message_size;
+  config.buffer_count = buffer_count;
+  config.max_endpoints = 16;
+  auto layout = CommBufferLayout::For(config);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_GE(layout->total_size,
+            layout->buffers_offset + std::size_t{buffer_count} * message_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LayoutSizeTest,
+    ::testing::Combine(::testing::Values(64u, 128u, 256u, 1024u),
+                       ::testing::Values(1u, 16u, 1024u)));
+
+// --------------------------------- Lifecycle ---------------------------------
+
+TEST(CommBuffer, CreateFormatsHeader) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ((*buffer)->header().magic, kCommBufferMagic);
+  EXPECT_EQ((*buffer)->message_size(), 128u);
+  EXPECT_EQ((*buffer)->payload_size(), 120u);  // the paper's 120-byte payload
+  EXPECT_EQ((*buffer)->buffer_count(), 16u);
+  EXPECT_EQ((*buffer)->FreeBufferCount(), 16u);
+}
+
+TEST(CommBuffer, AttachValidates) {
+  auto layout = CommBufferLayout::For(SmallConfig());
+  ASSERT_TRUE(layout.ok());
+  std::vector<std::byte> region(layout->total_size + kCacheLineSize);
+  auto* base = reinterpret_cast<std::byte*>(
+      AlignUp(reinterpret_cast<std::uintptr_t>(region.data()), kCacheLineSize));
+
+  // Attach before formatting: bad magic.
+  EXPECT_FALSE(CommBuffer::Attach(base, layout->total_size).ok());
+
+  auto formatted = CommBuffer::Format(base, layout->total_size, SmallConfig());
+  ASSERT_TRUE(formatted.ok());
+  auto attached = CommBuffer::Attach(base, layout->total_size);
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ((*attached)->message_size(), 128u);
+
+  // The two views share state: allocate through one, observe via the other.
+  auto index = (*formatted)->AllocateBuffer();
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*attached)->FreeBufferCount(), 15u);
+}
+
+TEST(CommBuffer, FormatRejectsUndersizedRegion) {
+  std::vector<std::byte> region(256);
+  auto* base = reinterpret_cast<std::byte*>(
+      AlignUp(reinterpret_cast<std::uintptr_t>(region.data()), kCacheLineSize));
+  EXPECT_FALSE(CommBuffer::Format(base, 128, SmallConfig()).ok());
+}
+
+// ------------------------------ Buffer alloc --------------------------------
+
+TEST(CommBuffer, BufferAllocateFreeCycle) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  CommBuffer& comm = **buffer;
+
+  std::vector<BufferIndex> taken;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    auto index = comm.AllocateBuffer();
+    ASSERT_TRUE(index.ok());
+    EXPECT_TRUE(comm.IsValidBufferIndex(*index));
+    taken.push_back(*index);
+  }
+  EXPECT_EQ(comm.AllocateBuffer().status().code(), StatusCode::kResourceExhausted);
+
+  for (const BufferIndex index : taken) {
+    EXPECT_TRUE(comm.FreeBuffer(index).ok());
+  }
+  EXPECT_EQ(comm.FreeBufferCount(), 16u);
+  EXPECT_TRUE(comm.AllocateBuffer().ok());
+}
+
+TEST(CommBuffer, MsgViewsAreDisjointAndWritable) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  CommBuffer& comm = **buffer;
+  MsgView a = comm.msg(0);
+  MsgView b = comm.msg(1);
+  EXPECT_EQ(a.payload_size, 120u);
+  EXPECT_GE(static_cast<std::size_t>(b.payload - a.payload), comm.message_size());
+  std::memset(a.payload, 0xAA, a.payload_size);
+  std::memset(b.payload, 0x55, b.payload_size);
+  EXPECT_EQ(static_cast<unsigned char>(a.payload[0]), 0xAA);
+  EXPECT_EQ(static_cast<unsigned char>(b.payload[0]), 0x55);
+}
+
+TEST(CommBuffer, FreeBufferRejectsBadIndex) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ((*buffer)->FreeBuffer(9999).code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------- Endpoint alloc -------------------------------
+
+TEST(CommBuffer, EndpointAllocateActivates) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  CommBuffer& comm = **buffer;
+
+  CommBuffer::EndpointParams params;
+  params.type = EndpointType::kReceive;
+  params.queue_capacity = 8;
+  auto index = comm.AllocateEndpoint(params);
+  ASSERT_TRUE(index.ok());
+
+  EndpointRecord& record = comm.endpoint(*index);
+  EXPECT_TRUE(record.IsActive());
+  EXPECT_EQ(record.Type(), EndpointType::kReceive);
+  EXPECT_EQ(record.queue_capacity.Read(), 8u);
+
+  waitfree::BufferQueueView queue = comm.queue(*index);
+  EXPECT_EQ(queue.capacity(), 8u);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(CommBuffer, EndpointRejectsNonPowerOfTwoQueue) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  CommBuffer::EndpointParams params;
+  params.queue_capacity = 6;
+  EXPECT_EQ((*buffer)->AllocateEndpoint(params).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CommBuffer, EndpointTableExhaustion) {
+  auto buffer = CommBuffer::Create(SmallConfig());  // max_endpoints = 4
+  ASSERT_TRUE(buffer.ok());
+  CommBuffer::EndpointParams params;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*buffer)->AllocateEndpoint(params).ok());
+  }
+  EXPECT_EQ((*buffer)->AllocateEndpoint(params).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(CommBuffer, EndpointFreeRequiresDrainedQueue) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  CommBuffer& comm = **buffer;
+  auto index = comm.AllocateEndpoint({});
+  ASSERT_TRUE(index.ok());
+
+  waitfree::BufferQueueView queue = comm.queue(*index);
+  ASSERT_TRUE(queue.Release(0));
+  EXPECT_EQ(comm.FreeEndpoint(*index).code(), StatusCode::kFailedPrecondition);
+
+  queue.AdvanceProcess();
+  EXPECT_EQ(queue.Acquire(), 0u);
+  EXPECT_TRUE(comm.FreeEndpoint(*index).ok());
+  EXPECT_FALSE(comm.endpoint(*index).IsActive());
+  EXPECT_EQ(comm.FreeEndpoint(*index).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CommBuffer, EndpointCellReuseAfterFree) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  CommBuffer& comm = **buffer;
+
+  CommBuffer::EndpointParams params;
+  params.queue_capacity = 16;
+  auto first = comm.AllocateEndpoint(params);
+  ASSERT_TRUE(first.ok());
+  const std::uint32_t cells_before = comm.header().cells_used;
+  ASSERT_TRUE(comm.FreeEndpoint(*first).ok());
+
+  // Reallocation with capacity <= the reserved cells reuses them.
+  params.queue_capacity = 8;
+  auto second = comm.AllocateEndpoint(params);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(comm.header().cells_used, cells_before);
+}
+
+TEST(CommBuffer, CellArenaExhaustion) {
+  CommBufferConfig config = SmallConfig();
+  config.cell_arena_size = 8;
+  auto buffer = CommBuffer::Create(config);
+  ASSERT_TRUE(buffer.ok());
+  CommBuffer::EndpointParams params;
+  params.queue_capacity = 8;
+  ASSERT_TRUE((*buffer)->AllocateEndpoint(params).ok());
+  EXPECT_EQ((*buffer)->AllocateEndpoint(params).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// Drop counter embedded in the endpoint record (wait-free dual-location).
+TEST(CommBuffer, EndpointDropCounter) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  auto index = (*buffer)->AllocateEndpoint({});
+  ASSERT_TRUE(index.ok());
+  EndpointRecord& record = (*buffer)->endpoint(*index);
+  record.RecordDrop();
+  record.RecordDrop();
+  EXPECT_EQ(record.DropCount(), 2u);
+  EXPECT_EQ(record.ReadAndResetDrops(), 2u);
+  EXPECT_EQ(record.DropCount(), 0u);
+  record.RecordDrop();
+  EXPECT_EQ(record.DropCount(), 1u);
+}
+
+TEST(EndpointRecord, FourCacheLines) {
+  EXPECT_EQ(sizeof(EndpointRecord), 4 * kCacheLineSize);
+}
+
+// "FLIPC shields applications from buffer alignment restrictions by
+// internalizing all message buffers" — every buffer must satisfy the
+// Paragon DMA constraint (32-byte alignment) by construction.
+TEST(CommBuffer, AllBuffersDmaAligned) {
+  auto buffer = CommBuffer::Create(SmallConfig());
+  ASSERT_TRUE(buffer.ok());
+  for (std::uint32_t i = 0; i < (*buffer)->buffer_count(); ++i) {
+    MsgView view = (*buffer)->msg(i);
+    EXPECT_TRUE(IsAligned(reinterpret_cast<std::uintptr_t>(view.header),
+                          kMessageSizeMultiple))
+        << "buffer " << i;
+    // Payload starts 8 bytes in: 8-byte aligned for typed overlays.
+    EXPECT_TRUE(IsAligned(reinterpret_cast<std::uintptr_t>(view.payload), 8));
+  }
+}
+
+}  // namespace
+}  // namespace flipc::shm

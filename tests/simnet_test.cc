@@ -1,0 +1,240 @@
+// Tests for the discrete-event simulator and the fabric/link models.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/simnet/des.h"
+#include "src/simnet/fabric.h"
+#include "src/simnet/link_model.h"
+#include "src/simnet/packet.h"
+
+namespace flipc::simnet {
+namespace {
+
+// ----------------------------------- DES ------------------------------------
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, HandlersMayScheduleMore) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) {
+      sim.ScheduleAfter(10, chain);
+    }
+  };
+  sim.ScheduleAt(0, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.ScheduleAt(100, [] {});
+  sim.Run();
+  TimeNs fired_at = -1;
+  sim.ScheduleAt(5, [&] { fired_at = sim.Now(); });  // in the past
+  sim.Run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulator, RunWhileReportsStall) {
+  Simulator sim;
+  bool flag = false;
+  sim.ScheduleAt(10, [&] { flag = false; });  // never satisfies
+  EXPECT_FALSE(sim.RunWhile([&] { return !flag; }));
+}
+
+TEST(CostAccumulator, ChargesAndTakes) {
+  CostAccumulator cost;
+  cost.Charge(100);
+  cost.Charge(50);
+  EXPECT_EQ(cost.total(), 150);
+  EXPECT_EQ(cost.Take(), 150);
+  EXPECT_EQ(cost.total(), 0);
+}
+
+// -------------------------------- Link models --------------------------------
+
+TEST(MeshLinkModel, XyHopCount) {
+  MeshLinkModel::Params params;
+  params.width = 4;
+  MeshLinkModel mesh(params);
+  EXPECT_EQ(mesh.Hops(0, 0), 0u);
+  EXPECT_EQ(mesh.Hops(0, 3), 3u);   // same row
+  EXPECT_EQ(mesh.Hops(0, 12), 3u);  // same column (12 = (0,3))
+  EXPECT_EQ(mesh.Hops(0, 15), 6u);  // corner to corner
+  EXPECT_EQ(mesh.Hops(5, 10), 2u);  // (1,1) -> (2,2)
+}
+
+TEST(MeshLinkModel, SerializationAtHardwareRate) {
+  MeshLinkModel mesh;  // 5 ns/byte default = 200 MB/s
+  EXPECT_EQ(mesh.SerializationNs(0, 1, 200), 1000);
+  EXPECT_EQ(mesh.SerializationNs(0, 1, 0), 0);
+}
+
+TEST(EthernetAndScsi, HaveExpectedShape) {
+  EthernetLinkModel ether;
+  ScsiLinkModel scsi;
+  // Ethernet: cheap-ish fixed cost but very slow per byte vs SCSI.
+  EXPECT_GT(ether.SerializationNs(0, 1, 1000), scsi.SerializationNs(0, 1, 1000));
+  // SCSI arbitration makes small transfers expensive.
+  EXPECT_GT(scsi.SerializationNs(0, 1, 16), 10'000);
+}
+
+// --------------------------------- SimFabric ---------------------------------
+
+Packet MakePacket(NodeId dst, std::size_t bytes, std::uint64_t seq = 0) {
+  Packet p;
+  p.dst_node = dst;
+  p.protocol = kProtocolFlipc;
+  p.seq = seq;
+  p.payload.resize(bytes);
+  return p;
+}
+
+TEST(SimFabric, DeliversWithModeledLatency) {
+  Simulator sim;
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 4);
+  ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 100)).ok());
+
+  Packet received;
+  EXPECT_FALSE(fabric.wire(1).Poll(&received));
+  sim.Run();
+  ASSERT_TRUE(fabric.wire(1).Poll(&received));
+  EXPECT_EQ(received.src_node, 0u);
+  EXPECT_EQ(received.payload.size(), 100u);
+  // serialization (116 B * 5) + fixed 100 + 1 hop * 40 = 720.
+  EXPECT_EQ(sim.Now(), 720);
+}
+
+TEST(SimFabric, PerPairFifoEvenWhenSizesDiffer) {
+  Simulator sim;
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 2);
+  // A large packet then a tiny one: the tiny one must not overtake.
+  ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 4096, 1)).ok());
+  ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 8, 2)).ok());
+  sim.Run();
+  Packet first, second;
+  ASSERT_TRUE(fabric.wire(1).Poll(&first));
+  ASSERT_TRUE(fabric.wire(1).Poll(&second));
+  EXPECT_EQ(first.seq, 1u);
+  EXPECT_EQ(second.seq, 2u);
+}
+
+TEST(SimFabric, SendsSerializeAtSource) {
+  Simulator sim;
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 2);
+  std::vector<TimeNs> deliveries;
+  fabric.SetDeliveryCallback(1, [&] { deliveries.push_back(sim.Now()); });
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 984)).ok());  // 1000 B wire
+  }
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  // Each packet needs 5000 ns of wire time; arrivals pace at that interval.
+  EXPECT_EQ(deliveries[1] - deliveries[0], 5000);
+  EXPECT_EQ(deliveries[2] - deliveries[1], 5000);
+}
+
+TEST(SimFabric, UnknownDestinationRejected) {
+  Simulator sim;
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 2);
+  EXPECT_EQ(fabric.wire(0).Send(MakePacket(9, 10)).code(), StatusCode::kNotFound);
+}
+
+TEST(SimFabric, FaultInjectionDropsSome) {
+  Simulator sim;
+  SimFabric::Options options;
+  options.drop_probability = 0.5;
+  options.fault_seed = 42;
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 2, options);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 16)).ok());
+  }
+  sim.Run();
+  std::size_t delivered = 0;
+  Packet p;
+  while (fabric.wire(1).Poll(&p)) {
+    ++delivered;
+  }
+  EXPECT_EQ(delivered + fabric.packets_dropped_by_fabric(), 200u);
+  EXPECT_GT(fabric.packets_dropped_by_fabric(), 50u);
+  EXPECT_LT(fabric.packets_dropped_by_fabric(), 150u);
+}
+
+TEST(SimFabric, CountsTraffic) {
+  Simulator sim;
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 2);
+  ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 100)).ok());
+  ASSERT_TRUE(fabric.wire(1).Send(MakePacket(0, 50)).ok());
+  sim.Run();
+  EXPECT_EQ(fabric.packets_sent(), 2u);
+  EXPECT_EQ(fabric.bytes_sent(), 100u + 50u + 2 * kPacketWireHeaderBytes);
+}
+
+// -------------------------------- ThreadFabric -------------------------------
+
+TEST(ThreadFabric, ImmediateInOrderDelivery) {
+  ThreadFabric fabric(2);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 8, i)).ok());
+  }
+  EXPECT_EQ(fabric.wire(1).PendingCount(), 10u);
+  Packet p;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fabric.wire(1).Poll(&p));
+    EXPECT_EQ(p.seq, i);
+    EXPECT_EQ(p.src_node, 0u);
+  }
+  EXPECT_FALSE(fabric.wire(1).Poll(&p));
+}
+
+TEST(ThreadFabric, DeliveryCallbackFires) {
+  ThreadFabric fabric(2);
+  int calls = 0;
+  fabric.SetDeliveryCallback(1, [&] { ++calls; });
+  ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 8)).ok());
+  ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 8)).ok());
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace flipc::simnet

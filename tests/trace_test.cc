@@ -1,0 +1,121 @@
+// Tests for the trace ring and its engine integration.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/base/trace.h"
+#include "src/flipc/flipc.h"
+
+namespace flipc {
+namespace {
+
+TEST(TraceRing, RecordsInOrder) {
+  TraceRing ring(16);
+  ring.Record(10, TraceEvent::kEngineSend, 1, 100);
+  ring.Record(20, TraceEvent::kEngineDeliver, 2, 200);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time_ns, 10);
+  EXPECT_EQ(events[0].event, TraceEvent::kEngineSend);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[1].b, 200u);
+}
+
+TEST(TraceRing, WrapsKeepingNewest) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.Record(i, TraceEvent::kApiSend, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().a, 6u);  // oldest retained
+  EXPECT_EQ(events.back().a, 9u);   // newest
+}
+
+TEST(TraceRing, ClearResets) {
+  TraceRing ring(4);
+  ring.Record(1, TraceEvent::kApiSend);
+  ring.Clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST(TraceRing, ZeroCapacityClampsToOne) {
+  TraceRing ring(0);
+  ring.Record(1, TraceEvent::kApiSend);
+  EXPECT_EQ(ring.Snapshot().size(), 1u);
+}
+
+TEST(TraceEventNames, AllNamed) {
+  for (const TraceEvent event :
+       {TraceEvent::kEngineSend, TraceEvent::kEngineDeliver, TraceEvent::kEngineDrop,
+        TraceEvent::kEngineReject, TraceEvent::kApiSend, TraceEvent::kApiReceive}) {
+    EXPECT_NE(TraceEventName(event), "unknown");
+    EXPECT_FALSE(TraceEventName(event).empty());
+  }
+}
+
+TEST(EngineTrace, RecordsSendDeliverDrop) {
+  SimCluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = 128;
+  auto cluster = SimCluster::Create(std::move(options));
+  ASSERT_TRUE(cluster.ok());
+
+  TraceRing tx_trace(64);
+  TraceRing rx_trace(64);
+  (*cluster)->engine(0).SetTrace(&tx_trace);
+  (*cluster)->engine(1).SetTrace(&rx_trace);
+
+  Domain& a = (*cluster)->domain(0);
+  Domain& b = (*cluster)->domain(1);
+  auto rx = b.CreateEndpoint({.type = shm::EndpointType::kReceive});
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  ASSERT_TRUE(rx.ok() && tx.ok());
+
+  // First message drops (no buffer), second delivers.
+  auto msg1 = a.AllocateBuffer();
+  ASSERT_TRUE(tx->Send(*msg1, rx->address()).ok());
+  (*cluster)->sim().Run();
+  auto rx_buf = b.AllocateBuffer();
+  ASSERT_TRUE(rx->PostBuffer(*rx_buf).ok());
+  auto msg2 = tx->Reclaim();
+  ASSERT_TRUE(msg2.ok());
+  ASSERT_TRUE(tx->Send(*msg2, rx->address()).ok());
+  (*cluster)->sim().Run();
+
+  const auto tx_events = tx_trace.Snapshot();
+  ASSERT_EQ(tx_events.size(), 2u);
+  EXPECT_EQ(tx_events[0].event, TraceEvent::kEngineSend);
+  EXPECT_EQ(tx_events[0].a, tx->index());
+  EXPECT_LT(tx_events[0].time_ns, tx_events[1].time_ns);  // virtual timestamps
+
+  const auto rx_events = rx_trace.Snapshot();
+  ASSERT_EQ(rx_events.size(), 2u);
+  EXPECT_EQ(rx_events[0].event, TraceEvent::kEngineDrop);
+  EXPECT_EQ(rx_events[1].event, TraceEvent::kEngineDeliver);
+  EXPECT_EQ(rx_events[1].a, rx->index());
+}
+
+TEST(EngineTrace, DisabledByDefault) {
+  SimCluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = 128;
+  auto cluster = SimCluster::Create(std::move(options));
+  ASSERT_TRUE(cluster.ok());
+  // No SetTrace: traffic must flow without touching any ring.
+  Domain& a = (*cluster)->domain(0);
+  Domain& b = (*cluster)->domain(1);
+  auto rx = b.CreateEndpoint({.type = shm::EndpointType::kReceive});
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  auto rx_buf = b.AllocateBuffer();
+  ASSERT_TRUE(rx->PostBuffer(*rx_buf).ok());
+  auto msg = a.AllocateBuffer();
+  ASSERT_TRUE(tx->Send(*msg, rx->address()).ok());
+  (*cluster)->sim().Run();
+  EXPECT_TRUE(rx->Receive().ok());
+}
+
+}  // namespace
+}  // namespace flipc

@@ -1,0 +1,334 @@
+// Tests for the paper's wait-free structures: the dual-location drop
+// counter and the three-cursor endpoint buffer queue (Figure 3). Includes
+// real-concurrency stress tests that pit an "application" thread against an
+// "engine" thread, and parameterized property sweeps over queue capacities
+// and randomized interleavings.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/waitfree/buffer_queue.h"
+#include "src/waitfree/drop_counter.h"
+#include "src/waitfree/msg_state.h"
+#include "src/waitfree/single_writer.h"
+
+namespace flipc::waitfree {
+namespace {
+
+// ------------------------------ SingleWriterCell ---------------------------
+
+TEST(SingleWriterCell, PublishRead) {
+  SingleWriterCell<std::uint32_t> cell(5);
+  EXPECT_EQ(cell.Read(), 5u);
+  cell.Publish(9);
+  EXPECT_EQ(cell.Read(), 9u);
+  EXPECT_EQ(cell.ReadRelaxed(), 9u);
+}
+
+TEST(SingleWriterCell, CrossThreadVisibility) {
+  SingleWriterCell<std::uint64_t> cell;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 100000; ++i) {
+      cell.Publish(i);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::uint64_t last = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    const std::uint64_t v = cell.Read();
+    EXPECT_GE(v, last);  // single writer increments monotonically
+    last = v;
+    std::this_thread::yield();
+  }
+  writer.join();
+  EXPECT_EQ(cell.Read(), 100000u);
+}
+
+// -------------------------------- DropCounter -------------------------------
+
+TEST(DropCounter, CountsAndResets) {
+  DropCounter counter;
+  EXPECT_EQ(counter.Count(), 0u);
+  counter.RecordDrop();
+  counter.RecordDrop();
+  EXPECT_EQ(counter.Count(), 2u);
+  EXPECT_EQ(counter.ReadAndReset(), 2u);
+  EXPECT_EQ(counter.Count(), 0u);
+  counter.RecordDrop();
+  EXPECT_EQ(counter.Count(), 1u);
+  EXPECT_EQ(counter.LifetimeCount(), 3u);
+}
+
+// The paper's motivating property: a drop racing with read-and-reset is
+// never lost. With a single memory location it would be; with the dual
+// location scheme the totals must always balance.
+TEST(DropCounter, NoDropLostUnderConcurrentResets) {
+  DropCounter counter;
+  constexpr std::uint64_t kDrops = 200000;
+  std::atomic<bool> engine_done{false};
+  std::uint64_t reclaimed_total = 0;
+
+  std::thread engine([&] {
+    for (std::uint64_t i = 0; i < kDrops; ++i) {
+      counter.RecordDrop();
+    }
+    engine_done.store(true, std::memory_order_release);
+  });
+
+  while (!engine_done.load(std::memory_order_acquire)) {
+    reclaimed_total += counter.ReadAndReset();
+    std::this_thread::yield();
+  }
+  engine.join();
+  reclaimed_total += counter.ReadAndReset();
+
+  EXPECT_EQ(reclaimed_total, kDrops);
+  EXPECT_EQ(counter.Count(), 0u);
+  EXPECT_EQ(counter.LifetimeCount(), kDrops);
+}
+
+// Randomized interleaving property: any sequence of drops and resets keeps
+// (sum of reset results) + Count() == total drops.
+TEST(DropCounter, InterleavingInvariant) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    DropCounter counter;
+    std::uint64_t drops = 0;
+    std::uint64_t reclaimed = 0;
+    for (int op = 0; op < 200; ++op) {
+      if (rng.Chance(0.7)) {
+        counter.RecordDrop();
+        ++drops;
+      } else {
+        reclaimed += counter.ReadAndReset();
+      }
+      ASSERT_EQ(reclaimed + counter.Count(), drops);
+    }
+  }
+}
+
+TEST(PaddedDropCounterParts, SeparatesWriterLines) {
+  PaddedDropCounterParts counter;
+  const auto dropped_addr = reinterpret_cast<std::uintptr_t>(&counter.dropped);
+  const auto reclaimed_addr = reinterpret_cast<std::uintptr_t>(&counter.reclaimed);
+  EXPECT_GE(reclaimed_addr - dropped_addr, kCacheLineSize);
+  counter.RecordDrop();
+  EXPECT_EQ(counter.ReadAndReset(), 1u);
+}
+
+// -------------------------------- BufferQueue --------------------------------
+
+TEST(BufferQueue, StartsEmptyWithPaperConditions) {
+  InlineBufferQueue<8> queue;
+  BufferQueueView& view = queue.view();
+  // "The queue is empty when all three pointers point to the same location."
+  EXPECT_TRUE(view.Empty());
+  EXPECT_EQ(view.ProcessableCount(), 0u);
+  EXPECT_EQ(view.AcquirableCount(), 0u);
+  EXPECT_EQ(view.Acquire(), kInvalidBuffer);
+  EXPECT_EQ(view.PeekProcess(), kInvalidBuffer);
+}
+
+TEST(BufferQueue, ReleaseProcessAcquireCycle) {
+  InlineBufferQueue<8> queue;
+  BufferQueueView& view = queue.view();
+
+  ASSERT_TRUE(view.Release(42));
+  // Half-empty condition 1: released but unprocessed.
+  EXPECT_EQ(view.ProcessableCount(), 1u);
+  EXPECT_EQ(view.AcquirableCount(), 0u);
+  EXPECT_EQ(view.Acquire(), kInvalidBuffer);  // nothing processed yet
+
+  EXPECT_EQ(view.PeekProcess(), 42u);
+  view.AdvanceProcess();
+  // Half-empty condition 2: processed but unacquired.
+  EXPECT_EQ(view.ProcessableCount(), 0u);
+  EXPECT_EQ(view.AcquirableCount(), 1u);
+  EXPECT_EQ(view.PeekProcess(), kInvalidBuffer);
+
+  EXPECT_EQ(view.Acquire(), 42u);
+  EXPECT_TRUE(view.Empty());
+}
+
+TEST(BufferQueue, FullRejectsRelease) {
+  InlineBufferQueue<4> queue;
+  BufferQueueView& view = queue.view();
+  for (BufferIndex i = 0; i < 4; ++i) {
+    ASSERT_TRUE(view.Release(i));
+  }
+  EXPECT_TRUE(view.Full());
+  EXPECT_FALSE(view.Release(99));
+
+  // Processing alone does not free slots — only acquisition does (the
+  // buffer still belongs to the endpoint until the app takes it back).
+  view.AdvanceProcess();
+  EXPECT_FALSE(view.Release(99));
+  EXPECT_EQ(view.Acquire(), 0u);
+  EXPECT_TRUE(view.Release(99));
+}
+
+TEST(BufferQueue, FifoOrderPreserved) {
+  InlineBufferQueue<16> queue;
+  BufferQueueView& view = queue.view();
+  for (BufferIndex i = 0; i < 10; ++i) {
+    ASSERT_TRUE(view.Release(i * 7));
+  }
+  for (BufferIndex i = 0; i < 10; ++i) {
+    ASSERT_EQ(view.PeekProcess(), i * 7);
+    view.AdvanceProcess();
+    EXPECT_EQ(view.Acquire(), i * 7);
+  }
+}
+
+TEST(BufferQueue, CounterWraparound) {
+  // Free-running 32-bit cursors must survive wrap. Start near the wrap
+  // point by cycling a small queue many times... simulated by direct churn.
+  InlineBufferQueue<2> queue;
+  BufferQueueView& view = queue.view();
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(view.Release(i));
+    ASSERT_EQ(view.PeekProcess(), i);
+    view.AdvanceProcess();
+    ASSERT_EQ(view.Acquire(), i);
+  }
+  EXPECT_TRUE(view.Empty());
+}
+
+// Property sweep over capacities: random mixed operations maintain the
+// queue invariants acquire <= process <= release <= acquire + capacity.
+class BufferQueuePropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BufferQueuePropertyTest, RandomOpsKeepInvariants) {
+  const std::uint32_t capacity = GetParam();
+  std::vector<QueueCursors> cursors(1);
+  std::vector<SingleWriterCell<BufferIndex>> cells(capacity);
+  BufferQueueView view(&cursors[0], cells.data(), capacity);
+
+  Rng rng(capacity * 1000003);
+  std::uint32_t next_value = 0;
+  std::uint32_t expect_process = 0;
+  std::uint32_t expect_acquire = 0;
+
+  for (int op = 0; op < 20000; ++op) {
+    switch (rng.Below(3)) {
+      case 0:
+        if (view.Release(next_value)) {
+          ++next_value;
+        } else {
+          ASSERT_EQ(view.Size(), capacity);
+        }
+        break;
+      case 1: {
+        const BufferIndex peeked = view.PeekProcess();
+        if (peeked != kInvalidBuffer) {
+          ASSERT_EQ(peeked, expect_process);
+          view.AdvanceProcess();
+          ++expect_process;
+        }
+        break;
+      }
+      case 2: {
+        const BufferIndex acquired = view.Acquire();
+        if (acquired != kInvalidBuffer) {
+          ASSERT_EQ(acquired, expect_acquire);
+          ++expect_acquire;
+        }
+        break;
+      }
+    }
+    // Cursor ordering invariants.
+    ASSERT_LE(expect_acquire, expect_process);
+    ASSERT_LE(expect_process, next_value);
+    ASSERT_LE(next_value - expect_acquire, capacity);
+    ASSERT_EQ(view.Size(), next_value - expect_acquire);
+    ASSERT_EQ(view.ProcessableCount(), next_value - expect_process);
+    ASSERT_EQ(view.AcquirableCount(), expect_process - expect_acquire);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BufferQueuePropertyTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 32u, 256u));
+
+// Real-concurrency stress: one application thread (release + acquire) and
+// one engine thread (peek + advance) hammer the queue; every value must
+// round-trip exactly once, in order.
+class BufferQueueStressTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BufferQueueStressTest, TwoThreadRoundTrip) {
+  const std::uint32_t capacity = GetParam();
+  std::vector<QueueCursors> cursors(1);
+  std::vector<SingleWriterCell<BufferIndex>> cells(capacity);
+  BufferQueueView view(&cursors[0], cells.data(), capacity);
+
+  constexpr std::uint32_t kItems = 30000;
+  std::atomic<bool> engine_stop{false};
+
+  std::thread engine([&] {
+    std::uint32_t processed = 0;
+    while (processed < kItems) {
+      if (view.PeekProcess() != kInvalidBuffer) {
+        view.AdvanceProcess();
+        ++processed;
+      } else {
+        // On a single-CPU host, spinning through a whole quantum starves
+        // the other side; yield when idle.
+        std::this_thread::yield();
+      }
+      if (engine_stop.load(std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  });
+
+  std::uint32_t released = 0;
+  std::uint32_t acquired = 0;
+  while (acquired < kItems) {
+    bool progress = false;
+    if (released < kItems && view.Release(released)) {
+      ++released;
+      progress = true;
+    }
+    const BufferIndex value = view.Acquire();
+    if (value != kInvalidBuffer) {
+      ASSERT_EQ(value, acquired);  // strict FIFO round-trip
+      ++acquired;
+      progress = true;
+    }
+    if (!progress) {
+      std::this_thread::yield();
+    }
+  }
+  engine_stop.store(true, std::memory_order_relaxed);
+  engine.join();
+  EXPECT_TRUE(view.Empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BufferQueueStressTest,
+                         ::testing::Values(1u, 4u, 64u));
+
+// -------------------------------- HandoffState ------------------------------
+
+TEST(HandoffState, Transitions) {
+  HandoffState state;
+  EXPECT_EQ(state.Load(), MsgState::kFree);
+  EXPECT_FALSE(state.IsCompleted());
+  state.Store(MsgState::kReady);
+  EXPECT_EQ(state.Load(), MsgState::kReady);
+  state.Store(MsgState::kCompleted);
+  EXPECT_TRUE(state.IsCompleted());
+}
+
+// Layout assertion from the paper's false-sharing fix.
+TEST(QueueCursors, WriterLinesDoNotOverlap) {
+  QueueCursors cursors;
+  const auto app_line = reinterpret_cast<std::uintptr_t>(&cursors.release_count);
+  const auto engine_line = reinterpret_cast<std::uintptr_t>(&cursors.process_count);
+  EXPECT_GE(engine_line - app_line, kCacheLineSize);
+}
+
+}  // namespace
+}  // namespace flipc::waitfree

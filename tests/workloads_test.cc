@@ -1,0 +1,252 @@
+// Tests for the simulated workload actors and multi-node cluster behaviour:
+// sample accounting, jitter determinism, stream throughput properties, mesh
+// hop-count effects, and all-to-all traffic across larger clusters.
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/flipc/flipc.h"
+#include "src/flipc/sim_workloads.h"
+
+namespace flipc {
+namespace {
+
+std::unique_ptr<SimCluster> MakeCluster(std::uint32_t nodes,
+                                        std::uint32_t message_size = 128) {
+  SimCluster::Options options;
+  options.node_count = nodes;
+  options.comm.message_size = message_size;
+  options.comm.buffer_count = 128;
+  options.comm.max_endpoints = 32;
+  auto cluster = SimCluster::Create(std::move(options));
+  EXPECT_TRUE(cluster.ok());
+  return std::move(cluster).value();
+}
+
+// ------------------------------ Ping-pong actor ------------------------------
+
+TEST(PingPong, SampleAccounting) {
+  auto cluster = MakeCluster(2);
+  sim::PingPongConfig config;
+  config.exchanges = 40;
+  config.cache_warm_exchanges = 8;
+  auto result = sim::RunPingPong(*cluster, config);
+  ASSERT_TRUE(result.ok());
+  // 80 one-ways minus the 16 cache-cold samples.
+  EXPECT_EQ(result->one_way_ns.count(), 64u);
+  EXPECT_EQ(result->samples_ns.size(), 64u);
+}
+
+TEST(PingPong, RecordFirstCapturesStartup) {
+  auto cluster = MakeCluster(2);
+  sim::PingPongConfig config;
+  config.exchanges = 40;
+  config.record_first = 10;
+  auto result = sim::RunPingPong(*cluster, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->one_way_ns.count(), 10u);
+}
+
+TEST(PingPong, ZeroJitterIsNoiseFree) {
+  auto cluster = MakeCluster(2);
+  auto result = sim::RunPingPong(*cluster, {.exchanges = 60});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->one_way_ns.stddev(), 0.0);  // deterministic pipeline
+}
+
+TEST(PingPong, JitterMatchesRequestedSigma) {
+  auto cluster = MakeCluster(2);
+  sim::PingPongConfig config;
+  config.exchanges = 2000;
+  config.jitter_stddev_ns = 400;
+  auto result = sim::RunPingPong(*cluster, config);
+  ASSERT_TRUE(result.ok());
+  // Two independent 400 ns jitters per one-way -> sigma ~ 566 ns.
+  EXPECT_NEAR(result->one_way_ns.stddev(), 566.0, 60.0);
+}
+
+TEST(PingPong, WorksBetweenDistantMeshNodes) {
+  // 16-node mesh (4x4): corner-to-corner has 6 hops vs 1 for neighbours;
+  // with 40 ns per hop the latency difference must be exactly 200 ns.
+  auto near_cluster = MakeCluster(16);
+  sim::PingPongConfig near_config;
+  near_config.exchanges = 50;
+  near_config.node_a = 0;
+  near_config.node_b = 1;
+  auto near_result = sim::RunPingPong(*near_cluster, near_config);
+  ASSERT_TRUE(near_result.ok());
+
+  auto far_cluster = MakeCluster(16);
+  sim::PingPongConfig far_config;
+  far_config.exchanges = 50;
+  far_config.node_a = 0;
+  far_config.node_b = 15;
+  auto far_result = sim::RunPingPong(*far_cluster, far_config);
+  ASSERT_TRUE(far_result.ok());
+
+  EXPECT_NEAR(far_result->one_way_ns.mean() - near_result->one_way_ns.mean(),
+              5 * 40.0, 1.0);
+}
+
+// -------------------------------- Stream actor -------------------------------
+
+TEST(Stream, DeliversEveryMessage) {
+  auto cluster = MakeCluster(2);
+  sim::StreamConfig config;
+  config.total_messages = 300;
+  auto result = sim::RunStream(*cluster, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->messages_delivered, 300u);
+  EXPECT_EQ(result->payload_bytes, 300u * 120u);
+  EXPECT_EQ(cluster->engine(1).stats().drops_no_buffer, 0u);
+}
+
+TEST(Stream, ThroughputGrowsWithMessageSize) {
+  double previous = 0.0;
+  for (const std::uint32_t size : {64u, 256u, 1024u}) {
+    auto cluster = MakeCluster(2, size);
+    auto result = sim::RunStream(*cluster, {.total_messages = 200});
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->ThroughputMBps(), previous);
+    previous = result->ThroughputMBps();
+  }
+}
+
+TEST(Stream, DeeperPipelineIsNotSlower) {
+  auto shallow_cluster = MakeCluster(2);
+  sim::StreamConfig shallow;
+  shallow.total_messages = 200;
+  shallow.pipeline_depth = 2;
+  auto shallow_result = sim::RunStream(*shallow_cluster, shallow);
+  ASSERT_TRUE(shallow_result.ok());
+
+  auto deep_cluster = MakeCluster(2);
+  sim::StreamConfig deep;
+  deep.total_messages = 200;
+  deep.pipeline_depth = 16;
+  auto deep_result = sim::RunStream(*deep_cluster, deep);
+  ASSERT_TRUE(deep_result.ok());
+
+  EXPECT_GE(deep_result->ThroughputMBps(), shallow_result->ThroughputMBps());
+}
+
+// The native engine is fabric-agnostic: the same ping-pong runs over the
+// Ethernet and SCSI development-cluster link models (the paper's
+// portability claim applies to the native engine too, not just KKT).
+class NativeFabricTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NativeFabricTest, PingPongOverDevelopmentFabrics) {
+  std::unique_ptr<simnet::LinkModel> link;
+  const std::string which = GetParam();
+  if (which == "ethernet") {
+    link = std::make_unique<simnet::EthernetLinkModel>();
+  } else {
+    link = std::make_unique<simnet::ScsiLinkModel>();
+  }
+  SimCluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = 128;
+  options.model = engine::PcClusterModel();
+  options.link_model = std::move(link);
+  auto cluster = SimCluster::Create(std::move(options));
+  ASSERT_TRUE(cluster.ok());
+  auto result = sim::RunPingPong(**cluster, {.exchanges = 30});
+  ASSERT_TRUE(result.ok());
+  // Development platforms are much slower than the Paragon, but complete.
+  EXPECT_GT(result->one_way_ns.mean(), 16'250.0);
+  EXPECT_EQ((*cluster)->engine(1).stats().drops_no_buffer, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, NativeFabricTest,
+                         ::testing::Values("ethernet", "scsi"));
+
+// ---------------------------- Multi-node traffic -----------------------------
+
+TEST(MultiNode, AllToAllDeliversEverything) {
+  constexpr std::uint32_t kNodes = 8;
+  constexpr int kPerPair = 5;
+  auto cluster = MakeCluster(kNodes);
+
+  // One receive endpoint per node; every node sends kPerPair messages to
+  // every other node.
+  std::vector<Endpoint> rx;
+  std::vector<Endpoint> tx;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    auto r = cluster->domain(n).CreateEndpoint(
+        {.type = shm::EndpointType::kReceive, .queue_depth = 64});
+    auto t = cluster->domain(n).CreateEndpoint(
+        {.type = shm::EndpointType::kSend, .queue_depth = 64});
+    ASSERT_TRUE(r.ok() && t.ok());
+    for (int i = 0; i < static_cast<int>(kNodes) * kPerPair; ++i) {
+      auto buffer = cluster->domain(n).AllocateBuffer();
+      ASSERT_TRUE(buffer.ok());
+      ASSERT_TRUE(r->PostBuffer(*buffer).ok());
+    }
+    rx.push_back(*r);
+    tx.push_back(*t);
+  }
+
+  for (NodeId src = 0; src < kNodes; ++src) {
+    for (NodeId dst = 0; dst < kNodes; ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      for (int i = 0; i < kPerPair; ++i) {
+        auto msg = cluster->domain(src).AllocateBuffer();
+        ASSERT_TRUE(msg.ok());
+        *msg->As<std::uint32_t>() = (src << 16) | static_cast<std::uint32_t>(i);
+        ASSERT_TRUE(tx[src].SendUnlocked(*msg, rx[dst].address()).ok());
+      }
+    }
+  }
+  cluster->sim().Run();
+
+  for (NodeId dst = 0; dst < kNodes; ++dst) {
+    std::map<std::uint32_t, std::uint32_t> next_seq;  // per-sender FIFO check
+    int received = 0;
+    for (;;) {
+      auto message = rx[dst].ReceiveUnlocked();
+      if (!message.ok()) {
+        break;
+      }
+      const std::uint32_t value = *message->As<std::uint32_t>();
+      const std::uint32_t sender = value >> 16;
+      EXPECT_EQ(value & 0xffffu, next_seq[sender]++) << "per-pair order violated";
+      ++received;
+    }
+    EXPECT_EQ(received, static_cast<int>(kNodes - 1) * kPerPair);
+    EXPECT_EQ(rx[dst].DropCount(), 0u);
+  }
+}
+
+TEST(MultiNode, FanInDropsAreCountedExactly) {
+  constexpr std::uint32_t kNodes = 5;
+  auto cluster = MakeCluster(kNodes);
+  Domain& sink = cluster->domain(0);
+  auto rx = sink.CreateEndpoint({.type = shm::EndpointType::kReceive, .queue_depth = 8});
+  ASSERT_TRUE(rx.ok());
+  // Only 3 buffers for 4 senders x 2 messages = 8 arrivals.
+  for (int i = 0; i < 3; ++i) {
+    auto buffer = sink.AllocateBuffer();
+    ASSERT_TRUE(rx->PostBuffer(*buffer).ok());
+  }
+  for (NodeId n = 1; n < kNodes; ++n) {
+    auto tx = cluster->domain(n).CreateEndpoint({.type = shm::EndpointType::kSend});
+    ASSERT_TRUE(tx.ok());
+    for (int i = 0; i < 2; ++i) {
+      auto msg = cluster->domain(n).AllocateBuffer();
+      ASSERT_TRUE(tx->SendUnlocked(*msg, rx->address()).ok());
+    }
+  }
+  cluster->sim().Run();
+  EXPECT_EQ(rx->DropCount(), 5u);  // 8 arrivals - 3 buffers
+  int received = 0;
+  while (rx->Receive().ok()) {
+    ++received;
+  }
+  EXPECT_EQ(received, 3);
+}
+
+}  // namespace
+}  // namespace flipc

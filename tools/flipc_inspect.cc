@@ -1,0 +1,146 @@
+// flipc_inspect — dump the state of a communication buffer.
+//
+// The communication buffer is the system's whole state: endpoints, queues,
+// cursors, drop counters, free lists. Because the layout is offsets-only,
+// any process that can map the region can audit a live system without
+// stopping it (all reads go through the same wait-free cells the engine
+// uses). Usage:
+//
+//   flipc_inspect /shm_name        inspect a POSIX shm communication buffer
+//   flipc_inspect --demo           create a demo buffer, mutate it, dump it
+//
+// Exit status: 0 on success, 1 on usage or attach errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/base/table.h"
+#include "src/shm/comm_buffer.h"
+#include "src/shm/posix_region.h"
+
+namespace flipc {
+namespace {
+
+const char* TypeName(shm::EndpointType type) {
+  switch (type) {
+    case shm::EndpointType::kInactive:
+      return "-";
+    case shm::EndpointType::kSend:
+      return "send";
+    case shm::EndpointType::kReceive:
+      return "receive";
+  }
+  return "?";
+}
+
+void Dump(shm::CommBuffer& comm) {
+  const shm::CommBufferHeader& header = comm.header();
+  std::printf("communication buffer @ %p\n", static_cast<void*>(comm.base()));
+  std::printf("  magic            0x%016llx (version %u)\n",
+              static_cast<unsigned long long>(header.magic), header.version);
+  std::printf("  total size       %llu bytes\n",
+              static_cast<unsigned long long>(header.total_size));
+  std::printf("  message size     %u bytes (%u payload + 8 internal)\n",
+              header.message_size, comm.payload_size());
+  std::printf("  buffers          %u total, %u free\n", header.buffer_count,
+              comm.FreeBufferCount());
+  std::printf("  endpoints        %u active of %u\n", header.endpoints_active,
+              header.max_endpoints);
+  std::printf("  cell arena       %u used of %u\n\n", header.cells_used,
+              header.cell_arena_size);
+
+  TextTable table({"ep", "type", "depth", "queued", "processable", "ready", "drops",
+                   "processed", "prio", "restrict", "rate ns"});
+  for (std::uint32_t i = 0; i < header.max_endpoints; ++i) {
+    const shm::EndpointRecord& record = comm.endpoint(i);
+    if (!record.IsActive()) {
+      continue;
+    }
+    waitfree::BufferQueueView queue = comm.queue(i);
+    const Address restrict_to = Address::FromPacked(record.allowed_peer.Read());
+    char restrict_text[32] = "-";
+    if (restrict_to.valid()) {
+      std::snprintf(restrict_text, sizeof(restrict_text), "%u:%u", restrict_to.node(),
+                    restrict_to.endpoint());
+    }
+    table.AddRow({std::to_string(i), TypeName(record.Type()),
+                  std::to_string(record.queue_capacity.Read()),
+                  std::to_string(queue.Size()), std::to_string(queue.ProcessableCount()),
+                  std::to_string(queue.AcquirableCount()),
+                  std::to_string(record.DropCount()),
+                  std::to_string(record.processed_total.Read()),
+                  std::to_string(record.priority.Read()), restrict_text,
+                  std::to_string(record.min_send_interval_ns.Read())});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+int InspectShm(const std::string& name) {
+  auto region = shm::PosixShmRegion::Open(name);
+  if (!region.ok()) {
+    std::fprintf(stderr, "error: cannot open shm region '%s' (%s)\n", name.c_str(),
+                 region.status().ToString().c_str());
+    return 1;
+  }
+  auto comm = shm::CommBuffer::Attach((*region)->base(), (*region)->size());
+  if (!comm.ok()) {
+    std::fprintf(stderr, "error: region '%s' is not a FLIPC communication buffer (%s)\n",
+                 name.c_str(), comm.status().ToString().c_str());
+    return 1;
+  }
+  Dump(**comm);
+  return 0;
+}
+
+int Demo() {
+  shm::CommBufferConfig config;
+  config.message_size = 128;
+  config.buffer_count = 32;
+  config.max_endpoints = 8;
+  auto comm = shm::CommBuffer::Create(config);
+  if (!comm.ok()) {
+    return 1;
+  }
+
+  shm::CommBuffer::EndpointParams rx;
+  rx.type = shm::EndpointType::kReceive;
+  rx.queue_capacity = 8;
+  auto rx_index = (*comm)->AllocateEndpoint(rx);
+
+  shm::CommBuffer::EndpointParams tx;
+  tx.type = shm::EndpointType::kSend;
+  tx.queue_capacity = 4;
+  tx.priority = 9;
+  tx.allowed_peer = Address(1, 0).packed();
+  tx.min_send_interval_ns = 50'000;
+  auto tx_index = (*comm)->AllocateEndpoint(tx);
+  if (!rx_index.ok() || !tx_index.ok()) {
+    return 1;
+  }
+
+  // Stage some state: two posted receive buffers, one processed, one drop.
+  for (int i = 0; i < 2; ++i) {
+    auto buffer = (*comm)->AllocateBuffer();
+    (*comm)->queue(*rx_index).Release(*buffer);
+  }
+  (*comm)->queue(*rx_index).AdvanceProcess();
+  (*comm)->endpoint(*rx_index).RecordDrop();
+
+  Dump(**comm);
+  return 0;
+}
+
+}  // namespace
+}  // namespace flipc
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s </shm_name | --demo>\n", argv[0]);
+    return 1;
+  }
+  const std::string arg = argv[1];
+  if (arg == "--demo") {
+    return flipc::Demo();
+  }
+  return flipc::InspectShm(arg);
+}
