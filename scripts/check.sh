@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs the full protection-boundary analysis matrix (docs/MEMORY_MODEL.md):
+#
+#   plain         RelWithDebInfo build + full ctest (includes the layout lint)
+#   single-writer build with the ownership race detector armed + full ctest
+#   tsan          ThreadSanitizer build + full ctest
+#   asan-ubsan    AddressSanitizer + UBSan build + full ctest
+#   tidy          clang-tidy over src/ (skipped with a notice if not installed)
+#
+# Usage: scripts/check.sh [leg ...]     (default: every leg)
+# Build trees live under build-matrix/<leg> and are reused across runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GENERATOR=()
+if command -v ninja > /dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+JOBS="$(nproc 2> /dev/null || echo 4)"
+LEGS=("$@")
+if [ ${#LEGS[@]} -eq 0 ]; then
+  LEGS=(plain single-writer tsan asan-ubsan tidy)
+fi
+
+build_and_test() {
+  local leg="$1"
+  shift
+  local dir="build-matrix/$leg"
+  echo "==== [$leg] configure + build + ctest ($dir) ===="
+  cmake -B "$dir" -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_tidy() {
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "==== [tidy] SKIPPED: clang-tidy not installed ===="
+    return 0
+  fi
+  local dir="build-matrix/tidy"
+  echo "==== [tidy] clang-tidy over src/ ===="
+  cmake -B "$dir" -S . "${GENERATOR[@]}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  local sources
+  sources="$(find src -name '*.cc')"
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$dir" ${sources}
+  else
+    # shellcheck disable=SC2086
+    clang-tidy -p "$dir" ${sources}
+  fi
+}
+
+for leg in "${LEGS[@]}"; do
+  case "$leg" in
+    plain)         build_and_test plain ;;
+    single-writer) build_and_test single-writer -DFLIPC_CHECK_SINGLE_WRITER=ON ;;
+    tsan)          build_and_test tsan -DFLIPC_SANITIZE=thread ;;
+    asan-ubsan)    build_and_test asan-ubsan -DFLIPC_SANITIZE=address,undefined ;;
+    tidy)          run_tidy ;;
+    *)
+      echo "unknown leg '$leg' (expected: plain single-writer tsan asan-ubsan tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "==== check.sh: all requested legs passed ===="

@@ -1,11 +1,34 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Builds everything and regenerates every paper artifact (EXPERIMENTS.md).
 # Usage: scripts/run_experiments.sh [build-dir]
-set -e
+#
+# Fails loudly (nonzero exit) on the first configure, build, test, or
+# benchmark error, and when a benchmark binary is missing — so CI can reuse
+# this script as-is.
+set -euo pipefail
+
 BUILD="${1:-build}"
+
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" --output-on-failure
-for bench in "$BUILD"/bench/*; do
+
+shopt -s nullglob
+benches=("$BUILD"/bench/bench_*)
+# Keep only executable files (the glob can pick up CMake droppings).
+runnable=()
+for bench in "${benches[@]}"; do
+  if [ -f "$bench" ] && [ -x "$bench" ]; then
+    runnable+=("$bench")
+  fi
+done
+
+if [ ${#runnable[@]} -eq 0 ]; then
+  echo "error: no benchmark binaries found under $BUILD/bench/ — did the build succeed?" >&2
+  exit 1
+fi
+
+for bench in "${runnable[@]}"; do
+  echo "==== running $bench ===="
   "$bench"
 done

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/waitfree/boundary_check.h"
+
 namespace flipc::engine {
 
 EngineRunner::EngineRunner(MessagingEngine& engine) : engine_(engine) {}
@@ -33,6 +35,12 @@ void EngineRunner::Kick() {
 }
 
 void EngineRunner::Loop() {
+  // This thread IS the messaging engine: register it with the ownership
+  // race detector so any write it makes to an application-owned word in
+  // the communication buffer aborts with a diagnostic (no-op unless
+  // FLIPC_CHECK_SINGLE_WRITER).
+  waitfree::BoundaryRole::BindCurrentThread(waitfree::Writer::kEngine);
+
   // Number of consecutive empty polls before parking.
   constexpr int kSpinBudget = 64;
   int idle_polls = 0;
@@ -54,6 +62,8 @@ void EngineRunner::Loop() {
     });
     idle_polls = 0;
   }
+
+  waitfree::BoundaryRole::UnbindCurrentThread();
 }
 
 }  // namespace flipc::engine

@@ -174,6 +174,11 @@ DurationNs MessagingEngine::PlanStep() {
 }
 
 bool MessagingEngine::CommitStep() {
+  // Every comm-buffer mutation the engine makes happens under this commit,
+  // so bind the engine role for its duration. Scoped (not per-thread): the
+  // simulation drivers and the model checker step the engine from the same
+  // thread that plays the application.
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kEngine);
   if (planned_ == WorkKind::kNone) {
     PlanStep();
   }

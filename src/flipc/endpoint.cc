@@ -4,6 +4,7 @@
 
 #include "src/base/clock.h"
 #include "src/flipc/domain.h"
+#include "src/waitfree/boundary_check.h"
 #include "src/waitfree/msg_state.h"
 
 namespace flipc {
@@ -25,6 +26,10 @@ Status Endpoint::ReleaseCommon(MessageBuffer& buffer, Address dst, EndpointType 
   if (!valid() || !buffer.valid()) {
     return InvalidArgumentStatus();
   }
+  // This call body is the application side of the protection boundary;
+  // scoped so a thread that also drives a simulated engine is re-labeled
+  // only for the duration (no-op unless FLIPC_CHECK_SINGLE_WRITER).
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
   shm::EndpointRecord& rec = record();
   if (rec.Type() != expected) {
     return FailedPreconditionStatus();
@@ -62,6 +67,7 @@ Result<MessageBuffer> Endpoint::AcquireCommon(EndpointType expected, bool locked
   if (!valid()) {
     return InvalidArgumentStatus();
   }
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
   shm::EndpointRecord& rec = record();
   if (rec.Type() != expected) {
     return FailedPreconditionStatus();
@@ -161,7 +167,10 @@ Result<MessageBuffer> Endpoint::ReceiveBlocking(simos::Priority priority, Durati
 
 std::uint64_t Endpoint::DropCount() const { return record().DropCount(); }
 
-std::uint64_t Endpoint::ReadAndResetDrops() { return record().ReadAndResetDrops(); }
+std::uint64_t Endpoint::ReadAndResetDrops() {
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
+  return record().ReadAndResetDrops();
+}
 
 std::uint32_t Endpoint::QueuedCount() const {
   return domain_->comm().queue(index_).Size();

@@ -5,6 +5,8 @@
 #include <new>
 
 #include "src/base/log.h"
+#include "src/shm/ownership_layout.h"
+#include "src/waitfree/boundary_check.h"
 
 namespace flipc::shm {
 
@@ -50,6 +52,13 @@ CommBuffer::CommBuffer(std::byte* base, bool owns) : base_(base), owns_(owns) {
 }
 
 CommBuffer::~CommBuffer() {
+  // Drop this region's ownership declarations so reused memory cannot
+  // inherit them. If another CommBuffer in this process is still attached
+  // to the same bytes, its cells merely become unchecked (undeclared cells
+  // are skipped, never misreported).
+  if (header_ != nullptr && header_->magic == kCommBufferMagic) {
+    waitfree::UndeclareCellRange(base_, header_->total_size);
+  }
   if (owns_) {
     ::operator delete[](base_, std::align_val_t(kCacheLineSize));
   }
@@ -92,8 +101,12 @@ Result<std::unique_ptr<CommBuffer>> CommBuffer::Attach(void* base, std::size_t s
   if (header->total_size > size) {
     return InvalidArgumentStatus();
   }
-  return std::unique_ptr<CommBuffer>(
+  auto buffer = std::unique_ptr<CommBuffer>(
       new CommBuffer(static_cast<std::byte*>(base), /*owns=*/false));
+  // Each process (and each attachment) registers the region's cells with
+  // its own ownership-checker registry.
+  buffer->DeclareBoundaryOwners();
+  return buffer;
 }
 
 void CommBuffer::FormatRegion(const CommBufferConfig& config, const CommBufferLayout& layout) {
@@ -132,6 +145,29 @@ void CommBuffer::FormatRegion(const CommBufferConfig& config, const CommBufferLa
   header_->free_count = config.buffer_count;
   header_->cells_used = 0;
   header_->endpoints_active = 0;
+
+  DeclareBoundaryOwners();
+}
+
+void CommBuffer::DeclareBoundaryOwners() {
+  if constexpr (!waitfree::kBoundaryCheckEnabled) {
+    return;
+  }
+  // A reformat invalidates whatever was declared at these addresses before.
+  waitfree::UndeclareCellRange(base_, header_->total_size);
+  for (std::uint32_t i = 0; i < header_->max_endpoints; ++i) {
+    DeclareOwnersFromTable(&endpoint_table()[i], kEndpointRecordOwnership);
+  }
+  // Queue cells are written only by the application, at release time; the
+  // engine communicates per-buffer completion through the buffer's state
+  // field (see src/waitfree/buffer_queue.h).
+  auto* cells = cell_arena();
+  for (std::uint32_t i = 0; i < header_->cell_arena_size; ++i) {
+    cells[i].DeclareOwner(waitfree::Writer::kApplication, "CommBuffer.cell_arena");
+  }
+  // Message headers are NOT declared: their peer/state words hand off
+  // between writers with the buffer's queue position. HandoffState's
+  // transition check covers them (src/waitfree/msg_state.h).
 }
 
 EndpointRecord* CommBuffer::endpoint_table() {
@@ -158,6 +194,8 @@ MsgView CommBuffer::msg(BufferIndex index) {
 }
 
 Result<BufferIndex> CommBuffer::AllocateBuffer() {
+  // Allocation is an application-side activity (the engine never allocates).
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
   std::lock_guard<TasLock> guard(header_->alloc_lock);
   if (header_->free_head == kInvalidBuffer) {
     return ResourceExhaustedStatus();
@@ -193,6 +231,7 @@ Result<std::uint32_t> CommBuffer::AllocateEndpoint(const EndpointParams& params)
     return InvalidArgumentStatus();
   }
 
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
   std::lock_guard<TasLock> guard(header_->alloc_lock);
 
   // Prefer an inactive record whose prior cell reservation is big enough to
@@ -237,10 +276,16 @@ Result<std::uint32_t> CommBuffer::AllocateEndpoint(const EndpointParams& params)
   record.min_send_interval_ns.StoreRelaxed(params.min_send_interval_ns);
   record.release_count.StoreRelaxed(0);
   record.acquire_count.StoreRelaxed(0);
-  record.process_count.StoreRelaxed(0);
-  record.drops_total.StoreRelaxed(0);
   record.drops_reclaimed.StoreRelaxed(0);
-  record.processed_total.StoreRelaxed(0);
+  {
+    // Quiescent cross-boundary writes: the engine's cursors are reset by
+    // the allocating application thread while the record is still inactive
+    // (the engine ignores it until the type publish below).
+    waitfree::ScopedBoundaryExemption quiescent_reset;
+    record.process_count.StoreRelaxed(0);
+    record.drops_total.StoreRelaxed(0);
+    record.processed_total.StoreRelaxed(0);
+  }
 
   // Publish the type last: the engine treats a non-inactive type as the
   // endpoint being live, and the release-store orders all the setup above.
@@ -253,6 +298,7 @@ Status CommBuffer::FreeEndpoint(std::uint32_t index) {
   if (!IsValidEndpointIndex(index)) {
     return InvalidArgumentStatus();
   }
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
   std::lock_guard<TasLock> guard(header_->alloc_lock);
   EndpointRecord& record = endpoint_table()[index];
   if (!record.IsActive()) {

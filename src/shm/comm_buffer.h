@@ -178,6 +178,12 @@ class CommBuffer {
 
   void FormatRegion(const CommBufferConfig& config, const CommBufferLayout& layout);
 
+  // Registers every single-writer cell in the region (endpoint records and
+  // the queue-cell arena) with the ownership race detector, per the tables
+  // in src/shm/ownership_layout.h. Called at format and attach time; no-op
+  // unless FLIPC_CHECK_SINGLE_WRITER.
+  void DeclareBoundaryOwners();
+
   EndpointRecord* endpoint_table();
   waitfree::SingleWriterCell<BufferIndex>* cell_arena();
   std::uint32_t* freelist();

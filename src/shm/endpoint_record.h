@@ -14,6 +14,14 @@
 //   line 3 — a test-and-set lock for mutual exclusion among application
 //            threads; the engine never touches it (the paper's locked
 //            interface variants use it, the lock-free variants skip it).
+//
+// This grouping is not just documentation: the ownership table in
+// src/shm/ownership_layout.h records the writer of every field, a
+// static_assert layout lint fails the build if a cache line ever mixes the
+// two writers, and in FLIPC_CHECK_SINGLE_WRITER builds each cell is
+// registered with the ownership race detector so a cross-boundary write
+// aborts at run time (src/waitfree/boundary_check.h). When adding a field,
+// place it on its writer's line AND add its table entry.
 #ifndef SRC_SHM_ENDPOINT_RECORD_H_
 #define SRC_SHM_ENDPOINT_RECORD_H_
 

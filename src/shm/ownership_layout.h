@@ -1,0 +1,251 @@
+// Ownership tables and the compile-time layout lint for the communication
+// buffer's shared structures.
+//
+// Two of the paper's rules are enforced here, mechanically, for every field
+// the application and messaging engine share:
+//
+//  1. Single writer — each word is written by exactly one side of the
+//     protection boundary. The tables below declare that side per field and
+//     are the single source of truth: the ownership race detector
+//     (boundary_check.h) registers cells from them at region format/attach
+//     time, and tests compare against them.
+//
+//  2. No mixed cache lines — "ensure that concurrent writes from the
+//     application and messaging engine can never occur in the same cache
+//     line" (the paper's false-sharing fix, worth ~2x latency on the
+//     Paragon). The constexpr predicates below walk the declared offsets
+//     and static_assert that no cache line holds words with two distinct
+//     writers, and that every cross-boundary field is naturally aligned and
+//     does not straddle a line. Breaking the layout breaks the build.
+//
+// tools/flipc_layout_lint.cc re-runs the same predicates at runtime and
+// prints the per-line writer map, so the audit is also available as a ctest
+// and inspectable by humans.
+#ifndef SRC_SHM_OWNERSHIP_LAYOUT_H_
+#define SRC_SHM_OWNERSHIP_LAYOUT_H_
+
+#include <cstddef>
+
+#include "src/base/types.h"
+#include "src/shm/comm_buffer.h"
+#include "src/shm/endpoint_record.h"
+#include "src/waitfree/boundary_check.h"
+#include "src/waitfree/buffer_queue.h"
+#include "src/waitfree/drop_counter.h"
+
+namespace flipc::shm {
+
+// One shared field: where it lives, how big it is, who writes it.
+struct FieldOwnership {
+  const char* name;
+  std::size_t offset;
+  std::size_t size;
+  waitfree::Writer writer;
+  // True for SingleWriterCells registered with the ownership race detector.
+  // False for fields outside its scope: plain header words written only
+  // under the allocation lock, and the application-thread TasLocks.
+  bool checked_cell;
+  // True for configuration written only while the structure is quiescent
+  // (endpoint being (de)allocated, region being formatted).
+  bool quiescent;
+};
+
+namespace ownership_internal {
+constexpr waitfree::Writer kApp = waitfree::Writer::kApplication;
+constexpr waitfree::Writer kEng = waitfree::Writer::kEngine;
+}  // namespace ownership_internal
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+#endif
+
+// ---- EndpointRecord (src/shm/endpoint_record.h): four lines by writer ----
+inline constexpr FieldOwnership kEndpointRecordOwnership[] = {
+    // Line 0: configuration — application-written, quiescent.
+    {"EndpointRecord.type", offsetof(EndpointRecord, type),
+     sizeof(EndpointRecord::type), ownership_internal::kApp, true, true},
+    {"EndpointRecord.cells_offset", offsetof(EndpointRecord, cells_offset),
+     sizeof(EndpointRecord::cells_offset), ownership_internal::kApp, true, true},
+    {"EndpointRecord.queue_capacity", offsetof(EndpointRecord, queue_capacity),
+     sizeof(EndpointRecord::queue_capacity), ownership_internal::kApp, true, true},
+    {"EndpointRecord.cells_reserved", offsetof(EndpointRecord, cells_reserved),
+     sizeof(EndpointRecord::cells_reserved), ownership_internal::kApp, true, true},
+    {"EndpointRecord.semaphore_id", offsetof(EndpointRecord, semaphore_id),
+     sizeof(EndpointRecord::semaphore_id), ownership_internal::kApp, true, true},
+    {"EndpointRecord.priority", offsetof(EndpointRecord, priority),
+     sizeof(EndpointRecord::priority), ownership_internal::kApp, true, true},
+    {"EndpointRecord.options", offsetof(EndpointRecord, options),
+     sizeof(EndpointRecord::options), ownership_internal::kApp, true, true},
+    {"EndpointRecord.allowed_peer", offsetof(EndpointRecord, allowed_peer),
+     sizeof(EndpointRecord::allowed_peer), ownership_internal::kApp, true, true},
+    {"EndpointRecord.min_send_interval_ns", offsetof(EndpointRecord, min_send_interval_ns),
+     sizeof(EndpointRecord::min_send_interval_ns), ownership_internal::kApp, true, true},
+    // Line 1: application-written hot state.
+    {"EndpointRecord.release_count", offsetof(EndpointRecord, release_count),
+     sizeof(EndpointRecord::release_count), ownership_internal::kApp, true, false},
+    {"EndpointRecord.acquire_count", offsetof(EndpointRecord, acquire_count),
+     sizeof(EndpointRecord::acquire_count), ownership_internal::kApp, true, false},
+    {"EndpointRecord.drops_reclaimed", offsetof(EndpointRecord, drops_reclaimed),
+     sizeof(EndpointRecord::drops_reclaimed), ownership_internal::kApp, true, false},
+    // Line 2: engine-written hot state.
+    {"EndpointRecord.process_count", offsetof(EndpointRecord, process_count),
+     sizeof(EndpointRecord::process_count), ownership_internal::kEng, true, false},
+    {"EndpointRecord.drops_total", offsetof(EndpointRecord, drops_total),
+     sizeof(EndpointRecord::drops_total), ownership_internal::kEng, true, false},
+    {"EndpointRecord.processed_total", offsetof(EndpointRecord, processed_total),
+     sizeof(EndpointRecord::processed_total), ownership_internal::kEng, true, false},
+    // Line 3: mutual exclusion among application threads; the engine never
+    // touches it. Not a single-writer cell (it is an RMW lock by design).
+    {"EndpointRecord.lock", offsetof(EndpointRecord, lock),
+     sizeof(EndpointRecord::lock), ownership_internal::kApp, false, false},
+};
+
+// ---- QueueCursors (src/waitfree/buffer_queue.h) ----
+inline constexpr FieldOwnership kQueueCursorsOwnership[] = {
+    {"QueueCursors.release_count", offsetof(waitfree::QueueCursors, release_count),
+     sizeof(waitfree::QueueCursors::release_count), ownership_internal::kApp, true, false},
+    {"QueueCursors.acquire_count", offsetof(waitfree::QueueCursors, acquire_count),
+     sizeof(waitfree::QueueCursors::acquire_count), ownership_internal::kApp, true, false},
+    {"QueueCursors.process_count", offsetof(waitfree::QueueCursors, process_count),
+     sizeof(waitfree::QueueCursors::process_count), ownership_internal::kEng, true, false},
+};
+
+// ---- PaddedDropCounterParts (src/waitfree/drop_counter.h) ----
+inline constexpr FieldOwnership kPaddedDropCounterOwnership[] = {
+    {"PaddedDropCounterParts.dropped", offsetof(waitfree::PaddedDropCounterParts, dropped),
+     sizeof(waitfree::PaddedDropCounterParts::dropped), ownership_internal::kEng, true,
+     false},
+    {"PaddedDropCounterParts.reclaimed",
+     offsetof(waitfree::PaddedDropCounterParts, reclaimed),
+     sizeof(waitfree::PaddedDropCounterParts::reclaimed), ownership_internal::kApp, true,
+     false},
+};
+
+// ---- CommBufferHeader (src/shm/comm_buffer.h) ----
+// Entirely application-written: identity once at format time, allocation
+// state under alloc_lock. Listed so the audit covers every shared struct;
+// the engine only reads it.
+inline constexpr FieldOwnership kCommBufferHeaderOwnership[] = {
+    {"CommBufferHeader.magic", offsetof(CommBufferHeader, magic),
+     sizeof(CommBufferHeader::magic), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.version", offsetof(CommBufferHeader, version),
+     sizeof(CommBufferHeader::version), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.message_size", offsetof(CommBufferHeader, message_size),
+     sizeof(CommBufferHeader::message_size), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.buffer_count", offsetof(CommBufferHeader, buffer_count),
+     sizeof(CommBufferHeader::buffer_count), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.max_endpoints", offsetof(CommBufferHeader, max_endpoints),
+     sizeof(CommBufferHeader::max_endpoints), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.cell_arena_size", offsetof(CommBufferHeader, cell_arena_size),
+     sizeof(CommBufferHeader::cell_arena_size), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.endpoint_table_offset",
+     offsetof(CommBufferHeader, endpoint_table_offset),
+     sizeof(CommBufferHeader::endpoint_table_offset), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.cell_arena_offset", offsetof(CommBufferHeader, cell_arena_offset),
+     sizeof(CommBufferHeader::cell_arena_offset), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.freelist_offset", offsetof(CommBufferHeader, freelist_offset),
+     sizeof(CommBufferHeader::freelist_offset), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.buffers_offset", offsetof(CommBufferHeader, buffers_offset),
+     sizeof(CommBufferHeader::buffers_offset), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.total_size", offsetof(CommBufferHeader, total_size),
+     sizeof(CommBufferHeader::total_size), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.alloc_lock", offsetof(CommBufferHeader, alloc_lock),
+     sizeof(CommBufferHeader::alloc_lock), ownership_internal::kApp, false, false},
+    {"CommBufferHeader.free_head", offsetof(CommBufferHeader, free_head),
+     sizeof(CommBufferHeader::free_head), ownership_internal::kApp, false, false},
+    {"CommBufferHeader.free_count", offsetof(CommBufferHeader, free_count),
+     sizeof(CommBufferHeader::free_count), ownership_internal::kApp, false, false},
+    {"CommBufferHeader.cells_used", offsetof(CommBufferHeader, cells_used),
+     sizeof(CommBufferHeader::cells_used), ownership_internal::kApp, false, false},
+    {"CommBufferHeader.endpoints_active", offsetof(CommBufferHeader, endpoints_active),
+     sizeof(CommBufferHeader::endpoints_active), ownership_internal::kApp, false, false},
+};
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+// ---- Lint predicates -------------------------------------------------------
+
+// True when no cache line holds fields with two distinct declared writers.
+template <std::size_t N>
+constexpr bool CacheLinesHaveSingleWriter(const FieldOwnership (&fields)[N]) {
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = i + 1; j < N; ++j) {
+      if (fields[i].writer == fields[j].writer) {
+        continue;
+      }
+      const std::size_t i_first = fields[i].offset / kCacheLineSize;
+      const std::size_t i_last = (fields[i].offset + fields[i].size - 1) / kCacheLineSize;
+      const std::size_t j_first = fields[j].offset / kCacheLineSize;
+      const std::size_t j_last = (fields[j].offset + fields[j].size - 1) / kCacheLineSize;
+      if (i_first <= j_last && j_first <= i_last) {
+        return false;  // Lines overlap with different writers: false sharing.
+      }
+    }
+  }
+  return true;
+}
+
+// True when every field is naturally aligned and no field straddles a cache
+// line boundary (a straddling cross-boundary word would put bytes of one
+// writer's field on the other writer's line, and a misaligned atomic is not
+// guaranteed lock-free).
+template <std::size_t N>
+constexpr bool FieldsAlignedWithinLines(const FieldOwnership (&fields)[N]) {
+  for (std::size_t i = 0; i < N; ++i) {
+    const std::size_t size = fields[i].size;
+    const std::size_t natural = size >= kCacheLineSize ? kCacheLineSize : size;
+    if (natural != 0 && fields[i].offset % natural != 0) {
+      return false;
+    }
+    if (fields[i].offset / kCacheLineSize !=
+        (fields[i].offset + size - 1) / kCacheLineSize) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The build-breaking audit. If one of these fires, a comm-buffer cache line
+// mixes application- and engine-written words (or a field came unaligned):
+// restore the layout grouping before doing anything else — this is the
+// paper's 2x false-sharing fix.
+static_assert(CacheLinesHaveSingleWriter(kEndpointRecordOwnership),
+              "EndpointRecord: a cache line mixes application- and engine-written words");
+static_assert(FieldsAlignedWithinLines(kEndpointRecordOwnership),
+              "EndpointRecord: a shared field is misaligned or straddles a cache line");
+static_assert(CacheLinesHaveSingleWriter(kQueueCursorsOwnership),
+              "QueueCursors: a cache line mixes application- and engine-written words");
+static_assert(FieldsAlignedWithinLines(kQueueCursorsOwnership),
+              "QueueCursors: a shared field is misaligned or straddles a cache line");
+static_assert(CacheLinesHaveSingleWriter(kPaddedDropCounterOwnership),
+              "PaddedDropCounterParts: a cache line mixes application- and engine-written "
+              "words");
+static_assert(FieldsAlignedWithinLines(kPaddedDropCounterOwnership),
+              "PaddedDropCounterParts: a shared field is misaligned or straddles a line");
+static_assert(CacheLinesHaveSingleWriter(kCommBufferHeaderOwnership),
+              "CommBufferHeader: a cache line mixes words with distinct writers");
+static_assert(FieldsAlignedWithinLines(kCommBufferHeaderOwnership),
+              "CommBufferHeader: a shared field is misaligned or straddles a cache line");
+
+// Registers every checked cell of a table with the ownership race detector,
+// at `base` + field offset. No-op unless FLIPC_CHECK_SINGLE_WRITER.
+template <std::size_t N>
+inline void DeclareOwnersFromTable(void* base, const FieldOwnership (&fields)[N]) {
+  if constexpr (waitfree::kBoundaryCheckEnabled) {
+    for (std::size_t i = 0; i < N; ++i) {
+      if (fields[i].checked_cell) {
+        waitfree::DeclareCellOwner(static_cast<std::byte*>(base) + fields[i].offset,
+                                   fields[i].writer, fields[i].name);
+      }
+    }
+  } else {
+    (void)base;
+  }
+}
+
+}  // namespace flipc::shm
+
+#endif  // SRC_SHM_OWNERSHIP_LAYOUT_H_

@@ -1,0 +1,171 @@
+#include "src/waitfree/boundary_check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifdef FLIPC_CHECK_SINGLE_WRITER
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#endif
+
+namespace flipc::waitfree {
+
+void BoundaryPanic(const char* message) {
+  std::fprintf(stderr, "FLIPC protection-boundary violation: %s\n", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+#ifdef FLIPC_CHECK_SINGLE_WRITER
+
+namespace {
+
+struct CellOwnership {
+  Writer owner;
+  const char* label;
+};
+
+// Registry of declared cells. A side table (rather than a tag inside the
+// cell) keeps the shared-memory layout identical to non-checking builds.
+// Guarded by a shared mutex: checks take the shared lock, (un)declarations
+// the exclusive one. This is a debug mode; the lock cost is accepted.
+struct Registry {
+  std::shared_mutex mutex;
+  std::unordered_map<const void*, CellOwnership> cells;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+struct ThreadBoundaryState {
+  bool bound = false;
+  Writer role = Writer::kApplication;
+  int exempt_depth = 0;
+};
+
+ThreadBoundaryState& Tls() {
+  thread_local ThreadBoundaryState state;
+  return state;
+}
+
+}  // namespace
+
+void DeclareCellOwner(const void* cell, Writer owner, const char* label) {
+  Registry& registry = GetRegistry();
+  std::unique_lock lock(registry.mutex);
+  auto [it, inserted] = registry.cells.try_emplace(cell, CellOwnership{owner, label});
+  if (!inserted && it->second.owner != owner) {
+    char message[256];
+    std::snprintf(message, sizeof(message),
+                  "conflicting ownership declaration for cell %p: registered as %s-owned "
+                  "(%s), re-declared as %s-owned (%s)",
+                  cell, WriterName(it->second.owner), it->second.label, WriterName(owner),
+                  label);
+    lock.unlock();
+    BoundaryPanic(message);
+  }
+  it->second.label = label;
+}
+
+void UndeclareCellRange(const void* base, std::size_t size) {
+  const auto* begin = static_cast<const char*>(base);
+  const auto* end = begin + size;
+  Registry& registry = GetRegistry();
+  std::unique_lock lock(registry.mutex);
+  for (auto it = registry.cells.begin(); it != registry.cells.end();) {
+    const auto* addr = static_cast<const char*>(it->first);
+    if (addr >= begin && addr < end) {
+      it = registry.cells.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CheckCellWrite(const void* cell) {
+  const ThreadBoundaryState& state = Tls();
+  if (!state.bound || state.exempt_depth > 0) {
+    return;
+  }
+  Writer owner;
+  const char* label;
+  {
+    Registry& registry = GetRegistry();
+    std::shared_lock lock(registry.mutex);
+    const auto it = registry.cells.find(cell);
+    if (it == registry.cells.end()) {
+      return;  // Undeclared cells (test fixtures, message headers) are unchecked.
+    }
+    owner = it->second.owner;
+    label = it->second.label;
+  }
+  if (owner != state.role) {
+    char message[256];
+    std::snprintf(message, sizeof(message),
+                  "cell %p (%s) is owned by the %s but was written by a thread bound to "
+                  "the %s role",
+                  cell, label, WriterName(owner), WriterName(state.role));
+    BoundaryPanic(message);
+  }
+}
+
+void BoundaryRole::BindCurrentThread(Writer role) {
+  ThreadBoundaryState& state = Tls();
+  state.bound = true;
+  state.role = role;
+}
+
+void BoundaryRole::UnbindCurrentThread() { Tls().bound = false; }
+
+bool BoundaryRole::IsBound() { return Tls().bound; }
+
+Writer BoundaryRole::Current() { return Tls().role; }
+
+ScopedBoundaryRole::ScopedBoundaryRole(Writer role) {
+  ThreadBoundaryState& state = Tls();
+  prev_bound_ = state.bound;
+  prev_role_ = state.role;
+  state.bound = true;
+  state.role = role;
+}
+
+ScopedBoundaryRole::~ScopedBoundaryRole() {
+  ThreadBoundaryState& state = Tls();
+  state.bound = prev_bound_;
+  state.role = prev_role_;
+}
+
+ScopedBoundaryExemption::ScopedBoundaryExemption() { ++Tls().exempt_depth; }
+
+ScopedBoundaryExemption::~ScopedBoundaryExemption() { --Tls().exempt_depth; }
+
+void CheckHandoffStore(const void* cell, std::uint32_t state_value) {
+  const ThreadBoundaryState& state = Tls();
+  if (!state.bound || state.exempt_depth > 0) {
+    return;
+  }
+  // MsgState underlying values: 0 = kFree, 1 = kReady, 2 = kCompleted
+  // (src/waitfree/msg_state.h). Ownership of the state field alternates with
+  // the buffer's queue position, so the invariant checkable per store is the
+  // transition direction: only the engine completes, only the application
+  // frees or readies.
+  constexpr std::uint32_t kCompleted = 2;
+  const bool engine_only = state_value == kCompleted;
+  const bool is_engine = state.role == Writer::kEngine;
+  if (engine_only != is_engine) {
+    char message[256];
+    std::snprintf(message, sizeof(message),
+                  "handoff state %p: value %u may only be stored by the %s, but the "
+                  "writing thread is bound to the %s role",
+                  cell, state_value, engine_only ? "engine" : "application",
+                  WriterName(state.role));
+    BoundaryPanic(message);
+  }
+}
+
+#endif  // FLIPC_CHECK_SINGLE_WRITER
+
+}  // namespace flipc::waitfree

@@ -26,6 +26,9 @@
 
 #include <atomic>
 #include <cstdint>
+#ifdef FLIPC_CHECK_SINGLE_WRITER
+#include <cstdio>
+#endif
 
 #include "src/base/types.h"
 #include "src/waitfree/single_writer.h"
@@ -45,6 +48,14 @@ struct alignas(kCacheLineSize) QueueCursors {
   SingleWriterCell<std::uint32_t> acquire_count;  // Writer::kApplication
   // --- Engine-owned line ---
   alignas(kCacheLineSize) SingleWriterCell<std::uint32_t> process_count;  // Writer::kEngine
+
+  // Registers each cursor with the ownership race detector (no-op unless
+  // FLIPC_CHECK_SINGLE_WRITER).
+  void DeclareOwners() {
+    release_count.DeclareOwner(Writer::kApplication, "QueueCursors.release_count");
+    acquire_count.DeclareOwner(Writer::kApplication, "QueueCursors.acquire_count");
+    process_count.DeclareOwner(Writer::kEngine, "QueueCursors.process_count");
+  }
 };
 static_assert(sizeof(QueueCursors) == 2 * kCacheLineSize);
 
@@ -136,9 +147,24 @@ class BufferQueueView {
   }
 
   // Marks the peeked buffer processed, exposing it to Acquire(). All engine
-  // writes to the buffer contents must precede this call.
+  // writes to the buffer contents must precede this call, and a preceding
+  // PeekProcess() (or ProcessableCount() > 0) must have confirmed there is a
+  // released buffer to consume: advancing past the release cursor would
+  // expose an unwritten cell to Acquire().
   void AdvanceProcess() {
-    process_->Publish(process_->ReadRelaxed() + 1);
+    const std::uint32_t process = process_->ReadRelaxed();
+#ifdef FLIPC_CHECK_SINGLE_WRITER
+    if (process == release_->Read()) {
+      char message[160];
+      std::snprintf(message, sizeof(message),
+                    "AdvanceProcess() without a released buffer to consume "
+                    "(process=%u release=%u): PeekProcess() was skipped or returned "
+                    "kInvalidBuffer on an empty queue",
+                    process, release_->ReadRelaxed());
+      BoundaryPanic(message);
+    }
+#endif
+    process_->Publish(process + 1);
   }
 
   // Buffers released by the application the engine has not yet processed.
@@ -169,7 +195,19 @@ class InlineBufferQueue {
   static_assert((kCapacity & (kCapacity - 1)) == 0, "capacity must be a power of two");
 
  public:
-  InlineBufferQueue() : view_(&cursors_, cells_, kCapacity) {}
+  InlineBufferQueue() : view_(&cursors_, cells_, kCapacity) {
+    cursors_.DeclareOwners();
+    for (std::uint32_t i = 0; i < kCapacity; ++i) {
+      // Queue cells are written only at release time, by the application.
+      cells_[i].DeclareOwner(Writer::kApplication, "InlineBufferQueue.cells");
+    }
+  }
+
+  ~InlineBufferQueue() {
+    // The detector keys declarations by address; drop them before the heap
+    // can hand this storage to an unrelated object.
+    UndeclareCellRange(this, sizeof(*this));
+  }
 
   BufferQueueView& view() { return view_; }
 

@@ -25,6 +25,12 @@ namespace flipc::waitfree {
 
 class DropCounter {
  public:
+  DropCounter() {
+    dropped_.DeclareOwner(Writer::kEngine, "DropCounter.dropped");
+    reclaimed_.DeclareOwner(Writer::kApplication, "DropCounter.reclaimed");
+  }
+  ~DropCounter() { UndeclareCellRange(this, sizeof(*this)); }
+
   // --- Engine side ---------------------------------------------------------
   // Records one discarded message. Engine is the only caller, so a plain
   // load/store increment is race-free.
@@ -58,6 +64,14 @@ class DropCounter {
 struct PaddedDropCounterParts {
   alignas(kCacheLineSize) SingleWriterCell<std::uint64_t> dropped;    // engine line
   alignas(kCacheLineSize) SingleWriterCell<std::uint64_t> reclaimed;  // app line
+
+  // Registers both halves with the ownership race detector (no-op unless
+  // FLIPC_CHECK_SINGLE_WRITER). A method rather than a constructor so the
+  // struct stays an aggregate for in-region placement.
+  void DeclareOwners() {
+    dropped.DeclareOwner(Writer::kEngine, "PaddedDropCounterParts.dropped");
+    reclaimed.DeclareOwner(Writer::kApplication, "PaddedDropCounterParts.reclaimed");
+  }
 
   void RecordDrop() { dropped.Publish(dropped.ReadRelaxed() + 1); }
   std::uint64_t Count() const { return dropped.Read() - reclaimed.ReadRelaxed(); }

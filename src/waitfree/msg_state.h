@@ -15,6 +15,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/waitfree/boundary_check.h"
+
 namespace flipc::waitfree {
 
 enum class MsgState : std::uint32_t {
@@ -34,6 +36,11 @@ class HandoffState {
   }
 
   void Store(MsgState s) {
+    // Ownership of this field alternates with the buffer's queue position,
+    // so the race detector cannot pin it to one side. What IS invariant is
+    // the transition direction: only the engine completes a buffer, only
+    // the application frees or readies one. Checking mode verifies that.
+    CheckHandoffStore(this, static_cast<std::uint32_t>(s));
     rep_.store(static_cast<std::uint32_t>(s), std::memory_order_release);
   }
 

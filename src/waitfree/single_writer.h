@@ -12,7 +12,14 @@
 // The paper's second tuning lesson — false sharing between app-written and
 // engine-written words cost almost a factor of two — is encoded here as
 // alignment: engine-written cells and app-written cells are placed on
-// distinct cache lines by the communication-buffer layout (src/shm/).
+// distinct cache lines by the communication-buffer layout (src/shm/), and
+// the layout is audited at compile time by src/shm/ownership_layout.h.
+//
+// The single-writer rule itself is enforced by the opt-in ownership race
+// detector (src/waitfree/boundary_check.h, -DFLIPC_CHECK_SINGLE_WRITER=ON):
+// cells are declared with their owning side, threads bind a boundary role,
+// and every store verifies the two match. In the default build the hooks
+// compile to nothing and a cell is exactly a std::atomic<T>.
 #ifndef SRC_WAITFREE_SINGLE_WRITER_H_
 #define SRC_WAITFREE_SINGLE_WRITER_H_
 
@@ -20,12 +27,9 @@
 #include <type_traits>
 
 #include "src/base/types.h"
+#include "src/waitfree/boundary_check.h"
 
 namespace flipc::waitfree {
-
-// Which side of the protection boundary owns (writes) a cell. Purely
-// documentary at runtime; tests use it to assert the single-writer rule.
-enum class Writer : std::uint8_t { kApplication, kEngine };
 
 // A word written by one side and read by the other. Publish() makes all
 // writes sequenced before it visible to a Read() that observes the value
@@ -38,17 +42,34 @@ class SingleWriterCell {
   SingleWriterCell() = default;
   explicit SingleWriterCell(T initial) : value_(initial) {}
 
+  // Registers this cell's owning side with the ownership race detector
+  // (no-op unless FLIPC_CHECK_SINGLE_WRITER). The declaration lives in a
+  // side table, never in the cell: the shared-memory layout must be
+  // byte-identical with and without the checker.
+  void DeclareOwner(Writer owner, const char* label) {
+    DeclareCellOwner(this, owner, label);
+  }
+
   // Reader side.
   T Read() const { return value_.load(std::memory_order_acquire); }
   T ReadRelaxed() const { return value_.load(std::memory_order_relaxed); }
 
   // Writer side.
-  void Publish(T value) { value_.store(value, std::memory_order_release); }
-  void StoreRelaxed(T value) { value_.store(value, std::memory_order_relaxed); }
+  void Publish(T value) {
+    CheckCellWrite(this);
+    value_.store(value, std::memory_order_release);
+  }
+  void StoreRelaxed(T value) {
+    CheckCellWrite(this);
+    value_.store(value, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<T> value_{};
 };
+
+static_assert(sizeof(SingleWriterCell<std::uint32_t>) == sizeof(std::uint32_t),
+              "a cell must stay exactly its word: layouts are shared memory ABI");
 
 }  // namespace flipc::waitfree
 

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/waitfree/boundary_check.h"
 #include "src/waitfree/buffer_queue.h"
 #include "src/waitfree/drop_counter.h"
 
@@ -22,6 +23,11 @@ namespace {
 
 // Explores all interleavings of two operation sequences. Each operation is
 // a callback; `check` runs after every operation with the schedule string.
+//
+// Every operation executes under the boundary role of its side, so in a
+// FLIPC_CHECK_SINGLE_WRITER build each enumerated schedule also runs with
+// the ownership race detector armed: an app op that wrote an engine-owned
+// cursor (or vice versa) in ANY interleaving would abort the test.
 void ForAllInterleavings(const std::vector<std::function<void()>>& app_ops,
                          const std::vector<std::function<void()>>& engine_ops,
                          const std::function<void(const std::string&)>& check,
@@ -39,9 +45,11 @@ void ForAllInterleavings(const std::vector<std::function<void()>>& app_ops,
           std::size_t ai = 0, ei = 0;
           for (std::size_t s = 0; s < total; ++s) {
             if (schedule[s]) {
+              ScopedBoundaryRole role(Writer::kApplication);
               app_ops[ai++]();
               description += 'a';
             } else {
+              ScopedBoundaryRole role(Writer::kEngine);
               engine_ops[ei++]();
               description += 'e';
             }
