@@ -8,14 +8,98 @@
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/base/table.h"
 #include "src/flipc/flipc.h"
 #include "src/flipc/sim_workloads.h"
 
 namespace flipc::bench {
+
+// Machine-readable results: every benchmark accepts --json[=<path>] and, when
+// given, writes its headline metrics as a small JSON document (default path
+// BENCH_<name>.json in the working directory). CI's perf-smoke job parses
+// these instead of scraping the human tables.
+class JsonReport {
+ public:
+  // `name` is the benchmark's short name (e.g. "fig4_latency").
+  JsonReport(int argc, char** argv, const char* name) : name_(name) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        path_ = "BENCH_" + name_ + ".json";
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      }
+    }
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { Write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void AddConfig(const char* key, const std::string& value) {
+    config_.emplace_back(key, "\"" + value + "\"");
+  }
+  void AddConfig(const char* key, double value) {
+    config_.emplace_back(key, Num(value));
+  }
+
+  void AddMetric(const char* metric, double value, const char* units) {
+    metrics_.push_back({metric, value, units});
+  }
+
+  void Write() {
+    if (path_.empty() || written_) {
+      return;
+    }
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "WARNING: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": {", name_.c_str());
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i == 0 ? "" : ",", config_[i].first.c_str(),
+                   config_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  },\n  \"metrics\": [");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"metric\": \"%s\", \"value\": %s, \"units\": \"%s\"}",
+                   i == 0 ? "" : ",", metrics_[i].metric.c_str(),
+                   Num(metrics_[i].value).c_str(), metrics_[i].units.c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("JSON results written to %s\n", path_.c_str());
+  }
+
+ private:
+  struct Metric {
+    std::string metric;
+    double value;
+    std::string units;
+  };
+
+  static std::string Num(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return buffer;
+  }
+
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Metric> metrics_;
+  bool written_ = false;
+};
 
 inline void PrintHeader(const char* experiment, const char* paper_artifact,
                         const char* expectation) {

@@ -5,6 +5,7 @@
 // 96 bytes and above, latency = 15.45 us + 6.25 ns/byte, with standard
 // deviations of 0.5–0.65 us; 64-byte messages are slightly faster than the
 // line ("changes in hardware behavior").
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -13,7 +14,7 @@
 namespace flipc::bench {
 namespace {
 
-void Run() {
+void Run(JsonReport& report) {
   PrintHeader("E1: bench_fig4_latency", "Figure 4 (message latency vs message size)",
               "latency(m >= 96B) = 15.45us + 6.25ns/B; sigma 0.5-0.65us; range ~15.5-17us");
 
@@ -47,12 +48,31 @@ void Run() {
               line.intercept / 1000.0, line.slope, line.r_squared);
   std::printf("  marginal interconnect rate: paper >150 MB/s; measured %.0f MB/s\n\n",
               1000.0 / line.slope);
+
+  // Regression gate for CI: the calibrated pipeline must keep reproducing
+  // the paper's line. Printed markers, not exit codes, so a perf-smoke job
+  // can grep while the full experiment script keeps running.
+  const double intercept_err_us = std::fabs(line.intercept / 1000.0 - 15.45);
+  const double slope_err = std::fabs(line.slope - 6.25);
+  if (intercept_err_us <= 0.2 && slope_err <= 0.1) {
+    std::printf("[OK] fit within tolerance (intercept +/-0.2 us, slope +/-0.1 ns/B)\n");
+  } else {
+    std::printf("[MISMATCH] fit drifted: intercept err %.3f us (max 0.2), "
+                "slope err %.4f ns/B (max 0.1)\n", intercept_err_us, slope_err);
+  }
+
+  report.AddConfig("exchanges", 300.0);
+  report.AddConfig("sizes", std::string("64..1024 step 32"));
+  report.AddMetric("fit_intercept", line.intercept / 1000.0, "us");
+  report.AddMetric("fit_slope", line.slope, "ns/B");
+  report.AddMetric("fit_r_squared", line.r_squared, "1");
 }
 
 }  // namespace
 }  // namespace flipc::bench
 
-int main() {
-  flipc::bench::Run();
+int main(int argc, char** argv) {
+  flipc::bench::JsonReport report(argc, argv, "fig4_latency");
+  flipc::bench::Run(report);
   return 0;
 }

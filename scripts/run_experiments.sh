@@ -28,7 +28,25 @@ if [ ${#runnable[@]} -eq 0 ]; then
   exit 1
 fi
 
+# Machine-readable results land next to the build as BENCH_<name>.json.
+RESULTS="$BUILD/results"
+mkdir -p "$RESULTS"
+
 for bench in "${runnable[@]}"; do
-  echo "==== running $bench ===="
-  "$bench"
+  name="$(basename "$bench")"
+  echo "==== running $name ===="
+  case "$name" in
+    bench_micro_waitfree)
+      # google-benchmark binary: its flag parser rejects the common --json
+      # flag, so use its native JSON reporter instead.
+      "$bench" "--benchmark_out=$RESULTS/BENCH_${name#bench_}.json" \
+               --benchmark_out_format=json
+      ;;
+    *)
+      "$bench" "--json=$RESULTS/BENCH_${name#bench_}.json"
+      ;;
+  esac
 done
+
+echo "JSON results in $RESULTS/:"
+ls "$RESULTS" 2>/dev/null || true

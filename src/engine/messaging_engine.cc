@@ -21,7 +21,8 @@ MessagingEngine::MessagingEngine(shm::CommBuffer& comm, simnet::Wire& wire,
       options_(options),
       model_(model),
       semaphores_(semaphores),
-      next_send_ok_(comm.max_endpoints(), 0) {}
+      next_send_ok_(comm.max_endpoints(), 0),
+      in_active_(comm.max_endpoints(), 0) {}
 
 Status MessagingEngine::RegisterProtocol(std::uint32_t protocol_id, ProtocolHandler* handler) {
   if (protocol_id == simnet::kProtocolFlipc || protocol_id >= kMaxProtocols) {
@@ -77,17 +78,23 @@ TimeNs MessagingEngine::NextUnthrottleTime() const {
 
 std::uint32_t MessagingEngine::FindSendWork() {
   const std::uint32_t n = comm_.max_endpoints();
+  planned_rotation_advance_ = true;
 
   if (options_.priority_scan) {
     // Priority extension: highest-priority endpoint with work wins; the
     // round-robin cursor breaks ties so equal-priority streams share.
     std::uint32_t best = shm::kInvalidEndpoint;
     std::uint32_t best_priority = 0;
+    std::uint32_t first_ready = shm::kInvalidEndpoint;
     const TimeNs now = NowForThrottle();
     for (std::uint32_t off = 0; off < n; ++off) {
       const std::uint32_t i = (scan_cursor_ + off) % n;
+      ++stats_.endpoints_visited;
       if (!SendReady(i, now)) {
         continue;
+      }
+      if (first_ready == shm::kInvalidEndpoint) {
+        first_ready = i;
       }
       const std::uint32_t priority = comm_.endpoint(i).priority.ReadRelaxed();
       if (best == shm::kInvalidEndpoint || priority > best_priority) {
@@ -95,17 +102,149 @@ std::uint32_t MessagingEngine::FindSendWork() {
         best_priority = priority;
       }
     }
+    // The cursor advances only when the priority winner IS the cursor-order
+    // candidate. A preemption must leave the rotation point alone: resetting
+    // it past the winner would re-walk the same equal-priority prefix after
+    // every preemption and starve the endpoints behind it.
+    planned_rotation_advance_ = (best == first_ready);
     return best;
   }
 
   const TimeNs now = NowForThrottle();
   for (std::uint32_t off = 0; off < n; ++off) {
     const std::uint32_t i = (scan_cursor_ + off) % n;
+    ++stats_.endpoints_visited;
     if (SendReady(i, now)) {
       return i;
     }
   }
   return shm::kInvalidEndpoint;
+}
+
+void MessagingEngine::ActivateEndpoint(std::uint32_t endpoint) {
+  if (in_active_[endpoint] != 0) {
+    return;  // Already in active_ or in the planned batch.
+  }
+  in_active_[endpoint] = 1;
+  active_.push_back(endpoint);
+}
+
+void MessagingEngine::DrainDoorbells() {
+  waitfree::DoorbellRingView ring = comm_.doorbell_ring();
+  const std::uint32_t batch = options_.transmit_batch < 1 ? 1 : options_.transmit_batch;
+  // Bounded drain keeps the plan a bounded work unit; leftover doorbells
+  // stay published for the next plan.
+  std::uint32_t budget = 4 * batch > 16 ? 4 * batch : 16;
+  while (budget-- > 0) {
+    const std::uint32_t endpoint = ring.Pop();
+    if (endpoint == waitfree::kInvalidDoorbell) {
+      break;
+    }
+    ++stats_.doorbells_consumed;
+    if (!comm_.IsValidEndpointIndex(endpoint)) {
+      continue;  // Corrupt hint from the application side; ignore.
+    }
+    if (in_active_[endpoint] != 0) {
+      ++stats_.doorbell_dups;
+      continue;
+    }
+    ActivateEndpoint(endpoint);
+  }
+}
+
+void MessagingEngine::SweepAllEndpoints() {
+  ++stats_.backstop_sweeps;
+  const std::uint32_t n = comm_.max_endpoints();
+  stats_.endpoints_visited += n;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (comm_.endpoint(i).Type() != EndpointType::kSend) {
+      continue;
+    }
+    // Processable (not SendReady): throttled and blocked endpoints belong
+    // in the active list too, so the rotation — and NextUnthrottleTime —
+    // keeps tracking them.
+    if (comm_.queue(i).ProcessableCount() == 0) {
+      continue;
+    }
+    ActivateEndpoint(i);
+  }
+}
+
+bool MessagingEngine::SelectBatchFromActive() {
+  const TimeNs now = NowForThrottle();
+  const std::uint32_t batch_limit = options_.transmit_batch < 1 ? 1 : options_.transmit_batch;
+  std::uint16_t batch_node = 0;
+  bool have_node = false;
+
+  // One rotation: each endpoint that was in the list at entry is examined
+  // at most once; rotated entries land behind the sentinel count.
+  std::size_t rotations = active_.size();
+  while (rotations-- > 0) {
+    const std::uint32_t endpoint = active_.front();
+    active_.pop_front();
+    ++stats_.endpoints_visited;
+
+    if (comm_.endpoint(endpoint).Type() != EndpointType::kSend ||
+        comm_.queue(endpoint).ProcessableCount() == 0) {
+      in_active_[endpoint] = 0;  // Drained or freed: forget the hint.
+      continue;
+    }
+    if (!SendReady(endpoint, now)) {
+      active_.push_back(endpoint);  // Blocked or throttled: rotate to the back.
+      continue;
+    }
+
+    // Same-destination coalescing. A head buffer the commit path will
+    // reject (sentinel or out-of-range index) has no determinate
+    // destination; it joins any batch and is consumed as a rejection.
+    const BufferIndex buffer = comm_.queue(endpoint).PeekProcess();
+    if (buffer != waitfree::kInvalidBuffer && comm_.IsValidBufferIndex(buffer)) {
+      const std::uint16_t dst_node = comm_.msg(buffer).header->peer_address().node();
+      if (!have_node) {
+        batch_node = dst_node;
+        have_node = true;
+      } else if (dst_node != batch_node) {
+        active_.push_back(endpoint);  // Different destination: next unit's.
+        continue;
+      }
+    }
+    planned_batch_.push_back(endpoint);
+    if (planned_batch_.size() >= batch_limit) {
+      break;
+    }
+  }
+  return !planned_batch_.empty();
+}
+
+void MessagingEngine::PlanOutboundBatch() {
+  // Draining the ring publishes ring_head, an engine-owned cell, and
+  // PlanStep is otherwise role-free — bind the engine role here.
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kEngine);
+  planned_batch_.clear();
+
+  waitfree::DoorbellRingView ring = comm_.doorbell_ring();
+  if (ring.OverflowPending()) {
+    // Ack BEFORE sweeping, so a ring that overflows again mid-sweep raises
+    // a fresh signal rather than being absorbed into this one.
+    ring.AckOverflow();
+    ++stats_.doorbell_overflows;
+    SweepAllEndpoints();
+  }
+  DrainDoorbells();
+
+  ++outbound_plans_;
+  if (options_.backstop_interval != 0 && outbound_plans_ % options_.backstop_interval == 0) {
+    SweepAllEndpoints();  // Low-frequency lost-doorbell backstop.
+  }
+
+  if (!SelectBatchFromActive()) {
+    // No candidate on the hint path. Work queued without a doorbell (an
+    // engine-side test writing queues directly, or a doorbell lost to a
+    // ring lap) must still be discovered before the engine reports idle,
+    // or the DES would sleep over real work.
+    SweepAllEndpoints();
+    SelectBatchFromActive();
+  }
 }
 
 DurationNs MessagingEngine::PlanStep() {
@@ -142,22 +281,45 @@ DurationNs MessagingEngine::PlanStep() {
     return planned_cost_;
   }
 
-  const std::uint32_t send_endpoint = FindSendWork();
-  if (send_endpoint != shm::kInvalidEndpoint) {
-    planned_ = WorkKind::kOutbound;
-    planned_endpoint_ = send_endpoint;
-    DurationNs cost = 0;
-    if (m != nullptr) {
-      cost = m->engine_dispatch_ns + m->send_overhead_ns + TransmitPlanCost();
-      if (options_.validity_checks) {
-        cost += m->validity_check_ns;
+  if (UseDoorbellScheduling()) {
+    PlanOutboundBatch();
+    if (!planned_batch_.empty()) {
+      planned_ = WorkKind::kOutbound;
+      planned_endpoint_ = planned_batch_.front();
+      DurationNs cost = 0;
+      if (m != nullptr) {
+        // The first message carries the full dispatch + send path (so a
+        // batch of one costs exactly what the legacy scan charged); each
+        // coalesced message adds only the per-message transmit share.
+        const DurationNs per_message_checks =
+            (options_.validity_checks ? m->validity_check_ns : 0) +
+            (options_.model_unpadded_layout ? m->engine_false_sharing_ns : 0);
+        cost = m->engine_dispatch_ns + m->send_overhead_ns + TransmitPlanCost() +
+               per_message_checks;
+        cost += static_cast<DurationNs>(planned_batch_.size() - 1) *
+                (m->send_batch_extra_ns + TransmitPlanCost() + per_message_checks);
       }
-      if (options_.model_unpadded_layout) {
-        cost += m->engine_false_sharing_ns;
-      }
+      planned_cost_ = cost;
+      return planned_cost_;
     }
-    planned_cost_ = cost;
-    return planned_cost_;
+  } else {
+    const std::uint32_t send_endpoint = FindSendWork();
+    if (send_endpoint != shm::kInvalidEndpoint) {
+      planned_ = WorkKind::kOutbound;
+      planned_endpoint_ = send_endpoint;
+      DurationNs cost = 0;
+      if (m != nullptr) {
+        cost = m->engine_dispatch_ns + m->send_overhead_ns + TransmitPlanCost();
+        if (options_.validity_checks) {
+          cost += m->validity_check_ns;
+        }
+        if (options_.model_unpadded_layout) {
+          cost += m->engine_false_sharing_ns;
+        }
+      }
+      planned_cost_ = cost;
+      return planned_cost_;
+    }
   }
 
   for (std::uint32_t id = 0; id < kMaxProtocols; ++id) {
@@ -233,6 +395,23 @@ bool MessagingEngine::HasWork() const {
     return true;
   }
   const TimeNs now = NowForThrottle();
+  if (UseDoorbellScheduling()) {
+    // O(active) early-true checks. A pending doorbell or overflow signal
+    // reports work even when stale — the next plan drains the ring (head
+    // always advances), so the DES cannot spin on a stale hint.
+    waitfree::DoorbellRingView ring = const_cast<shm::CommBuffer&>(comm_).doorbell_ring();
+    if (ring.HasPending() || ring.OverflowPending()) {
+      return true;
+    }
+    for (const std::uint32_t endpoint : active_) {
+      if (SendReady(endpoint, now)) {
+        return true;
+      }
+    }
+  }
+  // Full scan stays as the authoritative fallback: work queued without a
+  // doorbell (engine-side test writes, lost doorbells) must be reported —
+  // the plan's no-candidate sweep will find anything reported here.
   for (std::uint32_t i = 0; i < comm_.max_endpoints(); ++i) {
     if (SendReady(i, now)) {
       return true;
@@ -257,10 +436,38 @@ bool MessagingEngine::ValidateSendBuffer(std::uint32_t endpoint_index, BufferInd
 }
 
 void MessagingEngine::CommitOutbound(simnet::CostAccumulator& cost) {
+  if (UseDoorbellScheduling() && !planned_batch_.empty()) {
+    ++stats_.transmit_batches;
+    stats_.batched_messages += planned_batch_.size();
+    for (const std::uint32_t endpoint_index : planned_batch_) {
+      CommitOutboundOne(endpoint_index, cost);
+      // Re-schedule the endpoint while it still holds processable work;
+      // otherwise clear its membership so the next doorbell re-activates
+      // it. (in_active_ covered the endpoint during the batch, deduping
+      // doorbells rung between plan and commit.)
+      if (comm_.endpoint(endpoint_index).Type() == EndpointType::kSend &&
+          comm_.queue(endpoint_index).ProcessableCount() > 0) {
+        active_.push_back(endpoint_index);
+      } else {
+        in_active_[endpoint_index] = 0;
+      }
+    }
+    planned_batch_.clear();
+    planned_endpoint_ = shm::kInvalidEndpoint;
+    return;
+  }
+
   const std::uint32_t endpoint_index = planned_endpoint_;
   planned_endpoint_ = shm::kInvalidEndpoint;
-  scan_cursor_ = (endpoint_index + 1) % comm_.max_endpoints();
+  if (planned_rotation_advance_) {
+    scan_cursor_ = (endpoint_index + 1) % comm_.max_endpoints();
+  }
+  planned_rotation_advance_ = true;
+  CommitOutboundOne(endpoint_index, cost);
+}
 
+void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
+                                        simnet::CostAccumulator& cost) {
   EndpointRecord& record = comm_.endpoint(endpoint_index);
   if (record.Type() != EndpointType::kSend) {
     return;  // Endpoint freed between plan and commit.

@@ -30,6 +30,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 
@@ -63,6 +64,24 @@ struct EngineOptions {
   // real data structures stay padded (and correct); this charges the
   // modeled invalidation cost.
   bool model_unpadded_layout = false;
+
+  // O(active) scheduling: consume the communication buffer's doorbell ring
+  // instead of sweeping every endpoint slot per step. A low-frequency
+  // backstop sweep (below) recovers lost doorbells, and a sweep also runs
+  // whenever the doorbell path yields no candidate, so correctness never
+  // depends on a doorbell arriving. priority_scan uses the legacy full
+  // scan (priority ordering needs to see every endpoint).
+  bool doorbell_scheduling = true;
+
+  // Maximum sends coalesced into one work unit; messages after the first
+  // must share the first's destination node and come from distinct
+  // endpoints (one message per endpoint per unit keeps round-robin
+  // fairness). 1 disables batching.
+  std::uint32_t transmit_batch = 8;
+
+  // Run the lost-doorbell backstop sweep every this many outbound plans;
+  // 0 disables the periodic sweep (the no-candidate sweep still runs).
+  std::uint32_t backstop_interval = 64;
 };
 
 struct EngineStats {
@@ -79,6 +98,15 @@ struct EngineStats {
   std::uint64_t protection_rejections = 0;
   std::uint64_t unknown_protocol_packets = 0;
   std::uint64_t semaphore_signals = 0;
+  // ---- Doorbell-scheduling observability ----
+  std::uint64_t doorbells_consumed = 0;   // ring entries popped
+  std::uint64_t doorbell_dups = 0;        // popped for an already-active endpoint
+  std::uint64_t doorbell_overflows = 0;   // overflow signals answered with a sweep
+  std::uint64_t backstop_sweeps = 0;      // full sweeps (periodic / no-candidate / overflow)
+  std::uint64_t endpoints_visited = 0;    // endpoints examined while planning sends;
+                                          // the deterministic scan-effort metric
+  std::uint64_t transmit_batches = 0;     // outbound work units committed
+  std::uint64_t batched_messages = 0;     // messages carried by those units
 };
 
 // A protocol sharing the engine's event loop (the Paragon message
@@ -221,8 +249,38 @@ class MessagingEngine {
   enum class WorkKind { kNone, kInbound, kOutbound, kHandler };
 
   // Scans send endpoints (round-robin or priority order) for releasable
-  // work; returns the endpoint index or kInvalidEndpoint.
+  // work; returns the endpoint index or kInvalidEndpoint. Legacy path:
+  // used when doorbell scheduling is off or priority_scan is on.
   std::uint32_t FindSendWork();
+
+  // True when the engine schedules sends from the doorbell ring + active
+  // list instead of the legacy full scan.
+  bool UseDoorbellScheduling() const {
+    return options_.doorbell_scheduling && !options_.priority_scan;
+  }
+
+  // ---- Doorbell scheduling (engine-private hint state) ----
+
+  // Fills planned_batch_ with up to transmit_batch ready same-destination
+  // endpoints: drains the ring, runs the periodic/overflow/no-candidate
+  // backstop sweeps, and rotates the active list.
+  void PlanOutboundBatch();
+
+  // Pops published doorbells into the active list (overflow answered with
+  // a covering sweep first).
+  void DrainDoorbells();
+
+  // Adds `endpoint` to the active list unless already a member.
+  void ActivateEndpoint(std::uint32_t endpoint);
+
+  // The lost-doorbell backstop: activates every send endpoint with
+  // processable work. O(configured endpoints); runs at low frequency.
+  void SweepAllEndpoints();
+
+  // One rotation over the active list selecting the batch; returns whether
+  // anything was selected. Drained endpoints leave the list; blocked or
+  // throttled ones rotate to the back.
+  bool SelectBatchFromActive();
 
   // True when `endpoint` is a send endpoint with processable work that is
   // not blocked (KKT in-flight) or throttled (rate limit).
@@ -238,6 +296,11 @@ class MessagingEngine {
 
   void CommitInbound(simnet::CostAccumulator& cost);
   void CommitOutbound(simnet::CostAccumulator& cost);
+
+  // Transmits the head message of one endpoint (validity, protection and
+  // rate-limit checks included); shared by the legacy single-send commit
+  // and the batched commit.
+  void CommitOutboundOne(std::uint32_t endpoint_index, simnet::CostAccumulator& cost);
 
   shm::CommBuffer& comm_;
   simnet::Wire& wire_;
@@ -268,7 +331,22 @@ class MessagingEngine {
   DurationNs planned_cost_ = 0;
 
   std::uint32_t scan_cursor_ = 0;
+  // Legacy-scan fairness: CommitOutbound advances scan_cursor_ only when
+  // the delivered endpoint was the round-robin candidate. A priority
+  // preemption must NOT reset the rotation point, or equal-priority
+  // endpoints past the preempted one starve (the cursor would re-walk the
+  // same prefix after every preemption).
+  bool planned_rotation_advance_ = true;
   std::uint64_t send_seq_ = 0;
+
+  // Doorbell-scheduling state (engine-private; the shared ring lives in
+  // the communication buffer). active_ holds endpoints believed to have
+  // send work, FIFO for round-robin fairness; in_active_ is its membership
+  // flag per endpoint (covers active_ AND planned_batch_).
+  std::deque<std::uint32_t> active_;
+  std::vector<char> in_active_;
+  std::vector<std::uint32_t> planned_batch_;
+  std::uint64_t outbound_plans_ = 0;
 
   std::function<void(std::uint32_t, bool)> receive_hook_;
   std::function<void(std::uint32_t)> send_complete_hook_;

@@ -48,6 +48,10 @@ struct PlatformModel {
   // ---- Engine (message coprocessor) side ----
   DurationNs engine_dispatch_ns = 300;       // notice + dequeue one work item
   DurationNs send_overhead_ns = 4'600;       // endpoint scan, DMA setup, launch
+  // Each additional message coalesced into an already-dispatched transmit
+  // batch: DMA setup + launch without the dispatch and endpoint-scan share
+  // of send_overhead_ns (the batch amortizes those).
+  DurationNs send_batch_extra_ns = 3'400;
   DurationNs recv_overhead_ns = 4'980;       // packet accept, queue check, state update
   DurationNs recv_copy_per_byte_x100 = 125;  // buffer fill not fully pipelined
   DurationNs validity_check_ns = 1'000;      // per message, each engine, when enabled

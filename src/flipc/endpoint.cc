@@ -55,6 +55,12 @@ Status Endpoint::ReleaseCommon(MessageBuffer& buffer, Address dst, EndpointType 
   }
 
   if (expected == EndpointType::kSend) {
+    // Ring the doorbell so the engine schedules this endpoint without a
+    // full scan. Sequenced after the queue Release above, so the engine's
+    // acquire of the doorbell also observes the released buffer. A full
+    // ring raises the overflow signal instead (the engine answers with a
+    // sweep); either way the send already succeeded — doorbells are hints.
+    domain_->comm().doorbell_ring().Ring(index_);
     domain_->calls().sends.fetch_add(1, std::memory_order_relaxed);
     domain_->KickEngine();
   } else {

@@ -24,6 +24,10 @@ Status CommBufferConfig::Validate() const {
   if (effective_cell_arena_size() == 0) {
     return InvalidArgumentStatus();
   }
+  if (doorbell_capacity != 0 &&
+      (doorbell_capacity < 2 || !IsPowerOfTwo(doorbell_capacity))) {
+    return InvalidArgumentStatus();
+  }
   return OkStatus();
 }
 
@@ -40,6 +44,10 @@ Result<CommBufferLayout> CommBufferLayout::For(const CommBufferConfig& config) {
   layout.freelist_offset = AlignUp(offset, kCacheLineSize);
   offset = layout.freelist_offset +
            static_cast<std::size_t>(config.buffer_count) * sizeof(std::uint32_t);
+  layout.doorbell_offset = AlignUp(offset, kCacheLineSize);
+  offset = layout.doorbell_offset + sizeof(waitfree::DoorbellCursors) +
+           static_cast<std::size_t>(config.effective_doorbell_capacity()) *
+               sizeof(waitfree::SingleWriterCell<std::uint64_t>);
   layout.buffers_offset = AlignUp(offset, kCacheLineSize);
   offset = layout.buffers_offset +
            static_cast<std::size_t>(config.buffer_count) * config.message_size;
@@ -119,9 +127,11 @@ void CommBuffer::FormatRegion(const CommBufferConfig& config, const CommBufferLa
   header_->buffer_count = config.buffer_count;
   header_->max_endpoints = config.max_endpoints;
   header_->cell_arena_size = config.effective_cell_arena_size();
+  header_->doorbell_capacity = config.effective_doorbell_capacity();
   header_->endpoint_table_offset = layout.endpoint_table_offset;
   header_->cell_arena_offset = layout.cell_arena_offset;
   header_->freelist_offset = layout.freelist_offset;
+  header_->doorbell_offset = layout.doorbell_offset;
   header_->buffers_offset = layout.buffers_offset;
   header_->total_size = layout.total_size;
 
@@ -132,6 +142,14 @@ void CommBuffer::FormatRegion(const CommBufferConfig& config, const CommBufferLa
   auto* cells = cell_arena();
   for (std::uint32_t i = 0; i < header_->cell_arena_size; ++i) {
     new (&cells[i]) waitfree::SingleWriterCell<BufferIndex>(kInvalidBuffer);
+  }
+
+  // Doorbell ring: zeroed cells carry lap tag 0, which never matches a
+  // consumer expectation (tags start at 1), so the ring formats empty.
+  new (doorbell_cursors()) waitfree::DoorbellCursors();
+  auto* bells = doorbell_cells();
+  for (std::uint32_t i = 0; i < header_->doorbell_capacity; ++i) {
+    new (&bells[i]) waitfree::SingleWriterCell<std::uint64_t>(0);
   }
 
   // Thread the buffer free list: each buffer's freelist slot names the next
@@ -165,6 +183,13 @@ void CommBuffer::DeclareBoundaryOwners() {
   for (std::uint32_t i = 0; i < header_->cell_arena_size; ++i) {
     cells[i].DeclareOwner(waitfree::Writer::kApplication, "CommBuffer.cell_arena");
   }
+  // Doorbell ring: cursors per the ownership table; every ring cell is
+  // written only by the application, at ring time.
+  DeclareOwnersFromTable(doorbell_cursors(), kDoorbellCursorsOwnership);
+  auto* bells = doorbell_cells();
+  for (std::uint32_t i = 0; i < header_->doorbell_capacity; ++i) {
+    bells[i].DeclareOwner(waitfree::Writer::kApplication, "CommBuffer.doorbell_cells");
+  }
   // Message headers are NOT declared: their peer/state words hand off
   // between writers with the buffer's queue position. HandoffState's
   // transition check covers them (src/waitfree/msg_state.h).
@@ -181,6 +206,20 @@ waitfree::SingleWriterCell<BufferIndex>* CommBuffer::cell_arena() {
 
 std::uint32_t* CommBuffer::freelist() {
   return reinterpret_cast<std::uint32_t*>(base_ + header_->freelist_offset);
+}
+
+waitfree::DoorbellCursors* CommBuffer::doorbell_cursors() {
+  return reinterpret_cast<waitfree::DoorbellCursors*>(base_ + header_->doorbell_offset);
+}
+
+waitfree::SingleWriterCell<std::uint64_t>* CommBuffer::doorbell_cells() {
+  return reinterpret_cast<waitfree::SingleWriterCell<std::uint64_t>*>(
+      base_ + header_->doorbell_offset + sizeof(waitfree::DoorbellCursors));
+}
+
+waitfree::DoorbellRingView CommBuffer::doorbell_ring() {
+  return waitfree::DoorbellRingView(doorbell_cursors(), doorbell_cells(),
+                                    header_->doorbell_capacity);
 }
 
 MsgView CommBuffer::msg(BufferIndex index) {

@@ -17,6 +17,7 @@
 //   [EndpointRecord x max_endpoints]
 //   [cell arena]         queue cells, carved out per endpoint at allocation
 //   [buffer free list]   application-side singly linked free list
+//   [doorbell ring]      cursors + MPSC ring of endpoint indices rung on send
 //   [message buffers]    buffer_count x message_size bytes
 //
 // Allocation (buffers, endpoints, arena cells) is an application-side
@@ -35,6 +36,7 @@
 #include "src/shm/endpoint_record.h"
 #include "src/shm/msg_header.h"
 #include "src/waitfree/buffer_queue.h"
+#include "src/waitfree/doorbell_ring.h"
 
 namespace flipc::shm {
 
@@ -58,9 +60,26 @@ struct CommBufferConfig {
   std::uint32_t max_endpoints = 64;
   // Total queue cells available to endpoints; 0 means 4 * buffer_count.
   std::uint32_t cell_arena_size = 0;
+  // Doorbell ring slots (power of two); 0 derives a capacity that covers
+  // every in-flight send release (bounded by buffer_count), clamped to
+  // [64, 4096].
+  std::uint32_t doorbell_capacity = 0;
 
   std::uint32_t effective_cell_arena_size() const {
     return cell_arena_size == 0 ? 4 * buffer_count : cell_arena_size;
+  }
+
+  std::uint32_t effective_doorbell_capacity() const {
+    if (doorbell_capacity != 0) {
+      return doorbell_capacity;
+    }
+    const std::uint32_t target =
+        buffer_count < 64 ? 64 : (buffer_count > 4096 ? 4096 : buffer_count);
+    std::uint32_t capacity = 64;
+    while (capacity < target) {
+      capacity <<= 1;
+    }
+    return capacity;
   }
 
   Status Validate() const;
@@ -70,6 +89,7 @@ struct CommBufferLayout {
   std::size_t endpoint_table_offset = 0;
   std::size_t cell_arena_offset = 0;
   std::size_t freelist_offset = 0;
+  std::size_t doorbell_offset = 0;
   std::size_t buffers_offset = 0;
   std::size_t total_size = 0;
 
@@ -86,9 +106,11 @@ struct alignas(kCacheLineSize) CommBufferHeader {
   std::uint32_t buffer_count;
   std::uint32_t max_endpoints;
   std::uint32_t cell_arena_size;
+  std::uint32_t doorbell_capacity;
   std::uint64_t endpoint_table_offset;
   std::uint64_t cell_arena_offset;
   std::uint64_t freelist_offset;
+  std::uint64_t doorbell_offset;
   std::uint64_t buffers_offset;
   std::uint64_t total_size;
 
@@ -101,7 +123,10 @@ struct alignas(kCacheLineSize) CommBufferHeader {
 };
 
 inline constexpr std::uint64_t kCommBufferMagic = 0x464c495043313936ull;  // "FLIPC196"
-inline constexpr std::uint32_t kCommBufferVersion = 1;
+// Version 2 added the doorbell ring section (doorbell_capacity,
+// doorbell_offset, and the cursors + cells between the free list and the
+// message buffers).
+inline constexpr std::uint32_t kCommBufferVersion = 2;
 
 class CommBuffer {
  public:
@@ -173,6 +198,10 @@ class CommBuffer {
   // Queue view bound to an endpoint's cursors and cells.
   waitfree::BufferQueueView queue(std::uint32_t endpoint_index);
 
+  // View of the send doorbell ring (application rings, engine drains).
+  waitfree::DoorbellRingView doorbell_ring();
+  std::uint32_t doorbell_capacity() const { return header_->doorbell_capacity; }
+
  private:
   CommBuffer(std::byte* base, bool owns);
 
@@ -187,6 +216,8 @@ class CommBuffer {
   EndpointRecord* endpoint_table();
   waitfree::SingleWriterCell<BufferIndex>* cell_arena();
   std::uint32_t* freelist();
+  waitfree::DoorbellCursors* doorbell_cursors();
+  waitfree::SingleWriterCell<std::uint64_t>* doorbell_cells();
 
   std::byte* base_ = nullptr;
   CommBufferHeader* header_ = nullptr;

@@ -31,6 +31,7 @@
 #include "src/shm/endpoint_record.h"
 #include "src/waitfree/boundary_check.h"
 #include "src/waitfree/buffer_queue.h"
+#include "src/waitfree/doorbell_ring.h"
 #include "src/waitfree/drop_counter.h"
 
 namespace flipc::shm {
@@ -111,6 +112,27 @@ inline constexpr FieldOwnership kQueueCursorsOwnership[] = {
      sizeof(waitfree::QueueCursors::process_count), ownership_internal::kEng, true, false},
 };
 
+// ---- DoorbellCursors (src/waitfree/doorbell_ring.h) ----
+// The send-doorbell ring's cursor block: one application line (producer
+// position + overflow signal), one engine line (consumer position +
+// overflow acknowledgement). ring_tail is the one application-side RMW
+// word (slot claim among app threads, like the endpoint TasLock), so it is
+// not a checked cell; the engine only reads it. The ring's CELLS are
+// app-written SingleWriterCells declared per-region by CommBuffer, like
+// the queue-cell arena.
+inline constexpr FieldOwnership kDoorbellCursorsOwnership[] = {
+    {"DoorbellCursors.ring_tail", offsetof(waitfree::DoorbellCursors, ring_tail),
+     sizeof(waitfree::DoorbellCursors::ring_tail), ownership_internal::kApp, false, false},
+    {"DoorbellCursors.overflow_rung", offsetof(waitfree::DoorbellCursors, overflow_rung),
+     sizeof(waitfree::DoorbellCursors::overflow_rung), ownership_internal::kApp, true,
+     false},
+    {"DoorbellCursors.ring_head", offsetof(waitfree::DoorbellCursors, ring_head),
+     sizeof(waitfree::DoorbellCursors::ring_head), ownership_internal::kEng, true, false},
+    {"DoorbellCursors.overflow_seen", offsetof(waitfree::DoorbellCursors, overflow_seen),
+     sizeof(waitfree::DoorbellCursors::overflow_seen), ownership_internal::kEng, true,
+     false},
+};
+
 // ---- PaddedDropCounterParts (src/waitfree/drop_counter.h) ----
 inline constexpr FieldOwnership kPaddedDropCounterOwnership[] = {
     {"PaddedDropCounterParts.dropped", offsetof(waitfree::PaddedDropCounterParts, dropped),
@@ -139,6 +161,8 @@ inline constexpr FieldOwnership kCommBufferHeaderOwnership[] = {
      sizeof(CommBufferHeader::max_endpoints), ownership_internal::kApp, false, true},
     {"CommBufferHeader.cell_arena_size", offsetof(CommBufferHeader, cell_arena_size),
      sizeof(CommBufferHeader::cell_arena_size), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.doorbell_capacity", offsetof(CommBufferHeader, doorbell_capacity),
+     sizeof(CommBufferHeader::doorbell_capacity), ownership_internal::kApp, false, true},
     {"CommBufferHeader.endpoint_table_offset",
      offsetof(CommBufferHeader, endpoint_table_offset),
      sizeof(CommBufferHeader::endpoint_table_offset), ownership_internal::kApp, false, true},
@@ -146,6 +170,8 @@ inline constexpr FieldOwnership kCommBufferHeaderOwnership[] = {
      sizeof(CommBufferHeader::cell_arena_offset), ownership_internal::kApp, false, true},
     {"CommBufferHeader.freelist_offset", offsetof(CommBufferHeader, freelist_offset),
      sizeof(CommBufferHeader::freelist_offset), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.doorbell_offset", offsetof(CommBufferHeader, doorbell_offset),
+     sizeof(CommBufferHeader::doorbell_offset), ownership_internal::kApp, false, true},
     {"CommBufferHeader.buffers_offset", offsetof(CommBufferHeader, buffers_offset),
      sizeof(CommBufferHeader::buffers_offset), ownership_internal::kApp, false, true},
     {"CommBufferHeader.total_size", offsetof(CommBufferHeader, total_size),
@@ -220,6 +246,10 @@ static_assert(CacheLinesHaveSingleWriter(kQueueCursorsOwnership),
               "QueueCursors: a cache line mixes application- and engine-written words");
 static_assert(FieldsAlignedWithinLines(kQueueCursorsOwnership),
               "QueueCursors: a shared field is misaligned or straddles a cache line");
+static_assert(CacheLinesHaveSingleWriter(kDoorbellCursorsOwnership),
+              "DoorbellCursors: a cache line mixes application- and engine-written words");
+static_assert(FieldsAlignedWithinLines(kDoorbellCursorsOwnership),
+              "DoorbellCursors: a shared field is misaligned or straddles a cache line");
 static_assert(CacheLinesHaveSingleWriter(kPaddedDropCounterOwnership),
               "PaddedDropCounterParts: a cache line mixes application- and engine-written "
               "words");

@@ -67,6 +67,11 @@ TEST(Blocking, BufferStatePollsToCompleted) {
     std::this_thread::yield();
   }
   EXPECT_TRUE(msg->completed());
+  // The sender's completion does NOT imply the receiver engine has already
+  // processed (and dropped) the message — wait for that side too.
+  for (int spins = 0; rx->DropCount() == 0 && spins < 1'000'000; ++spins) {
+    std::this_thread::yield();
+  }
   EXPECT_EQ(rx->DropCount(), 1u);
 }
 

@@ -16,6 +16,7 @@
 
 #include "src/waitfree/boundary_check.h"
 #include "src/waitfree/buffer_queue.h"
+#include "src/waitfree/doorbell_ring.h"
 #include "src/waitfree/drop_counter.h"
 
 namespace flipc::waitfree {
@@ -190,6 +191,131 @@ TEST(ModelCheck, QueueFullBoundaryInterleavings) {
       [&] { model.Reset(); });
   // C(11,3) = 165 schedules.
   EXPECT_EQ(schedules, 165);
+}
+
+// ---- Doorbell ring: application rings vs engine pops -----------------------
+
+// With whole operations as the interleaving grain the soft-full check in
+// Ring() is exact (no producer overshoot), so every successful ring must be
+// popped in FIFO order — no doorbell lost, none duplicated, none invented.
+class DoorbellModel {
+ public:
+  static constexpr std::uint32_t kCapacity = 4;
+
+  void Reset() {
+    ring_ = std::make_unique<InlineDoorbellRing<kCapacity>>();
+    rung_.clear();
+    popped_ = 0;
+    overflow_outstanding_ = false;
+  }
+
+  // App op: ring endpoint `value`; a refusal raises the overflow signal.
+  void AppRing(std::uint32_t value) {
+    if (ring_->view().Ring(value)) {
+      rung_.push_back(value);
+    } else {
+      overflow_outstanding_ = true;
+    }
+  }
+
+  // Engine op: pop one doorbell if published, verifying FIFO.
+  void EnginePop(const std::string& schedule) {
+    const std::uint32_t value = ring_->view().Pop();
+    if (value != kInvalidDoorbell) {
+      ASSERT_LT(popped_, rung_.size()) << "popped unrung doorbell in " << schedule;
+      ASSERT_EQ(value, rung_[popped_]) << "out-of-order pop in schedule " << schedule;
+      ++popped_;
+    }
+  }
+
+  // Engine op: the overflow half of the backstop — acknowledge, then (in
+  // the real engine) sweep. The sweep itself touches only engine-read
+  // state, so acknowledging models the ring-side effect completely.
+  void EngineAckOverflow() {
+    if (ring_->view().OverflowPending()) {
+      ring_->view().AckOverflow();
+      overflow_outstanding_ = false;
+    }
+  }
+
+  void CheckInvariants(const std::string& schedule) {
+    ASSERT_LE(popped_, rung_.size()) << schedule;
+    ASSERT_EQ(ring_->view().PendingCount(), rung_.size() - popped_) << schedule;
+    ASSERT_LE(ring_->view().PendingCount(), kCapacity) << schedule;
+    // The overflow signal is level-triggered: pending exactly when a ring
+    // was refused after the last acknowledgement.
+    ASSERT_EQ(ring_->view().OverflowPending(), overflow_outstanding_) << schedule;
+  }
+
+ private:
+  std::unique_ptr<InlineDoorbellRing<kCapacity>> ring_;
+  std::vector<std::uint32_t> rung_;
+  std::size_t popped_ = 0;
+  bool overflow_outstanding_ = false;
+};
+
+TEST(ModelCheck, DoorbellRingAllInterleavings) {
+  DoorbellModel model;
+  std::string current_schedule;
+
+  // App: 5 rings against capacity 4 — schedules where the engine lags see
+  // a full ring and must take the overflow path.
+  std::vector<std::function<void()>> app_ops;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    app_ops.emplace_back([&model, i] { model.AppRing(i); });
+  }
+  std::vector<std::function<void()>> engine_ops;
+  for (int i = 0; i < 4; ++i) {
+    engine_ops.emplace_back([&] { model.EnginePop(current_schedule); });
+  }
+
+  int schedules = 0;
+  ForAllInterleavings(
+      app_ops, engine_ops,
+      [&](const std::string& schedule) {
+        current_schedule = schedule;
+        model.CheckInvariants(schedule);
+        if (schedule.size() == app_ops.size() + engine_ops.size()) {
+          ++schedules;
+        }
+      },
+      [&] { model.Reset(); });
+  // C(9,4) = 126 distinct schedules.
+  EXPECT_EQ(schedules, 126);
+}
+
+TEST(ModelCheck, DoorbellOverflowAckInterleavings) {
+  DoorbellModel model;
+  std::string current_schedule;
+
+  // App: 7 rings against capacity 4 guarantee refusals in every schedule
+  // ordering the acks early; engine: pop, ack, pop, ack — every placement
+  // of the acknowledgement relative to refusals must keep the signal
+  // level-exact (ack too early must leave a later refusal pending).
+  std::vector<std::function<void()>> app_ops;
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    app_ops.emplace_back([&model, i] { model.AppRing(i); });
+  }
+  std::vector<std::function<void()>> engine_ops = {
+      [&] { model.EnginePop(current_schedule); },
+      [&] { model.EngineAckOverflow(); },
+      [&] { model.EnginePop(current_schedule); },
+      [&] { model.EngineAckOverflow(); },
+  };
+
+  int schedules = 0;
+  ForAllInterleavings(
+      app_ops, engine_ops,
+      [&](const std::string& schedule) {
+        current_schedule = schedule;
+        model.CheckInvariants(schedule);
+        if (schedule.size() == app_ops.size() + engine_ops.size()) {
+          ++schedules;
+        }
+      },
+      [&] { model.Reset(); });
+  // C(11,4) = 330 distinct schedules.
+  EXPECT_EQ(schedules, 330);
 }
 
 // ---- Drop counter: engine drops vs application read-and-reset --------------

@@ -24,6 +24,7 @@
 
 #include "src/waitfree/boundary_check.h"
 #include "src/waitfree/buffer_queue.h"
+#include "src/waitfree/doorbell_ring.h"
 #include "src/waitfree/drop_counter.h"
 #include "src/waitfree/msg_state.h"
 
@@ -116,6 +117,49 @@ TEST(SanitizerStress, DropCounterAppVsEngineThreads) {
   EXPECT_EQ(counter.Count(), 0u);
 }
 
+TEST(SanitizerStress, DoorbellRingAppVsEngineThreads) {
+  constexpr std::uint32_t kCapacity = 16;
+  constexpr std::uint32_t kDoorbells = kQueueMessages;
+  InlineDoorbellRing<kCapacity> ring;
+
+  // Engine thread: pop every successfully-rung doorbell, checking FIFO (the
+  // app never overshoots the soft-full check here — single producer — so no
+  // doorbell may be lost, duplicated, or reordered). Overflow refusals are
+  // acknowledged the way the engine's backstop does; the refused doorbell
+  // itself was never published, the application below retries it.
+  std::thread engine([&ring] {
+    BoundaryRole::BindCurrentThread(Writer::kEngine);
+    std::uint32_t next = 0;
+    while (next < kDoorbells) {
+      if (ring.view().OverflowPending()) {
+        ring.view().AckOverflow();
+      }
+      const std::uint32_t value = ring.view().Pop();
+      if (value == kInvalidDoorbell) {
+        std::this_thread::yield();
+        continue;
+      }
+      ASSERT_EQ(value, next) << "engine popped doorbells out of order";
+      ++next;
+    }
+    BoundaryRole::UnbindCurrentThread();
+  });
+
+  // Application thread (this one): ring sequential values; a refusal (full
+  // ring) is retried, which also exercises the overflow signal under load.
+  BoundaryRole::BindCurrentThread(Writer::kApplication);
+  for (std::uint32_t i = 0; i < kDoorbells; ++i) {
+    while (!ring.view().Ring(i)) {
+      std::this_thread::yield();
+    }
+  }
+  BoundaryRole::UnbindCurrentThread();
+  engine.join();
+
+  EXPECT_EQ(ring.view().PendingCount(), 0u);
+  EXPECT_FALSE(ring.view().HasPending());
+}
+
 // ---- Ownership checker death tests (checking builds only) ------------------
 
 #ifdef FLIPC_CHECK_SINGLE_WRITER
@@ -161,6 +205,36 @@ TEST(OwnershipCheckerDeath, EngineRoleResettingDropCounterAborts) {
         counter.ReadAndReset();  // Violation: reclaimed is app-owned.
       },
       "DropCounter.reclaimed.*owned by the application.*engine role");
+}
+
+TEST(OwnershipCheckerDeath, EngineRoleRingingDoorbellAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        InlineDoorbellRing<4> ring;
+        ScopedBoundaryRole engine(Writer::kEngine);
+        // Ring cells are written at ring time, by the application only; the
+        // engine consumes. An engine-role Ring() is a boundary violation.
+        ring.view().Ring(5);
+      },
+      "InlineDoorbellRing.cells.*owned by the application.*written by a thread "
+      "bound to the engine role");
+}
+
+TEST(OwnershipCheckerDeath, ApplicationRoleAdvancingRingHeadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        InlineDoorbellRing<4> ring;
+        {
+          ScopedBoundaryRole app(Writer::kApplication);
+          ring.view().Ring(1);  // Legitimate: ringing is app-owned.
+          // Cross-boundary write: ring_head is the ENGINE's cursor.
+          ring.view().Pop();
+        }
+      },
+      "DoorbellCursors.ring_head.*owned by the engine.*written by a thread "
+      "bound to the application role");
 }
 
 TEST(OwnershipCheckerDeath, AdvanceProcessWithoutPeekedBufferAborts) {

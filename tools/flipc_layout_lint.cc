@@ -96,10 +96,12 @@ void LintRegionLayouts() {
   // buffer pools, odd endpoint counts.
   const CommBufferConfig configs[] = {
       {},                                     // defaults
-      {64, 1, 1, 0},                          // minimum everything
-      {128, 1024, 64, 0},                     // paper-ish default
-      {512, 4096, 257, 0},                    // odd endpoint count
-      {96, 3, 5, 7},                          // deliberately awkward sizes
+      {64, 1, 1, 0, 0},                       // minimum everything
+      {128, 1024, 64, 0, 0},                  // paper-ish default
+      {512, 4096, 257, 0, 0},                 // odd endpoint count
+      {96, 3, 5, 7, 0},                       // deliberately awkward sizes
+      {128, 1024, 64, 0, 2},                  // smallest explicit doorbell ring
+      {128, 1024, 64, 0, 4096},               // largest default-clamp ring
   };
   for (const CommBufferConfig& config : configs) {
     const Result<CommBufferLayout> layout = CommBufferLayout::For(config);
@@ -109,10 +111,12 @@ void LintRegionLayouts() {
     }
     const std::size_t offsets[] = {
         layout->endpoint_table_offset, layout->cell_arena_offset,
-        layout->freelist_offset, layout->buffers_offset, layout->total_size};
+        layout->freelist_offset, layout->doorbell_offset,
+        layout->buffers_offset, layout->total_size};
     const char* names[] = {"endpoint_table_offset", "cell_arena_offset",
-                           "freelist_offset", "buffers_offset", "total_size"};
-    for (std::size_t i = 0; i < 5; ++i) {
+                           "freelist_offset", "doorbell_offset",
+                           "buffers_offset", "total_size"};
+    for (std::size_t i = 0; i < 6; ++i) {
       if (!IsAligned(offsets[i], kCacheLineSize)) {
         Fail("CommBufferLayout.%s is not cache-line aligned%s", names[i], "");
       }
@@ -133,6 +137,8 @@ int Run() {
        sizeof(kPaddedDropCounterOwnership) / sizeof(FieldOwnership)},
       {"CommBufferHeader", sizeof(CommBufferHeader), kCommBufferHeaderOwnership,
        sizeof(kCommBufferHeaderOwnership) / sizeof(FieldOwnership)},
+      {"DoorbellCursors", sizeof(waitfree::DoorbellCursors), kDoorbellCursorsOwnership,
+       sizeof(kDoorbellCursorsOwnership) / sizeof(FieldOwnership)},
   };
   for (const TableRef& table : tables) {
     LintTable(table);
