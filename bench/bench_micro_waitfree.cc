@@ -6,10 +6,13 @@
 // host CPU.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+#include "src/base/hotpath.h"
 #include "src/base/locks.h"
 #include "src/flipc/flipc.h"
 #include "src/shm/comm_buffer.h"
 #include "src/waitfree/buffer_queue.h"
+#include "src/waitfree/doorbell_ring.h"
 #include "src/waitfree/drop_counter.h"
 
 namespace flipc {
@@ -189,7 +192,77 @@ void BM_ApiRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ApiRoundTrip);
 
+// ---- Hot-path purity audit --------------------------------------------------
+//
+// With -DFLIPC_CHECK_HOT_PATH=ON the guard counters (GuardMode::kCount)
+// measure allocations and lock acquisitions observed INSIDE armed hot-path
+// scopes while driving the wait-free structures. The wait-free claim says
+// both must be zero per operation; CI's perf-smoke job fails on a nonzero
+// rate (the [MISMATCH] marker below). Without the guard build the audit
+// reports "guards not armed" and the metrics are omitted.
+void ReportHotPathPurity(bench::JsonReport& json) {
+  json.AddConfig("hot_path_guards_armed",
+                 std::string(hotpath::kHotPathCheckEnabled ? "yes" : "no"));
+  if (!hotpath::kHotPathCheckEnabled) {
+    std::printf("\nhot-path purity audit: guards not armed "
+                "(build with -DFLIPC_CHECK_HOT_PATH=ON to measure)\n");
+    return;
+  }
+
+  constexpr std::uint64_t kOps = 10000;
+  hotpath::SetGuardMode(hotpath::GuardMode::kCount);
+  hotpath::ResetGuardCounters();
+  {
+    waitfree::InlineBufferQueue<64> queue;
+    waitfree::InlineDoorbellRing<64> ring;
+    waitfree::DropCounter drops;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      const auto index = static_cast<std::uint32_t>(i % 64);
+      queue.view().Release(index);
+      queue.view().AdvanceProcess();
+      queue.view().Acquire();
+      ring.view().Ring(index);
+      ring.view().Pop();
+      drops.RecordDrop();
+      drops.ReadAndReset();
+    }
+  }
+  const hotpath::GuardCounters counters = hotpath::ReadGuardCounters();
+  hotpath::SetGuardMode(hotpath::GuardMode::kAbort);
+
+  const double allocs_per_op = static_cast<double>(counters.allocations) / kOps;
+  const double locks_per_op = static_cast<double>(counters.locks) / kOps;
+  const double blocking_per_op = static_cast<double>(counters.blocking_calls) / kOps;
+  const bool clean = counters.allocations == 0 && counters.locks == 0 &&
+                     counters.blocking_calls == 0 && counters.loop_overruns == 0;
+
+  std::printf("\nhot-path purity audit (%llu wait-free op groups, %llu armed scopes)\n",
+              static_cast<unsigned long long>(kOps),
+              static_cast<unsigned long long>(counters.scope_entries));
+  std::printf("  %-28s %12.6f per op\n", "allocations", allocs_per_op);
+  std::printf("  %-28s %12.6f per op\n", "lock acquisitions", locks_per_op);
+  std::printf("  %-28s %12.6f per op\n", "blocking calls", blocking_per_op);
+  std::printf("  %-28s %12llu total\n", "loop budget overruns",
+              static_cast<unsigned long long>(counters.loop_overruns));
+  std::printf("  verdict: %s\n",
+              clean ? "OK — wait-free path is allocation- and lock-free"
+                    : "[MISMATCH] hot-path scopes observed allocations/locks");
+
+  json.AddMetric("hot_path_allocs_per_op", allocs_per_op, "count");
+  json.AddMetric("hot_path_locks_per_op", locks_per_op, "count");
+  json.AddMetric("hot_path_blocking_per_op", blocking_per_op, "count");
+  json.AddMetric("hot_path_scope_entries", static_cast<double>(counters.scope_entries),
+                 "count");
+}
+
 }  // namespace
 }  // namespace flipc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  flipc::bench::JsonReport json(argc, argv, "micro_waitfree");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flipc::ReportHotPathPurity(json);
+  return 0;
+}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Runs the full protection-boundary analysis matrix (docs/MEMORY_MODEL.md):
 #
-#   plain         RelWithDebInfo build + full ctest (includes the layout lint)
+#   plain         RelWithDebInfo build + full ctest (includes the layout and
+#                 hot-path lints; the symbol pass runs only in this leg)
 #   single-writer build with the ownership race detector armed + full ctest
+#   hot-path      build with the hot-path purity guards armed + full ctest
+#   hot-path-tsan guards armed under ThreadSanitizer (hook race check)
 #   tsan          ThreadSanitizer build + full ctest
 #   asan-ubsan    AddressSanitizer + UBSan build + full ctest
 #   tidy          clang-tidy over src/ (skipped with a notice if not installed)
@@ -21,7 +24,7 @@ fi
 JOBS="$(nproc 2> /dev/null || echo 4)"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(plain single-writer tsan asan-ubsan tidy)
+  LEGS=(plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy)
 fi
 
 build_and_test() {
@@ -56,11 +59,13 @@ for leg in "${LEGS[@]}"; do
   case "$leg" in
     plain)         build_and_test plain ;;
     single-writer) build_and_test single-writer -DFLIPC_CHECK_SINGLE_WRITER=ON ;;
+    hot-path)      build_and_test hot-path -DFLIPC_CHECK_HOT_PATH=ON ;;
+    hot-path-tsan) build_and_test hot-path-tsan -DFLIPC_CHECK_HOT_PATH=ON -DFLIPC_SANITIZE=thread ;;
     tsan)          build_and_test tsan -DFLIPC_SANITIZE=thread ;;
     asan-ubsan)    build_and_test asan-ubsan -DFLIPC_SANITIZE=address,undefined ;;
     tidy)          run_tidy ;;
     *)
-      echo "unknown leg '$leg' (expected: plain single-writer tsan asan-ubsan tidy)" >&2
+      echo "unknown leg '$leg' (expected: plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy)" >&2
       exit 2
       ;;
   esac

@@ -17,11 +17,28 @@
 
 #include <atomic>
 
+#include "src/base/hotpath.h"
 #include "src/base/types.h"
 
 namespace flipc {
 
+// Pause hint for spin-wait loops: tells the CPU the core is busy-waiting so
+// it can yield pipeline resources to the sibling hyperthread and leave the
+// contended line in a polite MESI state. Semantically a no-op.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
 // Simple test-and-set spinlock. Satisfies Lockable.
+//
+// Both acquisition paths report to the hot-path guard (src/base/hotpath.h):
+// the bus-locked test-and-set is exactly the cost the paper's lock-free
+// interface variants exist to shed, so acquiring it inside an armed
+// FLIPC_HOT_PATH scope is a violation. No-op in default builds.
 class TasLock {
  public:
   TasLock() = default;
@@ -29,14 +46,19 @@ class TasLock {
   TasLock& operator=(const TasLock&) = delete;
 
   void lock() {
+    hotpath::OnLockAcquire("TasLock::lock");
     while (flag_.test_and_set(std::memory_order_acquire)) {
       // Spin on a plain load to avoid hammering the bus with RMWs.
       while (flag_.test(std::memory_order_relaxed)) {
+        CpuRelax();
       }
     }
   }
 
-  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+  bool try_lock() {
+    hotpath::OnLockAcquire("TasLock::try_lock");
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
 
   void unlock() { flag_.clear(std::memory_order_release); }
 
@@ -47,14 +69,28 @@ class TasLock {
 // Peterson's algorithm for two parties identified as side 0 and side 1.
 // Uses only atomic loads and stores (seq_cst, which the classic algorithm
 // requires for the store/load ordering between `interested` and `turn`).
+//
+// seq_cst whitelist (tools/flipc_hotpath_lint): the four sequentially
+// consistent accesses below are the ONLY ones the lint permits outside
+// src/waitfree/. Peterson's algorithm is correct exactly because the
+// `interested` store is globally ordered before the `turn` store, and both
+// before the two loads — acquire/release cannot provide that store->load
+// ordering (it allows the classic both-sides-enter reordering), so these
+// four cannot be weakened. FLIPC's production structures never pay this
+// fence: they need no mutual exclusion at all (single-writer separation,
+// docs/MEMORY_MODEL.md). The lock exists to document the
+// loads-and-stores-only memory model of the paper's controllers, and its
+// acquisition reports to the hot-path guard like any other lock.
 class PetersonLock {
  public:
   void Lock(int side) {
+    hotpath::OnLockAcquire("PetersonLock::Lock");
     const int other = 1 - side;
     interested_[side].store(true, std::memory_order_seq_cst);
     turn_.store(other, std::memory_order_seq_cst);
     while (interested_[other].load(std::memory_order_seq_cst) &&
            turn_.load(std::memory_order_seq_cst) == other) {
+      CpuRelax();
     }
   }
 

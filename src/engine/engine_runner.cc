@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/base/hotpath.h"
 #include "src/waitfree/boundary_check.h"
 
 namespace flipc::engine {
@@ -55,6 +56,10 @@ void EngineRunner::Loop() {
       std::this_thread::yield();
       continue;
     }
+    // Parking the engine's host thread is a blocking call. The engine has
+    // already reported no work, so no hot-path scope should be open here —
+    // if one ever is, the guard makes the mistake loud.
+    hotpath::OnBlockingCall("EngineRunner idle park");
     std::unique_lock<std::mutex> lock(idle_mutex_);
     idle_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
       return stop_.load(std::memory_order_acquire) ||

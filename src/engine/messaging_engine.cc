@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/base/hotpath.h"
 #include "src/base/log.h"
 #include "src/waitfree/msg_state.h"
 
@@ -22,7 +23,11 @@ MessagingEngine::MessagingEngine(shm::CommBuffer& comm, simnet::Wire& wire,
       model_(model),
       semaphores_(semaphores),
       next_send_ok_(comm.max_endpoints(), 0),
-      in_active_(comm.max_endpoints(), 0) {}
+      active_(comm.max_endpoints()),
+      in_active_(comm.max_endpoints(), 0) {
+  // Batch storage is sized here, once: the plan path must never allocate.
+  planned_batch_.reserve(options_.transmit_batch < 1 ? 1 : options_.transmit_batch);
+}
 
 Status MessagingEngine::RegisterProtocol(std::uint32_t protocol_id, ProtocolHandler* handler) {
   if (protocol_id == simnet::kProtocolFlipc || protocol_id >= kMaxProtocols) {
@@ -77,6 +82,7 @@ TimeNs MessagingEngine::NextUnthrottleTime() const {
 }
 
 std::uint32_t MessagingEngine::FindSendWork() {
+  FLIPC_HOT_PATH("MessagingEngine::FindSendWork");
   const std::uint32_t n = comm_.max_endpoints();
   planned_rotation_advance_ = true;
 
@@ -220,6 +226,10 @@ void MessagingEngine::PlanOutboundBatch() {
   // Draining the ring publishes ring_head, an engine-owned cell, and
   // PlanStep is otherwise role-free — bind the engine role here.
   waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kEngine);
+  // The whole plan — ring drain, sweeps, rotation — is the engine's
+  // scheduling work unit: bounded and allocation-free (active_ and
+  // planned_batch_ are fixed-capacity, sized at construction).
+  FLIPC_HOT_PATH("MessagingEngine::PlanOutboundBatch");
   planned_batch_.clear();
 
   waitfree::DoorbellRingView ring = comm_.doorbell_ring();
@@ -403,8 +413,8 @@ bool MessagingEngine::HasWork() const {
     if (ring.HasPending() || ring.OverflowPending()) {
       return true;
     }
-    for (const std::uint32_t endpoint : active_) {
-      if (SendReady(endpoint, now)) {
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (SendReady(active_.at(i), now)) {
         return true;
       }
     }
@@ -428,6 +438,9 @@ bool MessagingEngine::HasWork() const {
 bool MessagingEngine::ValidateSendBuffer(std::uint32_t endpoint_index, BufferIndex buffer) {
   if (!comm_.IsValidBufferIndex(buffer)) {
     ++stats_.validity_rejections;
+    // Diagnostic on the already-failed path; the logger buffers and may
+    // allocate, which is acceptable once the message is being rejected.
+    FLIPC_HOT_PATH_EXEMPT("rejection diagnostics");
     FLIPC_LOG(kWarning) << "engine " << wire_.node() << ": endpoint " << endpoint_index
                         << " released invalid buffer index " << buffer;
     return false;
@@ -436,6 +449,7 @@ bool MessagingEngine::ValidateSendBuffer(std::uint32_t endpoint_index, BufferInd
 }
 
 void MessagingEngine::CommitOutbound(simnet::CostAccumulator& cost) {
+  FLIPC_HOT_PATH("MessagingEngine::CommitOutbound");
   if (UseDoorbellScheduling() && !planned_batch_.empty()) {
     ++stats_.transmit_batches;
     stats_.batched_messages += planned_batch_.size();
@@ -532,23 +546,31 @@ void MessagingEngine::TransmitMessage(std::uint32_t endpoint_index, BufferIndex 
                                       Address src, Address dst, simnet::CostAccumulator& cost) {
   shm::MsgView view = comm_.msg(buffer);
 
-  simnet::Packet packet;
-  packet.dst_node = dst.node();
-  packet.protocol = simnet::kProtocolFlipc;
-  packet.src_addr = src.packed();
-  packet.dst_addr = dst.packed();
-  packet.seq = send_seq_++;
-  packet.payload.assign(view.payload, view.payload + view.payload_size);
+  {
+    // The packet here stands in for the interconnect DMA: on the Paragon
+    // the payload moves over the mesh, not through the heap. The simulated
+    // wire copies it into an owning Packet (payload vector) and hands it to
+    // the fabric's event queue — simulation machinery, exempt from the
+    // hot-path guards by design.
+    FLIPC_HOT_PATH_EXEMPT("simulated-wire DMA and fabric enqueue");
+    simnet::Packet packet;
+    packet.dst_node = dst.node();
+    packet.protocol = simnet::kProtocolFlipc;
+    packet.src_addr = src.packed();
+    packet.dst_addr = dst.packed();
+    packet.seq = send_seq_++;
+    packet.payload.assign(view.payload, view.payload + view.payload_size);
 
-  const Status status = wire_.Send(std::move(packet));
-  if (!status.ok()) {
-    // Unknown destination node: the optimistic protocol has no error path
-    // back to the sender; the message is charged as a bad-address discard.
-    ++stats_.drops_bad_address;
-  } else {
-    ++stats_.messages_sent;
-    stats_.bytes_sent += view.payload_size;
-    Trace(TraceEvent::kEngineSend, endpoint_index, buffer);
+    const Status status = wire_.Send(std::move(packet));
+    if (!status.ok()) {
+      // Unknown destination node: the optimistic protocol has no error path
+      // back to the sender; the message is charged as a bad-address discard.
+      ++stats_.drops_bad_address;
+    } else {
+      ++stats_.messages_sent;
+      stats_.bytes_sent += view.payload_size;
+      Trace(TraceEvent::kEngineSend, endpoint_index, buffer);
+    }
   }
   ChargeModel(cost, 0);  // Native transmit costs were charged at plan time.
   CompleteSend(endpoint_index);
@@ -565,15 +587,22 @@ void MessagingEngine::CompleteSend(std::uint32_t endpoint_index) {
   record.processed_total.Publish(record.processed_total.ReadRelaxed() + 1);
 
   if ((record.options.ReadRelaxed() & shm::kEndpointOptSemaphore) != 0 && semaphores_ != nullptr) {
+    // The real-time semaphore handoff is the kernel's documented role in
+    // the paper's split (blocking waits live in the OS, not the engine);
+    // signaling takes the semaphore's internal mutex by design.
+    FLIPC_HOT_PATH_EXEMPT("real-time semaphore handoff");
     semaphores_->Signal(record.semaphore_id.ReadRelaxed());
     ++stats_.semaphore_signals;
   }
   if (send_complete_hook_) {
+    // Test/driver observation hook: arbitrary user code, off the product path.
+    FLIPC_HOT_PATH_EXEMPT("observation hook");
     send_complete_hook_(endpoint_index);
   }
 }
 
 void MessagingEngine::DeliverLocal(const simnet::Packet& packet, simnet::CostAccumulator&) {
+  FLIPC_HOT_PATH("MessagingEngine::DeliverLocal");
   const Address dst = Address::FromPacked(packet.dst_addr);
 
   // Destination validation is not optional: a bad remote address must not
@@ -598,6 +627,7 @@ void MessagingEngine::DeliverLocal(const simnet::Packet& packet, simnet::CostAcc
     ++stats_.drops_no_buffer;
     Trace(TraceEvent::kEngineDrop, dst.endpoint());
     if (receive_hook_) {
+      FLIPC_HOT_PATH_EXEMPT("observation hook");
       receive_hook_(dst.endpoint(), /*delivered=*/false);
     }
     return;
@@ -620,10 +650,13 @@ void MessagingEngine::DeliverLocal(const simnet::Packet& packet, simnet::CostAcc
   Trace(TraceEvent::kEngineDeliver, dst.endpoint(), buffer);
 
   if ((record.options.ReadRelaxed() & shm::kEndpointOptSemaphore) != 0 && semaphores_ != nullptr) {
+    // Kernel-side blocking support, same exemption as CompleteSend.
+    FLIPC_HOT_PATH_EXEMPT("real-time semaphore handoff");
     semaphores_->Signal(record.semaphore_id.ReadRelaxed());
     ++stats_.semaphore_signals;
   }
   if (receive_hook_) {
+    FLIPC_HOT_PATH_EXEMPT("observation hook");
     receive_hook_(dst.endpoint(), /*delivered=*/true);
   }
 }

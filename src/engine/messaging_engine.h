@@ -30,7 +30,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 
@@ -339,11 +338,51 @@ class MessagingEngine {
   bool planned_rotation_advance_ = true;
   std::uint64_t send_seq_ = 0;
 
+  // Fixed-capacity FIFO of endpoint indices. Replaces std::deque so the
+  // engine's plan path never allocates (a deque grows on push_back — a
+  // hot-path guard violation and a latency hazard). Membership is deduped
+  // by in_active_, so at most max_endpoints entries ever coexist; storage
+  // is sized once at construction and never reallocated. A push beyond
+  // capacity (impossible under the dedup invariant) drops the entry —
+  // doorbell hints are recoverable by the backstop sweep, so losing one is
+  // safe where resizing would not be.
+  class ActiveList {
+   public:
+    explicit ActiveList(std::uint32_t max_entries) : slots_(max_entries + 1) {}
+
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const {
+      const std::size_t n = slots_.size();
+      return (tail_ + n - head_) % n;
+    }
+    std::uint32_t front() const { return slots_[head_]; }
+    void pop_front() { head_ = Next(head_); }
+    void push_back(std::uint32_t endpoint) {
+      const std::size_t next = Next(tail_);
+      if (next == head_) {
+        return;  // Full: shed the hint rather than grow.
+      }
+      slots_[tail_] = endpoint;
+      tail_ = next;
+    }
+    // i-th entry from the front (0 <= i < size()); for HasWork's scan.
+    std::uint32_t at(std::size_t i) const {
+      return slots_[(head_ + i) % slots_.size()];
+    }
+
+   private:
+    std::size_t Next(std::size_t pos) const { return (pos + 1) % slots_.size(); }
+
+    std::vector<std::uint32_t> slots_;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+  };
+
   // Doorbell-scheduling state (engine-private; the shared ring lives in
   // the communication buffer). active_ holds endpoints believed to have
   // send work, FIFO for round-robin fairness; in_active_ is its membership
   // flag per endpoint (covers active_ AND planned_batch_).
-  std::deque<std::uint32_t> active_;
+  ActiveList active_;
   std::vector<char> in_active_;
   std::vector<std::uint32_t> planned_batch_;
   std::uint64_t outbound_plans_ = 0;

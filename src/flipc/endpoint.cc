@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "src/base/clock.h"
+#include "src/base/hotpath.h"
 #include "src/flipc/domain.h"
 #include "src/waitfree/boundary_check.h"
 #include "src/waitfree/msg_state.h"
@@ -34,6 +35,12 @@ Status Endpoint::ReleaseCommon(MessageBuffer& buffer, Address dst, EndpointType 
   if (rec.Type() != expected) {
     return FailedPreconditionStatus();
   }
+  // The lock-free variants carry the wait-freedom obligation from here on
+  // (validation above may take slow paths); the locked variants share this
+  // body but pay the TasLock by contract, so their scope stays unarmed.
+  FLIPC_HOT_PATH_IF(!locked, expected == EndpointType::kSend
+                                 ? "Endpoint::SendUnlocked"
+                                 : "Endpoint::PostBufferUnlocked");
   if (expected == EndpointType::kSend) {
     if (!dst.valid()) {
       return InvalidArgumentStatus();
@@ -62,7 +69,13 @@ Status Endpoint::ReleaseCommon(MessageBuffer& buffer, Address dst, EndpointType 
     // sweep); either way the send already succeeded — doorbells are hints.
     domain_->comm().doorbell_ring().Ring(index_);
     domain_->calls().sends.fetch_add(1, std::memory_order_relaxed);
-    domain_->KickEngine();
+    {
+      // Kicking the engine out of its idle park is a host-thread artifact
+      // (condvar notify under the runner's mutex); on the Paragon the engine
+      // is a co-processor that is simply running. Not a Paragon-path cost.
+      FLIPC_HOT_PATH_EXEMPT("engine kick: host-thread parking artifact");
+      domain_->KickEngine();
+    }
   } else {
     domain_->calls().buffer_posts.fetch_add(1, std::memory_order_relaxed);
   }
@@ -78,6 +91,9 @@ Result<MessageBuffer> Endpoint::AcquireCommon(EndpointType expected, bool locked
   if (rec.Type() != expected) {
     return FailedPreconditionStatus();
   }
+  FLIPC_HOT_PATH_IF(!locked, expected == EndpointType::kReceive
+                                 ? "Endpoint::ReceiveUnlocked"
+                                 : "Endpoint::ReclaimUnlocked");
   waitfree::BufferQueueView queue = domain_->comm().queue(index_);
   waitfree::BufferIndex index;
   if (locked) {
@@ -175,6 +191,7 @@ std::uint64_t Endpoint::DropCount() const { return record().DropCount(); }
 
 std::uint64_t Endpoint::ReadAndResetDrops() {
   waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
+  FLIPC_HOT_PATH("Endpoint::ReadAndResetDrops");
   return record().ReadAndResetDrops();
 }
 

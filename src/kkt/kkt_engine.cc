@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/base/hotpath.h"
 #include "src/base/log.h"
 
 namespace flipc::kkt {
@@ -53,6 +54,10 @@ bool KktMessagingEngine::EndpointBlocked(std::uint32_t endpoint_index) const {
 void KktMessagingEngine::TransmitMessage(std::uint32_t endpoint_index,
                                          waitfree::BufferIndex buffer, Address src, Address dst,
                                          simnet::CostAccumulator& cost) {
+  // KKT is the development transport: an RPC (marshal + kernel send) per
+  // message is the paper's documented mismatch with FLIPC, not part of the
+  // wait-free path — the batched commit may reach this from an armed scope.
+  FLIPC_HOT_PATH_EXEMPT("KKT development transport: RPC per message");
   shm::MsgView view = comm().msg(buffer);
 
   simnet::Packet request;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/base/hotpath.h"
+
 namespace flipc::simos {
 
 void RealTimeSemaphore::GrantLocked() {
@@ -26,12 +28,17 @@ void RealTimeSemaphore::GrantLocked() {
 }
 
 void RealTimeSemaphore::Post() {
+  // Blocking primitives live in the (simulated) kernel by the paper's
+  // design; reaching one from an armed hot-path scope is a violation
+  // unless the caller documented an exemption (the engine's handoff).
+  hotpath::OnBlockingCall("RealTimeSemaphore::Post");
   std::lock_guard<std::mutex> guard(mutex_);
   ++permits_;
   GrantLocked();
 }
 
 Status RealTimeSemaphore::Wait(Priority priority, DurationNs timeout_ns) {
+  hotpath::OnBlockingCall("RealTimeSemaphore::Wait");
   std::unique_lock<std::mutex> lock(mutex_);
   auto it = waiters_.emplace(waiters_.end());
   it->priority = priority;

@@ -4,9 +4,12 @@
 #include <cstdlib>
 
 #ifdef FLIPC_CHECK_SINGLE_WRITER
+#include <atomic>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+
+#include "src/base/hotpath.h"
 #endif
 
 namespace flipc::waitfree {
@@ -35,10 +38,32 @@ struct Registry {
   std::unordered_map<const void*, CellOwnership> cells;
 };
 
-Registry& GetRegistry() {
-  static Registry* registry = new Registry();  // leaked: outlives all threads
-  return *registry;
+// The registry is created lazily on the cold DeclareCellOwner path — never
+// from a check — so that combining this checker with the hot-path guard
+// (-DFLIPC_CHECK_HOT_PATH=ON) cannot abort on the checker's own bookkeeping:
+// checks on the hot path only ever load-acquire the pointer and, until the
+// first declaration, see null and return. Leaked on purpose: the registry
+// outlives all threads.
+std::atomic<Registry*> g_registry{nullptr};
+
+Registry& GetOrCreateRegistry() {
+  Registry* existing = g_registry.load(std::memory_order_acquire);
+  if (existing != nullptr) {
+    return *existing;
+  }
+  // Checker-internal allocation, off any armed hot-path scope by design
+  // (declaration happens at endpoint setup, not send/receive).
+  FLIPC_HOT_PATH_EXEMPT("single-writer checker bookkeeping");
+  auto* fresh = new Registry();
+  if (g_registry.compare_exchange_strong(existing, fresh, std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;  // another declarer won the race
+  return *existing;
 }
+
+Registry* PeekRegistry() { return g_registry.load(std::memory_order_acquire); }
 
 struct ThreadBoundaryState {
   bool bound = false;
@@ -54,7 +79,10 @@ ThreadBoundaryState& Tls() {
 }  // namespace
 
 void DeclareCellOwner(const void* cell, Writer owner, const char* label) {
-  Registry& registry = GetRegistry();
+  // Declarations happen at setup time, off the hot path; the registry (and
+  // the map nodes inserted under the exclusive lock) are checker-internal.
+  FLIPC_HOT_PATH_EXEMPT("single-writer checker bookkeeping");
+  Registry& registry = GetOrCreateRegistry();
   std::unique_lock lock(registry.mutex);
   auto [it, inserted] = registry.cells.try_emplace(cell, CellOwnership{owner, label});
   if (!inserted && it->second.owner != owner) {
@@ -71,9 +99,14 @@ void DeclareCellOwner(const void* cell, Writer owner, const char* label) {
 }
 
 void UndeclareCellRange(const void* base, std::size_t size) {
+  Registry* registry_ptr = PeekRegistry();
+  if (registry_ptr == nullptr) {
+    return;  // nothing was ever declared
+  }
+  FLIPC_HOT_PATH_EXEMPT("single-writer checker bookkeeping");
   const auto* begin = static_cast<const char*>(base);
   const auto* end = begin + size;
-  Registry& registry = GetRegistry();
+  Registry& registry = *registry_ptr;
   std::unique_lock lock(registry.mutex);
   for (auto it = registry.cells.begin(); it != registry.cells.end();) {
     const auto* addr = static_cast<const char*>(it->first);
@@ -90,10 +123,14 @@ void CheckCellWrite(const void* cell) {
   if (!state.bound || state.exempt_depth > 0) {
     return;
   }
+  Registry* registry_ptr = PeekRegistry();
+  if (registry_ptr == nullptr) {
+    return;  // nothing declared yet, nothing to check
+  }
   Writer owner;
   const char* label;
   {
-    Registry& registry = GetRegistry();
+    Registry& registry = *registry_ptr;
     std::shared_lock lock(registry.mutex);
     const auto it = registry.cells.find(cell);
     if (it == registry.cells.end()) {

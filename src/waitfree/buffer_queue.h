@@ -30,6 +30,7 @@
 #include <cstdio>
 #endif
 
+#include "src/base/hotpath.h"
 #include "src/base/types.h"
 #include "src/waitfree/single_writer.h"
 
@@ -93,6 +94,7 @@ class BufferQueueView {
   // (the application has released `capacity` buffers it has not yet
   // re-acquired).
   bool Release(BufferIndex buffer) {
+    FLIPC_HOT_PATH("BufferQueueView::Release");
     const std::uint32_t release = release_->ReadRelaxed();
     const std::uint32_t acquire = acquire_->ReadRelaxed();
     if (release - acquire >= capacity_) {
@@ -107,6 +109,7 @@ class BufferQueueView {
   // Removes the buffer at the tail if the engine has finished processing
   // it. Returns kInvalidBuffer when none is available.
   BufferIndex Acquire() {
+    FLIPC_HOT_PATH("BufferQueueView::Acquire");
     const std::uint32_t acquire = acquire_->ReadRelaxed();
     const std::uint32_t process = process_->Read();
     if (acquire == process) {
@@ -152,6 +155,7 @@ class BufferQueueView {
   // released buffer to consume: advancing past the release cursor would
   // expose an unwritten cell to Acquire().
   void AdvanceProcess() {
+    FLIPC_HOT_PATH("BufferQueueView::AdvanceProcess");
     const std::uint32_t process = process_->ReadRelaxed();
 #ifdef FLIPC_CHECK_SINGLE_WRITER
     if (process == release_->Read()) {

@@ -39,6 +39,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/base/hotpath.h"
 #include "src/base/types.h"
 #include "src/waitfree/boundary_check.h"
 #include "src/waitfree/single_writer.h"
@@ -98,6 +99,7 @@ class DoorbellRingView {
   // — the overflow signal has been raised instead, so the engine will sweep;
   // the caller proceeds exactly as on success (doorbells are hints).
   bool Ring(std::uint32_t endpoint) {
+    FLIPC_HOT_PATH("DoorbellRingView::Ring");
     const std::uint32_t head = cursors_->ring_head.ReadRelaxed();
     if (cursors_->ring_tail.load(std::memory_order_relaxed) - head >= capacity_) {
       // Full: raise the overflow signal rather than spin. Concurrent
@@ -120,7 +122,14 @@ class DoorbellRingView {
   // Consumes the next published doorbell, or returns kInvalidDoorbell when
   // none is pending. Wait-free: loads and stores only.
   std::uint32_t Pop() {
+    FLIPC_HOT_PATH("DoorbellRingView::Pop");
+    // The skip-lapped-slots loop is bounded: each iteration advances
+    // ring_head past a lapped slot, and at most one full lap of slots can be
+    // stale (plus slack for producers racing ahead while we consume).
+    FLIPC_HOT_PATH_LOOP_BUDGET(budget, "DoorbellRingView::Pop",
+                               2 * static_cast<std::uint64_t>(capacity_) + 64);
     for (;;) {
+      FLIPC_HOT_PATH_LOOP_STEP(budget);
       const std::uint32_t head = cursors_->ring_head.ReadRelaxed();
       // Acquire pairs with the producer's Publish: observing the matching
       // tag also orders the producer's earlier queue-cursor publication.

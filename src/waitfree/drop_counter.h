@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "src/base/hotpath.h"
 #include "src/waitfree/single_writer.h"
 
 namespace flipc::waitfree {
@@ -34,7 +35,10 @@ class DropCounter {
   // --- Engine side ---------------------------------------------------------
   // Records one discarded message. Engine is the only caller, so a plain
   // load/store increment is race-free.
-  void RecordDrop() { dropped_.Publish(dropped_.ReadRelaxed() + 1); }
+  void RecordDrop() {
+    FLIPC_HOT_PATH("DropCounter::RecordDrop");
+    dropped_.Publish(dropped_.ReadRelaxed() + 1);
+  }
 
   // --- Application side ----------------------------------------------------
   // Number of drops since the last ReadAndReset().
@@ -44,6 +48,7 @@ class DropCounter {
   // it to zero. Drops that race with this call are counted either in this
   // result or in a later one — never lost, never double-counted.
   std::uint64_t ReadAndReset() {
+    FLIPC_HOT_PATH("DropCounter::ReadAndReset");
     const std::uint64_t observed = dropped_.Read();
     const std::uint64_t prior = reclaimed_.ReadRelaxed();
     reclaimed_.Publish(observed);
@@ -73,9 +78,13 @@ struct PaddedDropCounterParts {
     reclaimed.DeclareOwner(Writer::kApplication, "PaddedDropCounterParts.reclaimed");
   }
 
-  void RecordDrop() { dropped.Publish(dropped.ReadRelaxed() + 1); }
+  void RecordDrop() {
+    FLIPC_HOT_PATH("PaddedDropCounterParts::RecordDrop");
+    dropped.Publish(dropped.ReadRelaxed() + 1);
+  }
   std::uint64_t Count() const { return dropped.Read() - reclaimed.ReadRelaxed(); }
   std::uint64_t ReadAndReset() {
+    FLIPC_HOT_PATH("PaddedDropCounterParts::ReadAndReset");
     const std::uint64_t observed = dropped.Read();
     const std::uint64_t prior = reclaimed.ReadRelaxed();
     reclaimed.Publish(observed);
