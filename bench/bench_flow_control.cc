@@ -29,7 +29,18 @@ struct Outcome {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
+  // Comm-buffer telemetry read from the receive endpoint at quiescence.
+  // Cross-checked against the counts above: the wait-free telemetry cells
+  // must agree exactly with what the application observed.
+  std::uint64_t telemetry_deliveries = 0;
+  std::uint64_t telemetry_receives = 0;
 };
+
+void CaptureRxTelemetry(Domain& domain, std::uint32_t endpoint_index, Outcome& out) {
+  const shm::TelemetryBlock& telemetry = domain.comm().telemetry(endpoint_index);
+  out.telemetry_deliveries = telemetry.engine_deliveries.Read();
+  out.telemetry_receives = telemetry.api_receives.Read();
+}
 
 // Raw FLIPC with `posted` receive buffers and no flow control.
 Outcome RunRaw(std::uint32_t posted) {
@@ -77,6 +88,7 @@ Outcome RunRaw(std::uint32_t posted) {
   cluster->sim().ScheduleAt(kDrainInterval, drain);
   cluster->sim().Run();
   out.dropped = rx->ReadAndResetDrops();
+  CaptureRxTelemetry(b, rx->index(), out);
   return out;
 }
 
@@ -134,6 +146,7 @@ Outcome RunWindowed(std::uint32_t window) {
   cluster->sim().ScheduleAt(kDrainInterval, drain);
   cluster->sim().Run();
   out.dropped = data_rx->ReadAndResetDrops();
+  CaptureRxTelemetry(b, data_rx->index(), out);
   return out;
 }
 
@@ -146,7 +159,8 @@ Outcome RunStaticallySized() {
   return RunRaw(plan.RequiredReceiveBuffers());
 }
 
-void Run() {
+void Run(int argc, char** argv) {
+  JsonReport report(argc, argv, "flow_control");
   PrintHeader("E9: bench_flow_control",
               "Message Transfer section (discard rule + flow control above FLIPC)",
               "optimistic transport discards on overrun (exact drop counter); a window "
@@ -175,16 +189,46 @@ void Run() {
   std::printf("%s\n", table.ToString().c_str());
 
   std::printf("Shape checks: raw drops > 0 %s; window drops == 0 %s; static sizing "
-              "drops == 0 with full offered throughput %s.\n\n",
+              "drops == 0 with full offered throughput %s.\n",
               raw.dropped > 0 ? "[OK]" : "[MISMATCH]",
               window.dropped == 0 ? "[OK]" : "[MISMATCH]",
               (sized.dropped == 0 && sized.sent == sized.offered) ? "[OK]" : "[MISMATCH]");
+
+  // The comm-buffer telemetry must agree with the application's own books:
+  // the engine's delivery counter is exactly what the app received, and for
+  // the raw run every sent message is accounted for as delivered or dropped.
+  const bool telemetry_ok = raw.telemetry_deliveries == raw.delivered &&
+                            raw.telemetry_receives == raw.delivered &&
+                            raw.delivered + raw.dropped == raw.sent &&
+                            window.telemetry_deliveries == window.delivered &&
+                            window.telemetry_receives == window.delivered;
+  std::printf("Telemetry cross-check: comm-buffer counters agree with app-side counts "
+              "%s.\n\n",
+              telemetry_ok ? "[OK]" : "[MISMATCH]");
+
+  report.AddConfig("send_interval_ns", static_cast<double>(kSendInterval));
+  report.AddConfig("drain_interval_ns", static_cast<double>(kDrainInterval));
+  report.AddMetric("raw_offered", static_cast<double>(raw.offered), "msgs");
+  report.AddMetric("raw_sent", static_cast<double>(raw.sent), "msgs");
+  report.AddMetric("raw_delivered", static_cast<double>(raw.delivered), "msgs");
+  report.AddMetric("raw_dropped", static_cast<double>(raw.dropped), "msgs");
+  report.AddMetric("raw_telemetry_deliveries", static_cast<double>(raw.telemetry_deliveries),
+                   "msgs");
+  report.AddMetric("window_offered", static_cast<double>(window.offered), "msgs");
+  report.AddMetric("window_sent", static_cast<double>(window.sent), "msgs");
+  report.AddMetric("window_delivered", static_cast<double>(window.delivered), "msgs");
+  report.AddMetric("window_dropped", static_cast<double>(window.dropped), "msgs");
+  report.AddMetric("window_telemetry_deliveries",
+                   static_cast<double>(window.telemetry_deliveries), "msgs");
+  report.AddMetric("static_sent", static_cast<double>(sized.sent), "msgs");
+  report.AddMetric("static_delivered", static_cast<double>(sized.delivered), "msgs");
+  report.AddMetric("static_dropped", static_cast<double>(sized.dropped), "msgs");
 }
 
 }  // namespace
 }  // namespace flipc::bench
 
-int main() {
-  flipc::bench::Run();
+int main(int argc, char** argv) {
+  flipc::bench::Run(argc, argv);
   return 0;
 }

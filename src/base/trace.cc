@@ -1,5 +1,8 @@
 #include "src/base/trace.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace flipc {
 
 std::string_view TraceEventName(TraceEvent event) {
@@ -26,6 +29,30 @@ std::string_view TraceEventName(TraceEvent event) {
       return "api.reclaim";
   }
   return "unknown";
+}
+
+std::string ToChromeTraceJson(const TraceRing& ring, std::uint32_t pid) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceRecord& record : ring.Snapshot()) {
+    char buffer[256];
+    // "ts" is microseconds by convention; keep nanosecond precision as a
+    // fraction. "i"/"t" = thread-scoped instant event.
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"name\":\"%.*s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%" PRId64
+                  ".%03" PRId64 ",\"pid\":%" PRIu32
+                  ",\"tid\":0,\"args\":{\"a\":%" PRIu32 ",\"b\":%" PRIu64 "}}",
+                  first ? "" : ",",
+                  static_cast<int>(TraceEventName(record.event).size()),
+                  TraceEventName(record.event).data(), record.time_ns / 1000,
+                  record.time_ns % 1000 < 0 ? -(record.time_ns % 1000)
+                                            : record.time_ns % 1000,
+                  pid, record.a, record.b);
+    out += buffer;
+    first = false;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace flipc

@@ -10,6 +10,7 @@
 #define SRC_BASE_TRACE_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -47,6 +48,9 @@ class TraceRing {
       : records_(capacity == 0 ? 1 : capacity) {}
 
   void Record(TimeNs time_ns, TraceEvent event, std::uint32_t a = 0, std::uint64_t b = 0) {
+    if (!enabled_) {
+      return;  // The documented contract: a disabled ring costs this branch.
+    }
     TraceRecord& slot = records_[next_ % records_.size()];
     slot.time_ns = time_ns;
     slot.event = event;
@@ -54,6 +58,11 @@ class TraceRing {
     slot.b = b;
     ++next_;
   }
+
+  // Disabling drops events without consuming slots or bumping recorded();
+  // re-enabling resumes where the ring left off.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
 
   std::uint64_t recorded() const { return next_; }
   std::size_t capacity() const { return records_.size(); }
@@ -76,7 +85,14 @@ class TraceRing {
  private:
   std::vector<TraceRecord> records_;
   std::uint64_t next_ = 0;
+  bool enabled_ = true;
 };
+
+// Renders the ring's current snapshot in the Chrome trace-event JSON format
+// (load via chrome://tracing or https://ui.perfetto.dev). Events become
+// thread-scoped instants; `a` and `b` ride along in args. `pid`
+// distinguishes rings when several exports are merged by hand.
+std::string ToChromeTraceJson(const TraceRing& ring, std::uint32_t pid = 0);
 
 }  // namespace flipc
 

@@ -60,6 +60,7 @@ void EngineRunner::Loop() {
     // already reported no work, so no hot-path scope should be open here —
     // if one ever is, the guard makes the mistake loud.
     hotpath::OnBlockingCall("EngineRunner idle park");
+    idle_parks_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(idle_mutex_);
     idle_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
       return stop_.load(std::memory_order_acquire) ||

@@ -32,6 +32,11 @@ class EngineRunner {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  // Times the loop exhausted its spin budget and parked on the idle
+  // condvar. With the doorbell scheduler this should grow only while the
+  // node is genuinely quiet; parks during steady traffic mean lost kicks.
+  std::uint64_t idle_parks() const { return idle_parks_.load(std::memory_order_relaxed); }
+
  private:
   void Loop();
 
@@ -45,6 +50,7 @@ class EngineRunner {
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
   std::atomic<std::uint64_t> kicks_{0};
+  std::atomic<std::uint64_t> idle_parks_{0};
 };
 
 }  // namespace flipc::engine

@@ -243,7 +243,9 @@ void MessagingEngine::PlanOutboundBatch() {
   DrainDoorbells();
 
   ++outbound_plans_;
+  ++stats_.outbound_plans;
   if (options_.backstop_interval != 0 && outbound_plans_ % options_.backstop_interval == 0) {
+    ++stats_.sweeps_periodic;
     SweepAllEndpoints();  // Low-frequency lost-doorbell backstop.
   }
 
@@ -252,6 +254,7 @@ void MessagingEngine::PlanOutboundBatch() {
     // engine-side test writing queues directly, or a doorbell lost to a
     // ring lap) must still be discovered before the engine reports idle,
     // or the DES would sleep over real work.
+    ++stats_.sweeps_no_candidate;
     SweepAllEndpoints();
     SelectBatchFromActive();
   }
@@ -356,8 +359,12 @@ bool MessagingEngine::CommitStep() {
   }
   simnet::CostAccumulator cost;  // Already accounted by the driver via PlanStep.
   const WorkKind kind = planned_;
+  const DurationNs committed_cost = planned_cost_;
   planned_ = WorkKind::kNone;
   planned_cost_ = 0;
+  if (telemetry_ != nullptr && kind != WorkKind::kNone) {
+    telemetry_->plan_cost_ns.Add(static_cast<double>(committed_cost));
+  }
 
   switch (kind) {
     case WorkKind::kNone:
@@ -453,6 +460,9 @@ void MessagingEngine::CommitOutbound(simnet::CostAccumulator& cost) {
   if (UseDoorbellScheduling() && !planned_batch_.empty()) {
     ++stats_.transmit_batches;
     stats_.batched_messages += planned_batch_.size();
+    if (telemetry_ != nullptr) {
+      telemetry_->batch_size.Add(static_cast<double>(planned_batch_.size()));
+    }
     for (const std::uint32_t endpoint_index : planned_batch_) {
       CommitOutboundOne(endpoint_index, cost);
       // Re-schedule the endpoint while it still holds processable work;
@@ -477,6 +487,9 @@ void MessagingEngine::CommitOutbound(simnet::CostAccumulator& cost) {
     scan_cursor_ = (endpoint_index + 1) % comm_.max_endpoints();
   }
   planned_rotation_advance_ = true;
+  if (telemetry_ != nullptr) {
+    telemetry_->batch_size.Add(1.0);  // Legacy scan: one message per unit.
+  }
   CommitOutboundOne(endpoint_index, cost);
 }
 
@@ -490,6 +503,8 @@ void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
   if (queue.ProcessableCount() == 0) {
     return;  // Drained between plan and commit.
   }
+  shm::TelemetryBlock& telemetry = comm_.telemetry(endpoint_index);
+  telemetry.NoteQueueDepth(queue.ProcessableCount());
   const BufferIndex buffer = queue.PeekProcess();
   if (buffer == waitfree::kInvalidBuffer) {
     // The queue claims processable work but the cell holds the sentinel —
@@ -497,6 +512,7 @@ void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
     // make progress (a non-advancing return here would spin the event
     // loop forever), so consume the slot as a rejection.
     ++stats_.validity_rejections;
+    telemetry.RecordEngineReject();
     CompleteSend(endpoint_index);
     return;
   }
@@ -506,6 +522,7 @@ void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
   // are off, because an out-of-range index would crash the engine rather
   // than merely corrupt the offending application's own data.
   if (!ValidateSendBuffer(endpoint_index, buffer)) {
+    telemetry.RecordEngineReject();
     CompleteSend(endpoint_index);
     return;
   }
@@ -517,6 +534,7 @@ void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
 
   if (options_.validity_checks && !dst.valid()) {
     ++stats_.validity_rejections;
+    telemetry.RecordEngineReject();
     CompleteSend(endpoint_index);
     return;
   }
@@ -528,6 +546,7 @@ void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
   const Address allowed = Address::FromPacked(record.allowed_peer.ReadRelaxed());
   if (allowed.valid() && dst != allowed) {
     ++stats_.protection_rejections;
+    telemetry.RecordEngineReject();
     Trace(TraceEvent::kEngineReject, endpoint_index);
     CompleteSend(endpoint_index);
     return;
@@ -539,6 +558,10 @@ void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
     next_send_ok_[endpoint_index] = clock_->NowNs() + interval;
   }
 
+  // Counted here (not inside the strategy) so subclasses that defer
+  // completion still account the attempt; at quiescence
+  // processed_total == engine_transmits + engine_rejects.
+  telemetry.RecordEngineTransmit();
   TransmitMessage(endpoint_index, buffer, src, dst, cost);
 }
 
@@ -619,6 +642,8 @@ void MessagingEngine::DeliverLocal(const simnet::Packet& packet, simnet::CostAcc
   }
 
   waitfree::BufferQueueView queue = comm_.queue(dst.endpoint());
+  shm::TelemetryBlock& telemetry = comm_.telemetry(dst.endpoint());
+  telemetry.NoteQueueDepth(queue.ProcessableCount());
   const BufferIndex buffer = queue.PeekProcess();
   if (buffer == waitfree::kInvalidBuffer) {
     // The optimistic protocol's rule: no posted receive buffer => discard,
@@ -634,6 +659,7 @@ void MessagingEngine::DeliverLocal(const simnet::Packet& packet, simnet::CostAcc
   }
   if (!comm_.IsValidBufferIndex(buffer)) {
     ++stats_.validity_rejections;
+    telemetry.RecordEngineReject();
     queue.AdvanceProcess();
     return;
   }
@@ -646,6 +672,7 @@ void MessagingEngine::DeliverLocal(const simnet::Packet& packet, simnet::CostAcc
   view.header->state.Store(MsgState::kCompleted);
   queue.AdvanceProcess();
   record.processed_total.Publish(record.processed_total.ReadRelaxed() + 1);
+  telemetry.RecordEngineDelivery();
   ++stats_.messages_delivered;
   Trace(TraceEvent::kEngineDeliver, dst.endpoint(), buffer);
 

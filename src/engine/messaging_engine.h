@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/base/clock.h"
+#include "src/base/stats.h"
 #include "src/base/trace.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
@@ -106,6 +107,23 @@ struct EngineStats {
                                           // the deterministic scan-effort metric
   std::uint64_t transmit_batches = 0;     // outbound work units committed
   std::uint64_t batched_messages = 0;     // messages carried by those units
+  // ---- Engine-loop flight-recorder counters ----
+  std::uint64_t outbound_plans = 0;       // PlanOutboundBatch invocations
+  std::uint64_t sweeps_periodic = 0;      // backstop sweeps from the plan-count interval
+  std::uint64_t sweeps_no_candidate = 0;  // sweeps because the hint path came up empty
+                                          // (overflow-caused sweeps == doorbell_overflows;
+                                          //  the three causes sum to backstop_sweeps)
+};
+
+// Engine-loop latency telemetry. Host-memory (the histograms are
+// heap-backed), so it lives beside the engine, not in the comm buffer;
+// attach via SetTelemetry. Recording is pure stores into preallocated
+// buckets, so it is hot-path legal once constructed.
+struct EngineTelemetry {
+  // Modeled cost of each committed work unit (plan-time price), ns.
+  Histogram plan_cost_ns{0.0, 100000.0, 128};
+  // Messages coalesced into each outbound work unit.
+  Histogram batch_size{0.0, 65.0, 65};
 };
 
 // A protocol sharing the engine's event loop (the Paragon message
@@ -163,6 +181,10 @@ class MessagingEngine {
   // (virtual under the DES, zero without a clock). Single-writer: only the
   // engine's own loop records here.
   void SetTrace(TraceRing* trace) { trace_ = trace; }
+
+  // Optional latency histograms, caller-owned; null (the default) keeps the
+  // commit path free of even the branch-plus-stores cost.
+  void SetTelemetry(EngineTelemetry* telemetry) { telemetry_ = telemetry; }
 
   // Clock used by the capacity-control (rate-limit) extension; without a
   // clock, min_send_interval_ns configurations are ignored. The SimCluster
@@ -308,6 +330,7 @@ class MessagingEngine {
   simos::SemaphoreTable* semaphores_;
   const Clock* clock_ = nullptr;
   TraceRing* trace_ = nullptr;
+  EngineTelemetry* telemetry_ = nullptr;
 
   void Trace(TraceEvent event, std::uint32_t a = 0, std::uint64_t b = 0) {
     if (trace_ != nullptr) {

@@ -18,7 +18,9 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "src/base/clock.h"
 #include "src/base/status.h"
+#include "src/base/trace.h"
 #include "src/base/types.h"
 #include "src/flipc/endpoint.h"
 #include "src/flipc/message_buffer.h"
@@ -116,6 +118,22 @@ class Domain {
   simos::SemaphoreTable* semaphores() { return semaphores_; }
   CallCounters& calls() { return calls_; }
 
+  // Application-side flight recorder: successful API operations append the
+  // kApi* events. The ring is caller-owned and process-local (it holds
+  // host pointers, so it cannot live in the comm buffer). A null clock
+  // stamps 0 — the cheapest option, and the default so tracing never adds
+  // a clock read to the hot path unless the caller asks for one.
+  void SetTrace(TraceRing* trace, const Clock* clock = nullptr) {
+    trace_ = trace;
+    trace_clock_ = clock;
+  }
+  TraceRing* trace() { return trace_; }
+  void TraceApi(TraceEvent event, std::uint32_t a, std::uint64_t b = 0) {
+    if (trace_ != nullptr) {
+      trace_->Record(trace_clock_ != nullptr ? trace_clock_->NowNs() : 0, event, a, b);
+    }
+  }
+
  private:
   friend class Endpoint;
   friend class EndpointGroup;
@@ -133,6 +151,8 @@ class Domain {
   simos::SemaphoreTable* semaphores_;
   std::function<void()> kick_;
   CallCounters calls_;
+  TraceRing* trace_ = nullptr;
+  const Clock* trace_clock_ = nullptr;
 
   std::mutex group_mutex_;
   std::unordered_set<std::uint32_t> group_semaphores_;

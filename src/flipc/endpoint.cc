@@ -57,7 +57,9 @@ Status Endpoint::ReleaseCommon(MessageBuffer& buffer, Address dst, EndpointType 
   } else {
     released = queue.Release(buffer.index());
   }
+  shm::TelemetryBlock& telemetry = domain_->comm().telemetry(index_);
   if (!released) {
+    telemetry.RecordReleaseRejected();
     return UnavailableStatus();  // Queue full: application resource control.
   }
 
@@ -67,7 +69,10 @@ Status Endpoint::ReleaseCommon(MessageBuffer& buffer, Address dst, EndpointType 
     // acquire of the doorbell also observes the released buffer. A full
     // ring raises the overflow signal instead (the engine answers with a
     // sweep); either way the send already succeeded — doorbells are hints.
-    domain_->comm().doorbell_ring().Ring(index_);
+    const bool rang = domain_->comm().doorbell_ring().Ring(index_);
+    telemetry.RecordApiSend();
+    telemetry.RecordDoorbell(rang);
+    domain_->TraceApi(TraceEvent::kApiSend, index_, buffer.index());
     domain_->calls().sends.fetch_add(1, std::memory_order_relaxed);
     {
       // Kicking the engine out of its idle park is a host-thread artifact
@@ -77,6 +82,8 @@ Status Endpoint::ReleaseCommon(MessageBuffer& buffer, Address dst, EndpointType 
       domain_->KickEngine();
     }
   } else {
+    telemetry.RecordApiPost();
+    domain_->TraceApi(TraceEvent::kApiPostBuffer, index_, buffer.index());
     domain_->calls().buffer_posts.fetch_add(1, std::memory_order_relaxed);
   }
   return OkStatus();
@@ -105,9 +112,14 @@ Result<MessageBuffer> Endpoint::AcquireCommon(EndpointType expected, bool locked
   if (index == waitfree::kInvalidBuffer) {
     return UnavailableStatus();
   }
+  shm::TelemetryBlock& telemetry = domain_->comm().telemetry(index_);
   if (expected == EndpointType::kReceive) {
+    telemetry.RecordApiReceive();
+    domain_->TraceApi(TraceEvent::kApiReceive, index_, index);
     domain_->calls().receives.fetch_add(1, std::memory_order_relaxed);
   } else {
+    telemetry.RecordApiReclaim();
+    domain_->TraceApi(TraceEvent::kApiReclaim, index_, index);
     domain_->calls().buffer_reclaims.fetch_add(1, std::memory_order_relaxed);
   }
   return MessageBuffer(index, domain_->comm().msg(index));

@@ -31,6 +31,16 @@ Status WindowSender::Send(MessageBuffer& buffer) {
 }
 
 std::uint32_t WindowSender::PollCredits() {
+  // First retry buffers whose earlier re-post failed: until they are back
+  // on credit_rx_ the channel runs with a reduced buffer pool, and a
+  // permanently stranded buffer would starve credit returns outright.
+  while (!repost_backlog_.empty()) {
+    if (!credit_rx_.PostBuffer(repost_backlog_.back()).ok()) {
+      break;
+    }
+    repost_backlog_.pop_back();
+  }
+
   std::uint32_t banked = 0;
   for (;;) {
     Result<MessageBuffer> message = credit_rx_.Receive();
@@ -41,8 +51,14 @@ std::uint32_t WindowSender::PollCredits() {
     if (credit != nullptr) {
       banked += credit->credits;
     }
-    // Re-post the credit buffer for the next batch.
-    (void)credit_rx_.PostBuffer(*message);
+    // Re-post the credit buffer for the next batch. A failure (queue
+    // momentarily full under concurrent posters) must not lose the buffer:
+    // park it for the next poll and count the event so the starvation is
+    // observable instead of silent.
+    if (!credit_rx_.PostBuffer(*message).ok()) {
+      ++credit_repost_failures_;
+      repost_backlog_.push_back(*message);
+    }
   }
   credits_ += banked;
   return banked;
@@ -69,22 +85,53 @@ Status WindowReceiver::Release(MessageBuffer buffer) {
     return OkStatus();
   }
 
-  // Send the batched credit. The credit channel needs its own send buffer;
-  // reclaim a completed one first so the channel stays self-sustaining
-  // with at most `window` buffers.
-  Result<MessageBuffer> credit_buffer = credit_tx_.Reclaim();
-  if (!credit_buffer.ok()) {
-    credit_buffer = domain_->AllocateBuffer();
-    if (!credit_buffer.ok()) {
-      return credit_buffer.status();
+  // Send the batched credit. First reclaim completed credit sends: this is
+  // the only place credit_tx_ is ever reclaimed, so skipping it (e.g. when
+  // a held buffer makes reclaiming unnecessary for the buffer itself) would
+  // leave completed sends clogging the queue until no new credit could ever
+  // be queued. One reclaimed buffer becomes the send buffer; extras go back
+  // to the pool.
+  for (;;) {
+    Result<MessageBuffer> reclaimed = credit_tx_.Reclaim();
+    if (!reclaimed.ok()) {
+      break;
+    }
+    if (!held_credit_.valid()) {
+      held_credit_ = *reclaimed;
+    } else {
+      (void)domain_->FreeBuffer(*reclaimed);
     }
   }
-  CreditMsg* credit = credit_buffer->As<CreditMsg>();
+
+  // Pick the send buffer: one held over from a failed attempt or reclaimed
+  // above, else a fresh allocation — the channel stays self-sustaining with
+  // at most `window` buffers plus the single held retry buffer.
+  MessageBuffer credit_buffer = held_credit_;
+  held_credit_ = MessageBuffer();
+  if (!credit_buffer.valid()) {
+    Result<MessageBuffer> allocated = domain_->AllocateBuffer();
+    if (!allocated.ok()) {
+      return allocated.status();  // Credits stay pending; next Release retries.
+    }
+    credit_buffer = *allocated;
+  }
+  CreditMsg* credit = credit_buffer.As<CreditMsg>();
   if (credit == nullptr) {
+    // Message size cannot carry a CreditMsg (configuration error). Return
+    // the buffer to the pool rather than stranding it.
+    (void)domain_->FreeBuffer(credit_buffer);
     return InternalStatus();
   }
   credit->credits = pending_credits_;
-  FLIPC_RETURN_IF_ERROR(credit_tx_.Send(*credit_buffer, peer_));
+  const Status sent = credit_tx_.Send(credit_buffer, peer_);
+  if (!sent.ok()) {
+    // Credit-channel backpressure: the send queue is full. Hold the buffer
+    // for the retry and keep the credits pending — previously this path
+    // leaked the buffer on every attempt and drained the domain pool
+    // permanently.
+    held_credit_ = credit_buffer;
+    return sent;
+  }
   pending_credits_ = 0;
   return OkStatus();
 }

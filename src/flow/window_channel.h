@@ -53,7 +53,16 @@ class WindowSender {
   std::uint32_t credits() const { return credits_; }
   Endpoint& data_endpoint() { return data_tx_; }
 
+  // Credit-channel health. A repost failure means a drained credit buffer
+  // could not go back on credit_rx_ (queue momentarily full); the buffer is
+  // parked and retried by the next PollCredits rather than stranded, but a
+  // nonzero count is the signal that the channel ran under-buffered.
+  std::uint64_t credit_repost_failures() const { return credit_repost_failures_; }
+  std::size_t pending_reposts() const { return repost_backlog_.size(); }
+
  private:
+  friend class WindowChannelTestPeer;  // Seeds the repost backlog in tests.
+
   WindowSender(Domain& domain, Endpoint data_tx, Endpoint credit_rx, Address peer,
                std::uint32_t window)
       : domain_(&domain),
@@ -67,6 +76,9 @@ class WindowSender {
   Endpoint credit_rx_;
   Address peer_;
   std::uint32_t credits_;
+  // Credit buffers whose re-post failed, awaiting retry.
+  std::vector<MessageBuffer> repost_backlog_;
+  std::uint64_t credit_repost_failures_ = 0;
 };
 
 class WindowReceiver {
@@ -101,6 +113,8 @@ class WindowReceiver {
   Address peer_;
   std::uint32_t batch_;
   std::uint32_t pending_credits_ = 0;
+  // A credit buffer held across a failed credit send, reused by the retry.
+  MessageBuffer held_credit_;
 };
 
 }  // namespace flipc::flow

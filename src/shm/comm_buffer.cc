@@ -37,6 +37,9 @@ Result<CommBufferLayout> CommBufferLayout::For(const CommBufferConfig& config) {
   std::size_t offset = AlignUp(sizeof(CommBufferHeader), kCacheLineSize);
   layout.endpoint_table_offset = offset;
   offset += static_cast<std::size_t>(config.max_endpoints) * sizeof(EndpointRecord);
+  layout.telemetry_offset = AlignUp(offset, kCacheLineSize);
+  offset = layout.telemetry_offset +
+           static_cast<std::size_t>(config.max_endpoints) * sizeof(TelemetryBlock);
   layout.cell_arena_offset = AlignUp(offset, kCacheLineSize);
   offset = layout.cell_arena_offset +
            static_cast<std::size_t>(config.effective_cell_arena_size()) *
@@ -129,6 +132,7 @@ void CommBuffer::FormatRegion(const CommBufferConfig& config, const CommBufferLa
   header_->cell_arena_size = config.effective_cell_arena_size();
   header_->doorbell_capacity = config.effective_doorbell_capacity();
   header_->endpoint_table_offset = layout.endpoint_table_offset;
+  header_->telemetry_offset = layout.telemetry_offset;
   header_->cell_arena_offset = layout.cell_arena_offset;
   header_->freelist_offset = layout.freelist_offset;
   header_->doorbell_offset = layout.doorbell_offset;
@@ -137,6 +141,7 @@ void CommBuffer::FormatRegion(const CommBufferConfig& config, const CommBufferLa
 
   for (std::uint32_t i = 0; i < config.max_endpoints; ++i) {
     new (&endpoint_table()[i]) EndpointRecord();
+    new (&telemetry_table()[i]) TelemetryBlock();
   }
 
   auto* cells = cell_arena();
@@ -175,6 +180,7 @@ void CommBuffer::DeclareBoundaryOwners() {
   waitfree::UndeclareCellRange(base_, header_->total_size);
   for (std::uint32_t i = 0; i < header_->max_endpoints; ++i) {
     DeclareOwnersFromTable(&endpoint_table()[i], kEndpointRecordOwnership);
+    DeclareOwnersFromTable(&telemetry_table()[i], kTelemetryBlockOwnership);
   }
   // Queue cells are written only by the application, at release time; the
   // engine communicates per-buffer completion through the buffer's state
@@ -197,6 +203,16 @@ void CommBuffer::DeclareBoundaryOwners() {
 
 EndpointRecord* CommBuffer::endpoint_table() {
   return reinterpret_cast<EndpointRecord*>(base_ + header_->endpoint_table_offset);
+}
+
+TelemetryBlock* CommBuffer::telemetry_table() {
+  return reinterpret_cast<TelemetryBlock*>(base_ + header_->telemetry_offset);
+}
+
+TelemetryBlock& CommBuffer::telemetry(std::uint32_t index) { return telemetry_table()[index]; }
+
+const TelemetryBlock& CommBuffer::telemetry(std::uint32_t index) const {
+  return const_cast<CommBuffer*>(this)->telemetry_table()[index];
 }
 
 waitfree::SingleWriterCell<BufferIndex>* CommBuffer::cell_arena() {
@@ -319,11 +335,13 @@ Result<std::uint32_t> CommBuffer::AllocateEndpoint(const EndpointParams& params)
   {
     // Quiescent cross-boundary writes: the engine's cursors are reset by
     // the allocating application thread while the record is still inactive
-    // (the engine ignores it until the type publish below).
+    // (the engine ignores it until the type publish below). Telemetry is
+    // per-slot-lifetime, so both of its halves reset here too.
     waitfree::ScopedBoundaryExemption quiescent_reset;
     record.process_count.StoreRelaxed(0);
     record.drops_total.StoreRelaxed(0);
     record.processed_total.StoreRelaxed(0);
+    telemetry_table()[chosen].ResetQuiescent();
   }
 
   // Publish the type last: the engine treats a non-inactive type as the

@@ -15,6 +15,7 @@
 //
 //   [CommBufferHeader]   identity + application-side allocation state
 //   [EndpointRecord x max_endpoints]
+//   [TelemetryBlock x max_endpoints]   per-endpoint counters (app/engine lines)
 //   [cell arena]         queue cells, carved out per endpoint at allocation
 //   [buffer free list]   application-side singly linked free list
 //   [doorbell ring]      cursors + MPSC ring of endpoint indices rung on send
@@ -35,6 +36,7 @@
 #include "src/base/types.h"
 #include "src/shm/endpoint_record.h"
 #include "src/shm/msg_header.h"
+#include "src/shm/telemetry_block.h"
 #include "src/waitfree/buffer_queue.h"
 #include "src/waitfree/doorbell_ring.h"
 
@@ -87,6 +89,7 @@ struct CommBufferConfig {
 
 struct CommBufferLayout {
   std::size_t endpoint_table_offset = 0;
+  std::size_t telemetry_offset = 0;
   std::size_t cell_arena_offset = 0;
   std::size_t freelist_offset = 0;
   std::size_t doorbell_offset = 0;
@@ -108,6 +111,7 @@ struct alignas(kCacheLineSize) CommBufferHeader {
   std::uint32_t cell_arena_size;
   std::uint32_t doorbell_capacity;
   std::uint64_t endpoint_table_offset;
+  std::uint64_t telemetry_offset;
   std::uint64_t cell_arena_offset;
   std::uint64_t freelist_offset;
   std::uint64_t doorbell_offset;
@@ -125,8 +129,10 @@ struct alignas(kCacheLineSize) CommBufferHeader {
 inline constexpr std::uint64_t kCommBufferMagic = 0x464c495043313936ull;  // "FLIPC196"
 // Version 2 added the doorbell ring section (doorbell_capacity,
 // doorbell_offset, and the cursors + cells between the free list and the
-// message buffers).
-inline constexpr std::uint32_t kCommBufferVersion = 2;
+// message buffers). Version 3 added the per-endpoint telemetry table
+// (telemetry_offset and one TelemetryBlock per endpoint slot between the
+// endpoint table and the cell arena).
+inline constexpr std::uint32_t kCommBufferVersion = 3;
 
 class CommBuffer {
  public:
@@ -202,6 +208,11 @@ class CommBuffer {
   waitfree::DoorbellRingView doorbell_ring();
   std::uint32_t doorbell_capacity() const { return header_->doorbell_capacity; }
 
+  // Per-endpoint telemetry. Reads need no role; writes go through the
+  // Record* helpers under the matching boundary role.
+  TelemetryBlock& telemetry(std::uint32_t index);
+  const TelemetryBlock& telemetry(std::uint32_t index) const;
+
  private:
   CommBuffer(std::byte* base, bool owns);
 
@@ -214,6 +225,7 @@ class CommBuffer {
   void DeclareBoundaryOwners();
 
   EndpointRecord* endpoint_table();
+  TelemetryBlock* telemetry_table();
   waitfree::SingleWriterCell<BufferIndex>* cell_arena();
   std::uint32_t* freelist();
   waitfree::DoorbellCursors* doorbell_cursors();

@@ -102,6 +102,38 @@ inline constexpr FieldOwnership kEndpointRecordOwnership[] = {
      sizeof(EndpointRecord::lock), ownership_internal::kApp, false, false},
 };
 
+// ---- TelemetryBlock (src/shm/telemetry_block.h): two lines by writer ----
+// All cells are monotonic counters; the consistency contract (how they
+// must agree with the queue cursors) lives in telemetry_block.h and is
+// audited by flipc_inspect --metrics.
+inline constexpr FieldOwnership kTelemetryBlockOwnership[] = {
+    // Line 0: application-written counters.
+    {"TelemetryBlock.api_sends", offsetof(TelemetryBlock, api_sends),
+     sizeof(TelemetryBlock::api_sends), ownership_internal::kApp, true, false},
+    {"TelemetryBlock.api_receives", offsetof(TelemetryBlock, api_receives),
+     sizeof(TelemetryBlock::api_receives), ownership_internal::kApp, true, false},
+    {"TelemetryBlock.api_posts", offsetof(TelemetryBlock, api_posts),
+     sizeof(TelemetryBlock::api_posts), ownership_internal::kApp, true, false},
+    {"TelemetryBlock.api_reclaims", offsetof(TelemetryBlock, api_reclaims),
+     sizeof(TelemetryBlock::api_reclaims), ownership_internal::kApp, true, false},
+    {"TelemetryBlock.releases_rejected", offsetof(TelemetryBlock, releases_rejected),
+     sizeof(TelemetryBlock::releases_rejected), ownership_internal::kApp, true, false},
+    {"TelemetryBlock.doorbell_rings", offsetof(TelemetryBlock, doorbell_rings),
+     sizeof(TelemetryBlock::doorbell_rings), ownership_internal::kApp, true, false},
+    {"TelemetryBlock.doorbell_full", offsetof(TelemetryBlock, doorbell_full),
+     sizeof(TelemetryBlock::doorbell_full), ownership_internal::kApp, true, false},
+    // Line 1: engine-written counters.
+    {"TelemetryBlock.engine_transmits", offsetof(TelemetryBlock, engine_transmits),
+     sizeof(TelemetryBlock::engine_transmits), ownership_internal::kEng, true, false},
+    {"TelemetryBlock.engine_deliveries", offsetof(TelemetryBlock, engine_deliveries),
+     sizeof(TelemetryBlock::engine_deliveries), ownership_internal::kEng, true, false},
+    {"TelemetryBlock.engine_rejects", offsetof(TelemetryBlock, engine_rejects),
+     sizeof(TelemetryBlock::engine_rejects), ownership_internal::kEng, true, false},
+    {"TelemetryBlock.queue_depth_high_water",
+     offsetof(TelemetryBlock, queue_depth_high_water),
+     sizeof(TelemetryBlock::queue_depth_high_water), ownership_internal::kEng, true, false},
+};
+
 // ---- QueueCursors (src/waitfree/buffer_queue.h) ----
 inline constexpr FieldOwnership kQueueCursorsOwnership[] = {
     {"QueueCursors.release_count", offsetof(waitfree::QueueCursors, release_count),
@@ -166,6 +198,8 @@ inline constexpr FieldOwnership kCommBufferHeaderOwnership[] = {
     {"CommBufferHeader.endpoint_table_offset",
      offsetof(CommBufferHeader, endpoint_table_offset),
      sizeof(CommBufferHeader::endpoint_table_offset), ownership_internal::kApp, false, true},
+    {"CommBufferHeader.telemetry_offset", offsetof(CommBufferHeader, telemetry_offset),
+     sizeof(CommBufferHeader::telemetry_offset), ownership_internal::kApp, false, true},
     {"CommBufferHeader.cell_arena_offset", offsetof(CommBufferHeader, cell_arena_offset),
      sizeof(CommBufferHeader::cell_arena_offset), ownership_internal::kApp, false, true},
     {"CommBufferHeader.freelist_offset", offsetof(CommBufferHeader, freelist_offset),
@@ -242,6 +276,10 @@ static_assert(CacheLinesHaveSingleWriter(kEndpointRecordOwnership),
               "EndpointRecord: a cache line mixes application- and engine-written words");
 static_assert(FieldsAlignedWithinLines(kEndpointRecordOwnership),
               "EndpointRecord: a shared field is misaligned or straddles a cache line");
+static_assert(CacheLinesHaveSingleWriter(kTelemetryBlockOwnership),
+              "TelemetryBlock: a cache line mixes application- and engine-written words");
+static_assert(FieldsAlignedWithinLines(kTelemetryBlockOwnership),
+              "TelemetryBlock: a shared field is misaligned or straddles a cache line");
 static_assert(CacheLinesHaveSingleWriter(kQueueCursorsOwnership),
               "QueueCursors: a cache line mixes application- and engine-written words");
 static_assert(FieldsAlignedWithinLines(kQueueCursorsOwnership),

@@ -1,0 +1,108 @@
+// Per-endpoint telemetry resident in the communication buffer.
+//
+// The paper's engine is observable only through the drop counters; every
+// other operational property (doorbell scheduling, batching, backstop
+// sweeps) is invisible at run time. This block makes the counters that
+// describe an endpoint's life first-class comm-buffer state, readable by
+// any process that can map the region (tools/flipc_inspect), under the
+// same rules as everything else in the buffer:
+//
+//   * single writer — the block is split into an application-written line
+//     and an engine-written line; each cell has exactly one writing side,
+//     declared in the ownership table (src/shm/ownership_layout.h) so the
+//     layout lint and the ownership race detector both cover it;
+//   * wait-free — increments are a relaxed load plus a release store on a
+//     SingleWriterCell (the dual-location drop-counter idiom), never an
+//     atomic RMW, so they are legal on the paper's loads/stores-only
+//     controllers and stay inside the hot-path purity budget;
+//   * no mixed cache lines — the two halves are cache-line separated, so
+//     telemetry can never reintroduce the paper's 2x false-sharing bug.
+//
+// Counters are totals since the endpoint slot was (re)allocated. They are
+// deliberately redundant with the queue cursors: `api_sends + api_posts`
+// must track `release_count` (mod 2^32) and `engine_transmits +
+// engine_rejects` must track a send endpoint's `processed_total` —
+// cross-checks that flipc_inspect --metrics performs, and CI gates on.
+// Message drops stay in the EndpointRecord's dual-location drop counter
+// (the application participates in reading-and-resetting those).
+#ifndef SRC_SHM_TELEMETRY_BLOCK_H_
+#define SRC_SHM_TELEMETRY_BLOCK_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/waitfree/single_writer.h"
+
+namespace flipc::shm {
+
+struct alignas(kCacheLineSize) TelemetryBlock {
+  // ---- Line 0: application-written ----
+  waitfree::SingleWriterCell<std::uint64_t> api_sends;        // successful Send releases
+  waitfree::SingleWriterCell<std::uint64_t> api_receives;     // successful Receive acquires
+  waitfree::SingleWriterCell<std::uint64_t> api_posts;        // successful PostBuffer releases
+  waitfree::SingleWriterCell<std::uint64_t> api_reclaims;     // successful Reclaim acquires
+  waitfree::SingleWriterCell<std::uint64_t> releases_rejected;  // queue-full Send/PostBuffer
+  waitfree::SingleWriterCell<std::uint64_t> doorbell_rings;   // doorbells rung on send
+  waitfree::SingleWriterCell<std::uint64_t> doorbell_full;    // rings that found the ring full
+
+  // ---- Line 1: engine-written ----
+  alignas(kCacheLineSize)
+  waitfree::SingleWriterCell<std::uint64_t> engine_transmits;   // send buffers put on the wire
+  waitfree::SingleWriterCell<std::uint64_t> engine_deliveries;  // messages delivered locally
+  waitfree::SingleWriterCell<std::uint64_t> engine_rejects;     // buffers consumed as rejections
+  waitfree::SingleWriterCell<std::uint64_t> queue_depth_high_water;  // max processable seen
+
+  // ---- Application-side increments (call under the application role) ----
+  void RecordApiSend() { Bump(api_sends); }
+  void RecordApiReceive() { Bump(api_receives); }
+  void RecordApiPost() { Bump(api_posts); }
+  void RecordApiReclaim() { Bump(api_reclaims); }
+  void RecordReleaseRejected() { Bump(releases_rejected); }
+  void RecordDoorbell(bool rang) {
+    Bump(doorbell_rings);
+    if (!rang) {
+      Bump(doorbell_full);
+    }
+  }
+
+  // ---- Engine-side increments (call under the engine role) ----
+  void RecordEngineTransmit() { Bump(engine_transmits); }
+  void RecordEngineDelivery() { Bump(engine_deliveries); }
+  void RecordEngineReject() { Bump(engine_rejects); }
+  void NoteQueueDepth(std::uint64_t depth) {
+    if (depth > queue_depth_high_water.ReadRelaxed()) {
+      queue_depth_high_water.Publish(depth);
+    }
+  }
+
+  // Zeroes every cell. Only legal while the endpoint slot is quiescent
+  // (being (re)allocated): the caller writes both halves, so it must hold
+  // a boundary exemption exactly like the EndpointRecord cursor reset.
+  void ResetQuiescent() {
+    api_sends.StoreRelaxed(0);
+    api_receives.StoreRelaxed(0);
+    api_posts.StoreRelaxed(0);
+    api_reclaims.StoreRelaxed(0);
+    releases_rejected.StoreRelaxed(0);
+    doorbell_rings.StoreRelaxed(0);
+    doorbell_full.StoreRelaxed(0);
+    engine_transmits.StoreRelaxed(0);
+    engine_deliveries.StoreRelaxed(0);
+    engine_rejects.StoreRelaxed(0);
+    queue_depth_high_water.StoreRelaxed(0);
+  }
+
+ private:
+  // The wait-free increment: single writer, so load-relaxed + store-release
+  // is exact (no RMW needed — the paper's controllers cannot issue one).
+  static void Bump(waitfree::SingleWriterCell<std::uint64_t>& cell) {
+    cell.Publish(cell.ReadRelaxed() + 1);
+  }
+};
+static_assert(sizeof(TelemetryBlock) == 2 * kCacheLineSize,
+              "one application line + one engine line; layouts are shared-memory ABI");
+static_assert(alignof(TelemetryBlock) == kCacheLineSize);
+
+}  // namespace flipc::shm
+
+#endif  // SRC_SHM_TELEMETRY_BLOCK_H_

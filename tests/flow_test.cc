@@ -13,6 +13,15 @@
 #include "src/flow/window_channel.h"
 
 namespace flipc::flow {
+
+// Test-only access to WindowSender internals (friend of WindowSender).
+class WindowChannelTestPeer {
+ public:
+  static void SeedRepostBacklog(WindowSender& sender, MessageBuffer buffer) {
+    sender.repost_backlog_.push_back(buffer);
+  }
+};
+
 namespace {
 
 std::unique_ptr<SimCluster> TwoNodes() {
@@ -172,6 +181,110 @@ TEST(WindowChannel, BatchedCreditsReduceReverseTraffic) {
   // 8 releases at batch=4 -> exactly 2 credit messages.
   EXPECT_EQ(batched->sender.PollCredits(), 8u);
   EXPECT_EQ(cluster_batched->engine(1).stats().messages_sent, 2u);
+}
+
+// Regression test for the credit-buffer leak: when the credit channel
+// itself is backpressured (its send queue full), every failed Release used
+// to allocate a fresh credit buffer and strand the previous one — draining
+// the domain pool permanently. The fix holds exactly one buffer across
+// failed attempts and keeps the credits pending for the retry.
+TEST(WindowChannel, CreditBackpressureHoldsOneBufferAndNoCreditsAreLost) {
+  auto cluster = TwoNodes();
+  Domain& a = cluster->domain(0);
+  Domain& b = cluster->domain(1);
+  constexpr std::uint32_t kWindow = 4;
+
+  // Credit send queue of depth 2 < window: overrunnable by construction.
+  auto data_tx = a.CreateEndpoint({.type = shm::EndpointType::kSend, .queue_depth = 8});
+  auto credit_rx = a.CreateEndpoint({.type = shm::EndpointType::kReceive, .queue_depth = 8});
+  auto data_rx = b.CreateEndpoint({.type = shm::EndpointType::kReceive, .queue_depth = 8});
+  auto credit_tx = b.CreateEndpoint({.type = shm::EndpointType::kSend, .queue_depth = 2});
+  ASSERT_TRUE(data_tx.ok() && credit_rx.ok() && data_rx.ok() && credit_tx.ok());
+  auto receiver = WindowReceiver::Create(b, *data_rx, *credit_tx, credit_rx->address(),
+                                         kWindow, /*batch=*/1);
+  auto sender = WindowSender::Create(a, *data_tx, *credit_rx, data_rx->address(), kWindow);
+  ASSERT_TRUE(receiver.ok() && sender.ok());
+
+  for (std::uint32_t i = 0; i < kWindow; ++i) {
+    auto buffer = a.AllocateBuffer();
+    ASSERT_TRUE(buffer.ok());
+    ASSERT_TRUE(sender->Send(*buffer).ok());
+  }
+  cluster->sim().Run();
+  std::vector<MessageBuffer> messages;
+  for (std::uint32_t i = 0; i < kWindow; ++i) {
+    auto message = receiver->Receive();
+    ASSERT_TRUE(message.ok());
+    messages.push_back(*message);
+  }
+
+  // Without running the engine, only 2 credit sends fit; the 3rd and 4th
+  // Release hit backpressure.
+  ASSERT_TRUE(receiver->Release(messages[0]).ok());
+  ASSERT_TRUE(receiver->Release(messages[1]).ok());
+  const std::uint32_t free_before_failures = b.comm().FreeBufferCount();
+  EXPECT_EQ(receiver->Release(messages[2]).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(receiver->Release(messages[3]).code(), StatusCode::kUnavailable);
+  // The leak regression: exactly one buffer held across both failed
+  // attempts (the second reuses the first's), none stranded.
+  EXPECT_EQ(free_before_failures - b.comm().FreeBufferCount(), 1u);
+
+  // Let the engine drain the credit queue, then push two more messages
+  // through; the next Release retries with the held buffer and the pending
+  // credits, so every released message eventually returns a credit.
+  cluster->sim().Run();
+  EXPECT_EQ(sender->PollCredits(), 2u);
+  for (int i = 0; i < 2; ++i) {
+    auto buffer = sender->Reclaim();
+    ASSERT_TRUE(buffer.ok());
+    ASSERT_TRUE(sender->Send(*buffer).ok());
+  }
+  cluster->sim().Run();
+  std::uint32_t banked = 2;
+  for (int i = 0; i < 2; ++i) {
+    auto message = receiver->Receive();
+    ASSERT_TRUE(message.ok());
+    ASSERT_TRUE(receiver->Release(*message).ok());
+    cluster->sim().Run();
+    banked += sender->PollCredits();
+  }
+  // Credit conservation: 6 messages released, 6 credits banked.
+  EXPECT_EQ(banked, 6u);
+  EXPECT_EQ(sender->credits(), kWindow);
+  EXPECT_EQ(receiver->data_endpoint().DropCount(), 0u);
+}
+
+// The sender-side counterpart: a credit buffer whose re-post fails is
+// parked on a backlog and retried by the next PollCredits, never stranded.
+TEST(WindowChannel, PollCreditsRetriesRepostBacklog) {
+  auto cluster = TwoNodes();
+  // Window 2 on depth-4 queues: the credit endpoint has spare capacity for
+  // the parked buffer to go back on.
+  auto pair = MakeWindowPair(*cluster, 2);
+  ASSERT_TRUE(pair.ok());
+  Domain& a = cluster->domain(0);
+
+  EXPECT_EQ(pair->sender.pending_reposts(), 0u);
+  EXPECT_EQ(pair->sender.credit_repost_failures(), 0u);
+  auto parked = a.AllocateBuffer();
+  ASSERT_TRUE(parked.ok());
+  WindowChannelTestPeer::SeedRepostBacklog(pair->sender, *parked);
+  EXPECT_EQ(pair->sender.pending_reposts(), 1u);
+
+  // The next poll re-posts the parked buffer onto the credit endpoint.
+  pair->sender.PollCredits();
+  EXPECT_EQ(pair->sender.pending_reposts(), 0u);
+
+  // The channel still works end to end with the recovered buffer in play.
+  auto buffer = a.AllocateBuffer();
+  ASSERT_TRUE(buffer.ok());
+  ASSERT_TRUE(pair->sender.Send(*buffer).ok());
+  cluster->sim().Run();
+  auto message = pair->receiver.Receive();
+  ASSERT_TRUE(message.ok());
+  ASSERT_TRUE(pair->receiver.Release(*message).ok());
+  cluster->sim().Run();
+  EXPECT_EQ(pair->sender.PollCredits(), 1u);
 }
 
 TEST(WindowChannel, CreateValidatesWindow) {

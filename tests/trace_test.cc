@@ -47,6 +47,56 @@ TEST(TraceRing, ZeroCapacityClampsToOne) {
   EXPECT_EQ(ring.Snapshot().size(), 1u);
 }
 
+// The documented contract: a disabled ring costs one branch per Record.
+// Disabled records are dropped outright — no slot consumed, recorded() not
+// bumped — so toggling cannot corrupt the snapshot ordering.
+TEST(TraceRing, DisabledRecordsAreDroppedWithoutConsumingSlots) {
+  TraceRing ring(4);
+  EXPECT_TRUE(ring.enabled());  // default on: SetTrace alone starts tracing
+  ring.Record(1, TraceEvent::kApiSend, 1);
+  ring.set_enabled(false);
+  ring.Record(2, TraceEvent::kApiSend, 2);
+  ring.Record(3, TraceEvent::kApiSend, 3);
+  EXPECT_EQ(ring.recorded(), 1u);
+  ring.set_enabled(true);
+  ring.Record(4, TraceEvent::kApiSend, 4);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[1].a, 4u);
+}
+
+TEST(TraceRing, SnapshotStaysOldestFirstAcrossWrapAndToggle) {
+  TraceRing ring(4);
+  for (int i = 0; i < 6; ++i) {  // wrap once
+    ring.Record(i, TraceEvent::kApiSend, static_cast<std::uint32_t>(i));
+  }
+  ring.set_enabled(false);
+  ring.Record(100, TraceEvent::kApiSend, 100);  // dropped
+  ring.set_enabled(true);
+  ring.Record(6, TraceEvent::kApiSend, 6);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().a, 3u);
+  EXPECT_EQ(events.back().a, 6u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].time_ns, events[i].time_ns);
+  }
+}
+
+TEST(TraceRing, ExportsChromeTraceJson) {
+  TraceRing ring(8);
+  ring.Record(1500, TraceEvent::kApiSend, 1, 7);
+  ring.Record(2000, TraceEvent::kEngineDeliver, 0, 7);
+  const std::string json = ToChromeTraceJson(ring, /*pid=*/42);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"api.send\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.deliver\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);  // ns -> us
+  EXPECT_NE(json.find("\"pid\":42"), std::string::npos);
+  EXPECT_EQ(ToChromeTraceJson(TraceRing(1)), "{\"traceEvents\":[]}");
+}
+
 TEST(TraceEventNames, AllNamed) {
   for (const TraceEvent event :
        {TraceEvent::kEngineSend, TraceEvent::kEngineDeliver, TraceEvent::kEngineDrop,
@@ -96,6 +146,56 @@ TEST(EngineTrace, RecordsSendDeliverDrop) {
   EXPECT_EQ(rx_events[0].event, TraceEvent::kEngineDrop);
   EXPECT_EQ(rx_events[1].event, TraceEvent::kEngineDeliver);
   EXPECT_EQ(rx_events[1].a, rx->index());
+}
+
+// The API half of the flight recorder: Domain::SetTrace wires the dormant
+// kApi* events through the endpoint hot paths. Events carry the endpoint
+// index in `a` and the buffer index in `b`, so a merged engine+API ring
+// reconstructs a message's full lifecycle.
+TEST(ApiTrace, RecordsEndpointOperations) {
+  SimCluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = 128;
+  auto cluster = SimCluster::Create(std::move(options));
+  ASSERT_TRUE(cluster.ok());
+
+  TraceRing a_ring(64);
+  TraceRing b_ring(64);
+  Domain& a = (*cluster)->domain(0);
+  Domain& b = (*cluster)->domain(1);
+  a.SetTrace(&a_ring);
+  b.SetTrace(&b_ring);
+
+  auto rx = b.CreateEndpoint({.type = shm::EndpointType::kReceive});
+  auto tx = a.CreateEndpoint({.type = shm::EndpointType::kSend});
+  ASSERT_TRUE(rx.ok() && tx.ok());
+  auto rx_buf = b.AllocateBuffer();
+  ASSERT_TRUE(rx->PostBuffer(*rx_buf).ok());
+  auto msg = a.AllocateBuffer();
+  ASSERT_TRUE(tx->Send(*msg, rx->address()).ok());
+  (*cluster)->sim().Run();
+  ASSERT_TRUE(rx->Receive().ok());
+  ASSERT_TRUE(tx->Reclaim().ok());
+
+  const auto a_events = a_ring.Snapshot();
+  ASSERT_EQ(a_events.size(), 2u);
+  EXPECT_EQ(a_events[0].event, TraceEvent::kApiSend);
+  EXPECT_EQ(a_events[0].a, tx->index());
+  EXPECT_EQ(a_events[0].b, msg->index());
+  EXPECT_EQ(a_events[1].event, TraceEvent::kApiReclaim);
+
+  const auto b_events = b_ring.Snapshot();
+  ASSERT_EQ(b_events.size(), 2u);
+  EXPECT_EQ(b_events[0].event, TraceEvent::kApiPostBuffer);
+  EXPECT_EQ(b_events[0].a, rx->index());
+  EXPECT_EQ(b_events[1].event, TraceEvent::kApiReceive);
+  EXPECT_EQ(b_events[1].b, rx_buf->index());
+
+  // Detaching stops API tracing; failed operations never trace.
+  a.SetTrace(nullptr);
+  auto msg2 = a.AllocateBuffer();
+  ASSERT_TRUE(tx->Send(*msg2, rx->address()).ok());
+  EXPECT_EQ(a_ring.recorded(), 2u);
 }
 
 TEST(EngineTrace, DisabledByDefault) {

@@ -110,13 +110,13 @@ void LintRegionLayouts() {
       continue;
     }
     const std::size_t offsets[] = {
-        layout->endpoint_table_offset, layout->cell_arena_offset,
-        layout->freelist_offset, layout->doorbell_offset,
-        layout->buffers_offset, layout->total_size};
-    const char* names[] = {"endpoint_table_offset", "cell_arena_offset",
-                           "freelist_offset", "doorbell_offset",
-                           "buffers_offset", "total_size"};
-    for (std::size_t i = 0; i < 6; ++i) {
+        layout->endpoint_table_offset, layout->telemetry_offset,
+        layout->cell_arena_offset, layout->freelist_offset,
+        layout->doorbell_offset, layout->buffers_offset, layout->total_size};
+    const char* names[] = {"endpoint_table_offset", "telemetry_offset",
+                           "cell_arena_offset", "freelist_offset",
+                           "doorbell_offset", "buffers_offset", "total_size"};
+    for (std::size_t i = 0; i < 7; ++i) {
       if (!IsAligned(offsets[i], kCacheLineSize)) {
         Fail("CommBufferLayout.%s is not cache-line aligned%s", names[i], "");
       }
@@ -130,6 +130,8 @@ int Run() {
   const TableRef tables[] = {
       {"EndpointRecord", sizeof(EndpointRecord), kEndpointRecordOwnership,
        sizeof(kEndpointRecordOwnership) / sizeof(FieldOwnership)},
+      {"TelemetryBlock", sizeof(TelemetryBlock), kTelemetryBlockOwnership,
+       sizeof(kTelemetryBlockOwnership) / sizeof(FieldOwnership)},
       {"QueueCursors", sizeof(waitfree::QueueCursors), kQueueCursorsOwnership,
        sizeof(kQueueCursorsOwnership) / sizeof(FieldOwnership)},
       {"PaddedDropCounterParts", sizeof(waitfree::PaddedDropCounterParts),
