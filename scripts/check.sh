@@ -9,6 +9,9 @@
 #   tsan          ThreadSanitizer build + full ctest
 #   asan-ubsan    AddressSanitizer + UBSan build + full ctest
 #   tidy          clang-tidy over src/ (skipped with a notice if not installed)
+#   static-audit  flipc_static_audit (role/memory-order/hot-path proofs) +
+#                 policy drift check + fixture selftest (skipped without
+#                 python3)
 #
 # Usage: scripts/check.sh [leg ...]     (default: every leg)
 # Build trees live under build-matrix/<leg> and are reused across runs.
@@ -24,7 +27,7 @@ fi
 JOBS="$(nproc 2> /dev/null || echo 4)"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy)
+  LEGS=(plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit)
 fi
 
 build_and_test() {
@@ -55,6 +58,18 @@ run_tidy() {
   fi
 }
 
+run_static_audit() {
+  if ! command -v python3 > /dev/null 2>&1; then
+    echo "==== [static-audit] SKIPPED: python3 not installed ===="
+    return 0
+  fi
+  local dir="build-matrix/static-audit"
+  echo "==== [static-audit] protocol auditor + drift + selftest ($dir) ===="
+  cmake -B "$dir" -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j "$JOBS" --target flipc_ownership_export
+  ctest --test-dir "$dir" --output-on-failure     -R '^flipc_(static_audit|static_audit_selftest|ownership_policy_drift)$'
+}
+
 for leg in "${LEGS[@]}"; do
   case "$leg" in
     plain)         build_and_test plain ;;
@@ -64,8 +79,9 @@ for leg in "${LEGS[@]}"; do
     tsan)          build_and_test tsan -DFLIPC_SANITIZE=thread ;;
     asan-ubsan)    build_and_test asan-ubsan -DFLIPC_SANITIZE=address,undefined ;;
     tidy)          run_tidy ;;
+    static-audit)  run_static_audit ;;
     *)
-      echo "unknown leg '$leg' (expected: plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy)" >&2
+      echo "unknown leg '$leg' (expected: plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit)" >&2
       exit 2
       ;;
   esac

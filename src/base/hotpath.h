@@ -48,6 +48,40 @@
 #include <cstddef>
 #include <cstdint>
 
+// ---- Writer-role annotations (tools/flipc_static_audit) --------------------
+//
+// The single-writer rule is a property of ROLES, not threads: every write to
+// a shared comm-buffer field must happen in code executing as that field's
+// owning side. These macros declare the role of an entry point so the static
+// protocol auditor can compute the call-graph closure and prove, without
+// running anything, that each ownership-table field is written only under
+// its owner role:
+//
+//   FLIPC_ROLE_APP        application side of the protection boundary
+//                         (Endpoint::Send/Receive/..., buffer allocation)
+//   FLIPC_ROLE_ENGINE     messaging-engine side (MessagingEngine::Step,
+//                         EngineRunner::Loop)
+//   FLIPC_ROLE_QUIESCENT  setup/teardown code that legitimately writes both
+//                         sides while the structure is unattached or the
+//                         endpoint slot is quiescent — the static analogue
+//                         of ScopedBoundaryExemption (CommBuffer::Format,
+//                         AllocateEndpoint)
+//
+// Zero-cost by construction: under Clang they expand to an `annotate`
+// attribute (visible in the AST, absent from generated code); elsewhere to
+// nothing. The token-level auditor frontend reads the macro names straight
+// from the source, so the annotations work under any compiler. A function
+// may carry more than one role (it runs under either side's closure).
+#if defined(__clang__)
+#define FLIPC_ROLE_APP __attribute__((annotate("flipc_role_app")))
+#define FLIPC_ROLE_ENGINE __attribute__((annotate("flipc_role_engine")))
+#define FLIPC_ROLE_QUIESCENT __attribute__((annotate("flipc_role_quiescent")))
+#else
+#define FLIPC_ROLE_APP
+#define FLIPC_ROLE_ENGINE
+#define FLIPC_ROLE_QUIESCENT
+#endif
+
 namespace flipc::hotpath {
 
 // What a guard observed inside an armed hot-path scope.

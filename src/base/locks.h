@@ -18,6 +18,7 @@
 #include <atomic>
 
 #include "src/base/hotpath.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/types.h"
 
 namespace flipc {
@@ -39,13 +40,13 @@ inline void CpuRelax() {
 // the bus-locked test-and-set is exactly the cost the paper's lock-free
 // interface variants exist to shed, so acquiring it inside an armed
 // FLIPC_HOT_PATH scope is a violation. No-op in default builds.
-class TasLock {
+class FLIPC_CAPABILITY("TasLock") TasLock {
  public:
   TasLock() = default;
   TasLock(const TasLock&) = delete;
   TasLock& operator=(const TasLock&) = delete;
 
-  void lock() {
+  void lock() FLIPC_ACQUIRE() {
     hotpath::OnLockAcquire("TasLock::lock");
     while (flag_.test_and_set(std::memory_order_acquire)) {
       // Spin on a plain load to avoid hammering the bus with RMWs.
@@ -55,12 +56,12 @@ class TasLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() FLIPC_TRY_ACQUIRE(true) {
     hotpath::OnLockAcquire("TasLock::try_lock");
     return !flag_.test_and_set(std::memory_order_acquire);
   }
 
-  void unlock() { flag_.clear(std::memory_order_release); }
+  void unlock() FLIPC_RELEASE() { flag_.clear(std::memory_order_release); }
 
  private:
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
@@ -81,9 +82,9 @@ class TasLock {
 // docs/MEMORY_MODEL.md). The lock exists to document the
 // loads-and-stores-only memory model of the paper's controllers, and its
 // acquisition reports to the hot-path guard like any other lock.
-class PetersonLock {
+class FLIPC_CAPABILITY("PetersonLock") PetersonLock {
  public:
-  void Lock(int side) {
+  void Lock(int side) FLIPC_ACQUIRE() {
     hotpath::OnLockAcquire("PetersonLock::Lock");
     const int other = 1 - side;
     interested_[side].store(true, std::memory_order_seq_cst);
@@ -94,7 +95,9 @@ class PetersonLock {
     }
   }
 
-  void Unlock(int side) { interested_[side].store(false, std::memory_order_release); }
+  void Unlock(int side) FLIPC_RELEASE() {
+    interested_[side].store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> interested_[2] = {false, false};
@@ -102,12 +105,13 @@ class PetersonLock {
 };
 
 // RAII guard for PetersonLock.
-class PetersonGuard {
+class FLIPC_SCOPED_CAPABILITY PetersonGuard {
  public:
-  PetersonGuard(PetersonLock& lock, int side) : lock_(lock), side_(side) {
+  PetersonGuard(PetersonLock& lock, int side) FLIPC_ACQUIRE(lock)
+      : lock_(lock), side_(side) {
     lock_.Lock(side_);
   }
-  ~PetersonGuard() { lock_.Unlock(side_); }
+  ~PetersonGuard() FLIPC_RELEASE() { lock_.Unlock(side_); }
   PetersonGuard(const PetersonGuard&) = delete;
   PetersonGuard& operator=(const PetersonGuard&) = delete;
 

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/base/hotpath.h"
 #include "src/engine/messaging_engine.h"
 
 namespace flipc::engine {
@@ -38,7 +39,7 @@ class EngineRunner {
   std::uint64_t idle_parks() const { return idle_parks_.load(std::memory_order_relaxed); }
 
  private:
-  void Loop();
+  FLIPC_ROLE_ENGINE void Loop();
 
   MessagingEngine& engine_;
   std::thread thread_;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/base/clock.h"
+#include "src/base/hotpath.h"
 #include "src/base/stats.h"
 #include "src/base/trace.h"
 #include "src/base/status.h"
@@ -166,14 +167,14 @@ class MessagingEngine {
 
   // Examines state and selects the next work unit; returns its modeled cost
   // (0 when there is nothing to do). Idempotent until CommitStep().
-  DurationNs PlanStep();
+  FLIPC_ROLE_ENGINE DurationNs PlanStep();
 
   // Executes the planned work unit (plans one first if none is pending).
   // Returns whether any work was performed.
-  bool CommitStep();
+  FLIPC_ROLE_ENGINE bool CommitStep();
 
   // Plan + commit in one call; used by the real-concurrency runner.
-  bool Step();
+  FLIPC_ROLE_ENGINE bool Step();
 
   bool HasWork() const;
 

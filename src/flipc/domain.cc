@@ -96,7 +96,7 @@ Status Domain::DestroyEndpoint(Endpoint& endpoint) {
   // semaphores are freed best-effort (waiters keep it alive).
   bool group_owned;
   {
-    std::lock_guard<std::mutex> guard(group_mutex_);
+    ScopedLock<std::mutex> guard(group_mutex_);
     group_owned = group_semaphores_.contains(semaphore_id);
   }
   if (had_semaphore && semaphores_ != nullptr && !group_owned) {
@@ -107,12 +107,12 @@ Status Domain::DestroyEndpoint(Endpoint& endpoint) {
 }
 
 void Domain::RegisterGroupSemaphore(std::uint32_t id) {
-  std::lock_guard<std::mutex> guard(group_mutex_);
+  ScopedLock<std::mutex> guard(group_mutex_);
   group_semaphores_.insert(id);
 }
 
 void Domain::UnregisterGroupSemaphore(std::uint32_t id) {
-  std::lock_guard<std::mutex> guard(group_mutex_);
+  ScopedLock<std::mutex> guard(group_mutex_);
   group_semaphores_.erase(id);
 }
 

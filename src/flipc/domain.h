@@ -19,7 +19,9 @@
 #include <unordered_set>
 
 #include "src/base/clock.h"
+#include "src/base/hotpath.h"
 #include "src/base/status.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/trace.h"
 #include "src/base/types.h"
 #include "src/flipc/endpoint.h"
@@ -85,8 +87,8 @@ class Domain {
   }
 
   // ---- Message buffer management ----
-  Result<MessageBuffer> AllocateBuffer();
-  Status FreeBuffer(MessageBuffer buffer);
+  FLIPC_ROLE_APP Result<MessageBuffer> AllocateBuffer();
+  FLIPC_ROLE_APP Status FreeBuffer(MessageBuffer buffer);
   // Rebuilds a handle from an index (e.g. one passed between threads).
   Result<MessageBuffer> BufferFromIndex(waitfree::BufferIndex index);
 
@@ -110,10 +112,10 @@ class Domain {
     std::uint32_t min_send_interval_ns = 0;
   };
 
-  Result<Endpoint> CreateEndpoint(const EndpointOptions& options);
+  FLIPC_ROLE_QUIESCENT Result<Endpoint> CreateEndpoint(const EndpointOptions& options);
 
   // Frees the endpoint (its queue must be drained) and its semaphore.
-  Status DestroyEndpoint(Endpoint& endpoint);
+  FLIPC_ROLE_QUIESCENT Status DestroyEndpoint(Endpoint& endpoint);
 
   simos::SemaphoreTable* semaphores() { return semaphores_; }
   CallCounters& calls() { return calls_; }
@@ -155,7 +157,8 @@ class Domain {
   const Clock* trace_clock_ = nullptr;
 
   std::mutex group_mutex_;
-  std::unordered_set<std::uint32_t> group_semaphores_;
+  std::unordered_set<std::uint32_t> group_semaphores_
+      FLIPC_GUARDED_BY(group_mutex_);
 };
 
 }  // namespace flipc

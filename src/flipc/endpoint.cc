@@ -52,7 +52,7 @@ Status Endpoint::ReleaseCommon(MessageBuffer& buffer, Address dst, EndpointType 
   waitfree::BufferQueueView queue = domain_->comm().queue(index_);
   bool released;
   if (locked) {
-    std::lock_guard<TasLock> guard(rec.lock);
+    ScopedLock<TasLock> guard(rec.lock);
     released = queue.Release(buffer.index());
   } else {
     released = queue.Release(buffer.index());
@@ -104,7 +104,7 @@ Result<MessageBuffer> Endpoint::AcquireCommon(EndpointType expected, bool locked
   waitfree::BufferQueueView queue = domain_->comm().queue(index_);
   waitfree::BufferIndex index;
   if (locked) {
-    std::lock_guard<TasLock> guard(rec.lock);
+    ScopedLock<TasLock> guard(rec.lock);
     index = queue.Acquire();
   } else {
     index = queue.Acquire();

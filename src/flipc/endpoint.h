@@ -26,6 +26,7 @@
 
 #include <cstdint>
 
+#include "src/base/hotpath.h"
 #include "src/base/status.h"
 #include "src/flipc/message_buffer.h"
 #include "src/shm/address.h"
@@ -36,6 +37,10 @@ namespace flipc {
 
 class Domain;
 
+// Every operation below executes on the APPLICATION side of the protection
+// boundary; the FLIPC_ROLE_APP annotations are the roots from which the
+// static protocol auditor (tools/flipc_static_audit) proves that all
+// comm-buffer writes reachable from here touch application-owned words only.
 class Endpoint {
  public:
   Endpoint() = default;
@@ -51,43 +56,43 @@ class Endpoint {
 
   // Step 2: queues `buffer` for delivery to `dst`. kUnavailable when the
   // endpoint's queue is full (resource control is the application's job).
-  Status Send(MessageBuffer& buffer, Address dst);
-  Status SendUnlocked(MessageBuffer& buffer, Address dst);
+  FLIPC_ROLE_APP Status Send(MessageBuffer& buffer, Address dst);
+  FLIPC_ROLE_APP Status SendUnlocked(MessageBuffer& buffer, Address dst);
 
   // Step 5: recovers the oldest sent buffer once the engine is done with
   // it. kUnavailable when none has completed yet.
-  Result<MessageBuffer> Reclaim();
-  Result<MessageBuffer> ReclaimUnlocked();
-  Result<MessageBuffer> ReclaimBlocking(simos::Priority priority = simos::kMinPriority,
+  FLIPC_ROLE_APP Result<MessageBuffer> Reclaim();
+  FLIPC_ROLE_APP Result<MessageBuffer> ReclaimUnlocked();
+  FLIPC_ROLE_APP Result<MessageBuffer> ReclaimBlocking(simos::Priority priority = simos::kMinPriority,
                                         DurationNs timeout_ns = -1);
 
   // ---- Receiver operations (receive endpoints) ----
 
   // Step 1: posts a buffer for the engine to receive into.
-  Status PostBuffer(MessageBuffer& buffer);
-  Status PostBufferUnlocked(MessageBuffer& buffer);
+  FLIPC_ROLE_APP Status PostBuffer(MessageBuffer& buffer);
+  FLIPC_ROLE_APP Status PostBufferUnlocked(MessageBuffer& buffer);
 
   // Step 4: removes the oldest delivered message. kUnavailable when no
   // message has arrived.
-  Result<MessageBuffer> Receive();
-  Result<MessageBuffer> ReceiveUnlocked();
-  Result<MessageBuffer> ReceiveBlocking(simos::Priority priority = simos::kMinPriority,
+  FLIPC_ROLE_APP Result<MessageBuffer> Receive();
+  FLIPC_ROLE_APP Result<MessageBuffer> ReceiveUnlocked();
+  FLIPC_ROLE_APP Result<MessageBuffer> ReceiveBlocking(simos::Priority priority = simos::kMinPriority,
                                         DurationNs timeout_ns = -1);
 
   // ---- Resource accounting ----
 
   // Messages discarded at this endpoint because no buffer was posted
   // (wait-free dual-location counter; reset cannot lose events).
-  std::uint64_t DropCount() const;
-  std::uint64_t ReadAndResetDrops();
+  FLIPC_ROLE_APP std::uint64_t DropCount() const;
+  FLIPC_ROLE_APP std::uint64_t ReadAndResetDrops();
 
   // Buffers the application has queued and not yet collected back.
-  std::uint32_t QueuedCount() const;
+  FLIPC_ROLE_APP std::uint32_t QueuedCount() const;
   // Completed buffers ready for Receive()/Reclaim().
-  std::uint32_t ReadyCount() const;
+  FLIPC_ROLE_APP std::uint32_t ReadyCount() const;
   std::uint32_t queue_capacity() const;
 
-  std::uint64_t ProcessedCount() const;
+  FLIPC_ROLE_APP std::uint64_t ProcessedCount() const;
 
   friend bool operator==(const Endpoint& a, const Endpoint& b) {
     return a.domain_ == b.domain_ && a.index_ == b.index_;

@@ -26,23 +26,23 @@ EndpointGroup::~EndpointGroup() {
 }
 
 void EndpointGroup::AddMember(const Endpoint& endpoint) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   members_.push_back(endpoint);
 }
 
 void EndpointGroup::RemoveMember(const Endpoint& endpoint) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   members_.erase(std::remove(members_.begin(), members_.end(), endpoint), members_.end());
   cursor_ = 0;
 }
 
 std::size_t EndpointGroup::size() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   return members_.size();
 }
 
 Result<EndpointGroup::ReceiveResult> EndpointGroup::Receive() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   const std::size_t n = members_.size();
   for (std::size_t off = 0; off < n; ++off) {
     const std::size_t i = (cursor_ + off) % n;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/thread_annotations.h"
 #include "src/flipc/endpoint.h"
 #include "src/flipc/message_buffer.h"
 #include "src/simos/real_time_semaphore.h"
@@ -68,9 +69,9 @@ class EndpointGroup {
   Domain& domain_;
   std::uint32_t semaphore_id_;
 
-  mutable std::mutex mutex_;  // guards members_ and cursor_ (library-side)
-  std::vector<Endpoint> members_;
-  std::size_t cursor_ = 0;
+  mutable std::mutex mutex_;  // library-side only; no shared-memory state
+  std::vector<Endpoint> members_ FLIPC_GUARDED_BY(mutex_);
+  std::size_t cursor_ FLIPC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace flipc

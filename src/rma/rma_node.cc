@@ -21,14 +21,14 @@ Result<std::uint32_t> RmaNode::ExportWindow(std::byte* base, std::size_t size) {
   if (base == nullptr || size == 0) {
     return InvalidArgumentStatus();
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   const std::uint32_t id = next_window_++;
   windows_[id] = Window{base, size};
   return id;
 }
 
 Status RmaNode::UnexportWindow(std::uint32_t window_id) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   return windows_.erase(window_id) != 0 ? OkStatus() : NotFoundStatus();
 }
 
@@ -39,10 +39,10 @@ Result<std::uint64_t> RmaNode::Write(NodeId node, std::uint32_t window, std::uin
   if (data == nullptr || size == 0) {
     return InvalidArgumentStatus();
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  ScopedLock<std::mutex> lock(mutex_);
   const std::uint64_t token = next_token_++;
   operations_[token] = Operation{};
-  lock.unlock();
+  lock.Release();
 
   simnet::Packet packet;
   packet.dst_node = node;
@@ -54,7 +54,7 @@ Result<std::uint64_t> RmaNode::Write(NodeId node, std::uint32_t window, std::uin
   std::memcpy(packet.payload.data(), &header, kRmaHeaderSize);
   std::memcpy(packet.payload.data() + kRmaHeaderSize, data, size);
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    ScopedLock<std::mutex> guard(mutex_);
     outgoing_.push_back(std::move(packet));
   }
   return token;
@@ -65,13 +65,13 @@ Result<std::uint64_t> RmaNode::Read(NodeId node, std::uint32_t window, std::uint
   if (dst == nullptr || size == 0) {
     return InvalidArgumentStatus();
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  ScopedLock<std::mutex> lock(mutex_);
   const std::uint64_t token = next_token_++;
   Operation op;
   op.read_dst = dst;
   op.read_size = size;
   operations_[token] = op;
-  lock.unlock();
+  lock.Release();
 
   simnet::Packet packet;
   packet.dst_node = node;
@@ -82,14 +82,14 @@ Result<std::uint64_t> RmaNode::Read(NodeId node, std::uint32_t window, std::uint
   packet.payload.resize(kRmaHeaderSize);
   std::memcpy(packet.payload.data(), &header, kRmaHeaderSize);
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    ScopedLock<std::mutex> guard(mutex_);
     outgoing_.push_back(std::move(packet));
   }
   return token;
 }
 
 Status RmaNode::Poll(std::uint64_t token) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   auto it = operations_.find(token);
   if (it == operations_.end()) {
     return NotFoundStatus();
@@ -108,25 +108,25 @@ Status RmaNode::Poll(std::uint64_t token) const {
 // ----------------------------- Engine-facing --------------------------------
 
 bool RmaNode::HasWork() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   return !outgoing_.empty();
 }
 
 bool RmaNode::PollWork(simnet::CostAccumulator& cost) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  ScopedLock<std::mutex> lock(mutex_);
   if (outgoing_.empty()) {
     return false;
   }
   simnet::Packet packet = std::move(outgoing_.front());
   outgoing_.pop_front();
-  lock.unlock();
+  lock.Release();
   const std::uint64_t token = packet.seq;
   if (const auto* model = engine_.model_for_protocols(); model != nullptr) {
     cost.Charge(model->send_overhead_ns +
                 static_cast<DurationNs>(packet.payload.size()) / 4);  // DMA setup + stream
   }
   if (!engine_.wire_for_protocols().Send(std::move(packet)).ok()) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    ScopedLock<std::mutex> guard(mutex_);
     auto it = operations_.find(token);
     if (it != operations_.end()) {
       it->second.state = OpState::kRejected;
@@ -162,7 +162,7 @@ void RmaNode::HandlePacket(simnet::Packet packet, simnet::CostAccumulator& cost)
       reply.protocol = simnet::kProtocolRma;
       reply.seq = packet.seq;
 
-      std::lock_guard<std::mutex> guard(mutex_);
+      ScopedLock<std::mutex> guard(mutex_);
       auto it = windows_.find(header.window);
       const bool in_bounds = it != windows_.end() &&
                              header.offset + header.length <= it->second.size &&
@@ -198,7 +198,7 @@ void RmaNode::HandlePacket(simnet::Packet packet, simnet::CostAccumulator& cost)
     case kRmaWriteAck:
     case kRmaReadReply:
     case kRmaReject: {
-      std::lock_guard<std::mutex> guard(mutex_);
+      ScopedLock<std::mutex> guard(mutex_);
       auto it = operations_.find(packet.seq);
       if (it == operations_.end()) {
         FLIPC_LOG(kWarning) << "rma: stray completion token " << packet.seq;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/thread_annotations.h"
 #include "src/engine/messaging_engine.h"
 
 namespace flipc::rma {
@@ -111,17 +112,17 @@ class RmaNode final : public engine::ProtocolHandler {
   };
 
   engine::MessagingEngine& engine_;
-  // Guards windows_, outgoing_ and operations_: the application thread
-  // issues operations while the engine thread services them (under the DES
-  // both run on one thread and the lock is uncontended).
+  // The application thread issues operations while the engine thread
+  // services them (under the DES both run on one thread and the lock is
+  // uncontended).
   mutable std::mutex mutex_;
-  std::map<std::uint32_t, Window> windows_;
-  std::uint32_t next_window_ = 1;
+  std::map<std::uint32_t, Window> windows_ FLIPC_GUARDED_BY(mutex_);
+  std::uint32_t next_window_ FLIPC_GUARDED_BY(mutex_) = 1;
 
-  std::deque<simnet::Packet> outgoing_;
-  std::map<std::uint64_t, Operation> operations_;
-  std::uint64_t next_token_ = 1;
-  RmaStats stats_;
+  std::deque<simnet::Packet> outgoing_ FLIPC_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, Operation> operations_ FLIPC_GUARDED_BY(mutex_);
+  std::uint64_t next_token_ FLIPC_GUARDED_BY(mutex_) = 1;
+  RmaStats stats_ FLIPC_GUARDED_BY(mutex_);
 };
 
 }  // namespace flipc::rma

@@ -251,7 +251,7 @@ MsgView CommBuffer::msg(BufferIndex index) {
 Result<BufferIndex> CommBuffer::AllocateBuffer() {
   // Allocation is an application-side activity (the engine never allocates).
   waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
-  std::lock_guard<TasLock> guard(header_->alloc_lock);
+  ScopedLock<TasLock> guard(header_->alloc_lock);
   if (header_->free_head == kInvalidBuffer) {
     return ResourceExhaustedStatus();
   }
@@ -266,7 +266,7 @@ Status CommBuffer::FreeBuffer(BufferIndex index) {
   if (!IsValidBufferIndex(index)) {
     return InvalidArgumentStatus();
   }
-  std::lock_guard<TasLock> guard(header_->alloc_lock);
+  ScopedLock<TasLock> guard(header_->alloc_lock);
   freelist()[index] = header_->free_head;
   header_->free_head = index;
   ++header_->free_count;
@@ -274,7 +274,7 @@ Status CommBuffer::FreeBuffer(BufferIndex index) {
 }
 
 std::uint32_t CommBuffer::FreeBufferCount() {
-  std::lock_guard<TasLock> guard(header_->alloc_lock);
+  ScopedLock<TasLock> guard(header_->alloc_lock);
   return header_->free_count;
 }
 
@@ -287,7 +287,7 @@ Result<std::uint32_t> CommBuffer::AllocateEndpoint(const EndpointParams& params)
   }
 
   waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
-  std::lock_guard<TasLock> guard(header_->alloc_lock);
+  ScopedLock<TasLock> guard(header_->alloc_lock);
 
   // Prefer an inactive record whose prior cell reservation is big enough to
   // reuse; otherwise take any inactive record and extend the arena.
@@ -356,7 +356,7 @@ Status CommBuffer::FreeEndpoint(std::uint32_t index) {
     return InvalidArgumentStatus();
   }
   waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kApplication);
-  std::lock_guard<TasLock> guard(header_->alloc_lock);
+  ScopedLock<TasLock> guard(header_->alloc_lock);
   EndpointRecord& record = endpoint_table()[index];
   if (!record.IsActive()) {
     return FailedPreconditionStatus();

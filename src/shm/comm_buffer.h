@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/base/hotpath.h"
 #include "src/base/locks.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
@@ -142,7 +143,7 @@ class CommBuffer {
   // Formats caller-owned memory (e.g. a POSIX shm mapping). `base` must be
   // cache-line aligned and at least CommBufferLayout::For(config).total_size
   // bytes. The returned CommBuffer does not own the memory.
-  static Result<std::unique_ptr<CommBuffer>> Format(void* base, std::size_t size,
+  FLIPC_ROLE_QUIESCENT static Result<std::unique_ptr<CommBuffer>> Format(void* base, std::size_t size,
                                                     const CommBufferConfig& config);
 
   // Attaches to memory already formatted by Format()/Create() (validates the
@@ -164,8 +165,8 @@ class CommBuffer {
   std::uint32_t max_endpoints() const { return header_->max_endpoints; }
 
   // ---- Message buffers (application side) ----
-  Result<BufferIndex> AllocateBuffer();
-  Status FreeBuffer(BufferIndex index);
+  FLIPC_ROLE_APP Result<BufferIndex> AllocateBuffer();
+  FLIPC_ROLE_APP Status FreeBuffer(BufferIndex index);
   std::uint32_t FreeBufferCount();
 
   // View of a buffer; callers must pass a valid index.
@@ -189,10 +190,10 @@ class CommBuffer {
     std::uint32_t min_send_interval_ns = 0;
   };
 
-  Result<std::uint32_t> AllocateEndpoint(const EndpointParams& params);
+  FLIPC_ROLE_QUIESCENT Result<std::uint32_t> AllocateEndpoint(const EndpointParams& params);
 
   // The endpoint's queue must be empty (all buffers acquired back).
-  Status FreeEndpoint(std::uint32_t index);
+  FLIPC_ROLE_QUIESCENT Status FreeEndpoint(std::uint32_t index);
 
   EndpointRecord& endpoint(std::uint32_t index);
   const EndpointRecord& endpoint(std::uint32_t index) const;
@@ -216,7 +217,7 @@ class CommBuffer {
  private:
   CommBuffer(std::byte* base, bool owns);
 
-  void FormatRegion(const CommBufferConfig& config, const CommBufferLayout& layout);
+  FLIPC_ROLE_QUIESCENT void FormatRegion(const CommBufferConfig& config, const CommBufferLayout& layout);
 
   // Registers every single-writer cell in the region (endpoint records and
   // the queue-cell arena) with the ownership race detector, per the tables

@@ -28,6 +28,7 @@
 #include <cstdint>
 
 #include "src/base/locks.h"
+#include "src/base/hotpath.h"
 #include "src/base/types.h"
 #include "src/waitfree/buffer_queue.h"
 #include "src/waitfree/single_writer.h"
@@ -87,11 +88,11 @@ struct alignas(kCacheLineSize) EndpointRecord {
   // Wait-free dual-location drop counter (see src/waitfree/drop_counter.h);
   // drops_total is the engine-written location, drops_reclaimed the
   // application-written one.
-  void RecordDrop() { drops_total.Publish(drops_total.ReadRelaxed() + 1); }
+  FLIPC_ROLE_ENGINE void RecordDrop() { drops_total.Publish(drops_total.ReadRelaxed() + 1); }
   std::uint64_t DropCount() const {
     return drops_total.Read() - drops_reclaimed.ReadRelaxed();
   }
-  std::uint64_t ReadAndResetDrops() {
+  FLIPC_ROLE_APP std::uint64_t ReadAndResetDrops() {
     const std::uint64_t observed = drops_total.Read();
     const std::uint64_t prior = drops_reclaimed.ReadRelaxed();
     drops_reclaimed.Publish(observed);

@@ -226,6 +226,181 @@ inline constexpr FieldOwnership kCommBufferHeaderOwnership[] = {
 #pragma GCC diagnostic pop
 #endif
 
+// ---- Memory-order policy (tools/flipc_static_audit) ------------------------
+//
+// Each shared field carries an ordering discipline derived from its protocol
+// role. The static auditor enforces these per access site; the table is
+// exported (with the ownership tables) to tools/ownership_policy.json so the
+// C++ layout and the Python auditor cannot drift.
+enum class FieldOrderKind {
+  // Published position counter: writes must be Publish (release store) so
+  // the data they expose is ordered; cross-role reads must be Read
+  // (acquire); the owner may read its own cursor relaxed.
+  kCursor,
+  // A cursor consumed as a scheduling HINT: staleness is tolerated by
+  // design, so cross-role relaxed reads are additionally legal (ring_head:
+  // the producer's full-check may run on a stale head; the overflow signal
+  // and backstop sweep cover the error).
+  kHintCursor,
+  // Level-triggered signal word: same profile as kCursor (Publish writes,
+  // acquire cross-reads).
+  kFlag,
+  // Monotonic counter: writes must be Publish; reads may use any order on
+  // either side (readers tolerate staleness; the release store still orders
+  // the count against the work it describes).
+  kCounter,
+  // Configuration written only while the endpoint slot is quiescent; writes
+  // may be StoreRelaxed (the type publication below orders them); reads any.
+  kConfig,
+  // The endpoint-type word: written LAST at (de)allocation with Publish so
+  // it release-orders every other config write; reads as kConfig.
+  kConfigPublish,
+  // Owner-written data cells whose publication rides the owning cursor:
+  // writes may be StoreRelaxed or Publish; reads any (the cursor's
+  // acquire/release pairing provides the ordering).
+  kDataCell,
+  // Mutual-exclusion / RMW words (TasLock, ring_tail): outside the
+  // single-writer cell discipline; every access must still name an explicit
+  // memory_order.
+  kRmw,
+  // Plain non-atomic words written only under the allocation lock (or at
+  // format time); no atomic accesses expected at all.
+  kPlain,
+};
+
+// Field name -> ordering kind. Kept separate from FieldOwnership so the
+// layout rows stay positional; the JSON exporter joins the two tables and
+// fails if any field is missing a kind (single source of truth, enforced).
+struct FieldOrderPolicy {
+  const char* name;
+  FieldOrderKind kind;
+};
+
+inline constexpr FieldOrderPolicy kFieldOrderKinds[] = {
+    // EndpointRecord
+    {"EndpointRecord.type", FieldOrderKind::kConfigPublish},
+    {"EndpointRecord.cells_offset", FieldOrderKind::kConfig},
+    {"EndpointRecord.queue_capacity", FieldOrderKind::kConfig},
+    {"EndpointRecord.cells_reserved", FieldOrderKind::kConfig},
+    {"EndpointRecord.semaphore_id", FieldOrderKind::kConfig},
+    {"EndpointRecord.priority", FieldOrderKind::kConfig},
+    {"EndpointRecord.options", FieldOrderKind::kConfig},
+    {"EndpointRecord.allowed_peer", FieldOrderKind::kConfig},
+    {"EndpointRecord.min_send_interval_ns", FieldOrderKind::kConfig},
+    {"EndpointRecord.release_count", FieldOrderKind::kCursor},
+    {"EndpointRecord.acquire_count", FieldOrderKind::kCursor},
+    {"EndpointRecord.drops_reclaimed", FieldOrderKind::kCounter},
+    {"EndpointRecord.process_count", FieldOrderKind::kCursor},
+    {"EndpointRecord.drops_total", FieldOrderKind::kCounter},
+    {"EndpointRecord.processed_total", FieldOrderKind::kCounter},
+    {"EndpointRecord.lock", FieldOrderKind::kRmw},
+    // TelemetryBlock
+    {"TelemetryBlock.api_sends", FieldOrderKind::kCounter},
+    {"TelemetryBlock.api_receives", FieldOrderKind::kCounter},
+    {"TelemetryBlock.api_posts", FieldOrderKind::kCounter},
+    {"TelemetryBlock.api_reclaims", FieldOrderKind::kCounter},
+    {"TelemetryBlock.releases_rejected", FieldOrderKind::kCounter},
+    {"TelemetryBlock.doorbell_rings", FieldOrderKind::kCounter},
+    {"TelemetryBlock.doorbell_full", FieldOrderKind::kCounter},
+    {"TelemetryBlock.engine_transmits", FieldOrderKind::kCounter},
+    {"TelemetryBlock.engine_deliveries", FieldOrderKind::kCounter},
+    {"TelemetryBlock.engine_rejects", FieldOrderKind::kCounter},
+    {"TelemetryBlock.queue_depth_high_water", FieldOrderKind::kCounter},
+    // QueueCursors
+    {"QueueCursors.release_count", FieldOrderKind::kCursor},
+    {"QueueCursors.acquire_count", FieldOrderKind::kCursor},
+    {"QueueCursors.process_count", FieldOrderKind::kCursor},
+    // DoorbellCursors
+    {"DoorbellCursors.ring_tail", FieldOrderKind::kRmw},
+    {"DoorbellCursors.overflow_rung", FieldOrderKind::kFlag},
+    {"DoorbellCursors.ring_head", FieldOrderKind::kHintCursor},
+    {"DoorbellCursors.overflow_seen", FieldOrderKind::kFlag},
+    // PaddedDropCounterParts
+    {"PaddedDropCounterParts.dropped", FieldOrderKind::kCounter},
+    {"PaddedDropCounterParts.reclaimed", FieldOrderKind::kCounter},
+    // CommBufferHeader (identity + allocation state)
+    {"CommBufferHeader.magic", FieldOrderKind::kPlain},
+    {"CommBufferHeader.version", FieldOrderKind::kPlain},
+    {"CommBufferHeader.message_size", FieldOrderKind::kPlain},
+    {"CommBufferHeader.buffer_count", FieldOrderKind::kPlain},
+    {"CommBufferHeader.max_endpoints", FieldOrderKind::kPlain},
+    {"CommBufferHeader.cell_arena_size", FieldOrderKind::kPlain},
+    {"CommBufferHeader.doorbell_capacity", FieldOrderKind::kPlain},
+    {"CommBufferHeader.endpoint_table_offset", FieldOrderKind::kPlain},
+    {"CommBufferHeader.telemetry_offset", FieldOrderKind::kPlain},
+    {"CommBufferHeader.cell_arena_offset", FieldOrderKind::kPlain},
+    {"CommBufferHeader.freelist_offset", FieldOrderKind::kPlain},
+    {"CommBufferHeader.doorbell_offset", FieldOrderKind::kPlain},
+    {"CommBufferHeader.buffers_offset", FieldOrderKind::kPlain},
+    {"CommBufferHeader.total_size", FieldOrderKind::kPlain},
+    {"CommBufferHeader.alloc_lock", FieldOrderKind::kRmw},
+    {"CommBufferHeader.free_head", FieldOrderKind::kPlain},
+    {"CommBufferHeader.free_count", FieldOrderKind::kPlain},
+    {"CommBufferHeader.cells_used", FieldOrderKind::kPlain},
+    {"CommBufferHeader.endpoints_active", FieldOrderKind::kPlain},
+    // Arena cell arrays (below)
+    {"BufferQueue.cells", FieldOrderKind::kDataCell},
+    {"DoorbellRing.cells", FieldOrderKind::kCursor},
+};
+
+// Cell ARENAS have no fixed offset (they are sized per region by the
+// layout), so they cannot appear in the offset tables above — but they are
+// shared single-writer state all the same: queue cells and doorbell cells
+// are written only by the application. Doorbell cells are kCursor (the
+// consumer's acquire Read of the lap tag pairs with the producer's
+// Publish); queue cells are kDataCell (publication rides release_count).
+struct ArenaOwnership {
+  const char* name;
+  waitfree::Writer writer;
+};
+
+inline constexpr ArenaOwnership kArenaCellOwnership[] = {
+    {"BufferQueue.cells", ownership_internal::kApp},
+    {"DoorbellRing.cells", ownership_internal::kApp},
+};
+
+// Handoff words: shared cells whose OWNERSHIP ALTERNATES with the buffer's
+// queue position (paper Figure 3's per-buffer state field and the peer
+// address beside it). They cannot carry a static writer; the transition
+// direction is checked at runtime instead (boundary_check.h,
+// CheckHandoffStore). The static auditor exempts accesses to these members
+// from the single-writer role rule — every other unresolved cell write is
+// an error, so new shared cells must be declared here or in the tables.
+inline constexpr const char* kHandoffMembers[] = {
+    "peer",  // MsgHeader.peer: app writes dst before send, engine writes src
+             // on delivery
+};
+
+// Member aliases: code writes table fields through view/member pointers
+// whose names differ from the canonical field name. The static auditor
+// resolves an access `<class>::<member>` to the canonical field before
+// applying the ownership and ordering rules. `klass` is the class whose
+// member functions perform the access ("*" = any scope).
+struct AuditAlias {
+  const char* klass;
+  const char* member;
+  const char* field;
+};
+
+inline constexpr AuditAlias kAuditAliases[] = {
+    // CommBuffer writes the plain header words through its header_ pointer;
+    // a struct-level alias (field name without a member part) maps
+    // `header_->X` to `CommBufferHeader.X`.
+    {"CommBuffer", "header_", "CommBufferHeader"},
+    // BufferQueueView holds raw cell pointers (the endpoint record
+    // interleaves the cursors with other same-writer fields).
+    {"BufferQueueView", "release_", "QueueCursors.release_count"},
+    {"BufferQueueView", "acquire_", "QueueCursors.acquire_count"},
+    {"BufferQueueView", "process_", "QueueCursors.process_count"},
+    {"BufferQueueView", "cells_", "BufferQueue.cells"},
+    // DoorbellRingView reaches its cursors through the cursor block.
+    {"DoorbellRingView", "cells_", "DoorbellRing.cells"},
+    // DropCounter's private members carry the trailing underscore; the
+    // padded in-region variant's fields match the table names directly.
+    {"DropCounter", "dropped_", "PaddedDropCounterParts.dropped"},
+    {"DropCounter", "reclaimed_", "PaddedDropCounterParts.reclaimed"},
+};
+
 // ---- Lint predicates -------------------------------------------------------
 
 // True when no cache line holds fields with two distinct declared writers.

@@ -1,5 +1,7 @@
 #include "src/simnet/fabric.h"
 
+#include "src/base/thread_annotations.h"
+
 #include <utility>
 
 namespace flipc::simnet {
@@ -112,7 +114,7 @@ class ThreadFabric::ThreadWire final : public Wire {
     ThreadWire& dst = *fabric_.wires_[packet.dst_node];
     std::function<void()> callback;
     {
-      std::lock_guard<std::mutex> guard(dst.mutex_);
+      ScopedLock<std::mutex> guard(dst.mutex_);
       dst.inbox_.push_back(std::move(packet));
       callback = dst.delivery_callback_;
     }
@@ -123,7 +125,7 @@ class ThreadFabric::ThreadWire final : public Wire {
   }
 
   bool Poll(Packet* out) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    ScopedLock<std::mutex> guard(mutex_);
     if (inbox_.empty()) {
       return false;
     }
@@ -133,14 +135,14 @@ class ThreadFabric::ThreadWire final : public Wire {
   }
 
   std::size_t PendingCount() const override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    ScopedLock<std::mutex> guard(mutex_);
     return inbox_.size();
   }
 
   NodeId node() const override { return node_; }
 
   void SetDeliveryCallback(std::function<void()> callback) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    ScopedLock<std::mutex> guard(mutex_);
     delivery_callback_ = std::move(callback);
   }
 
@@ -148,8 +150,8 @@ class ThreadFabric::ThreadWire final : public Wire {
   ThreadFabric& fabric_;
   NodeId node_;
   mutable std::mutex mutex_;
-  std::deque<Packet> inbox_;
-  std::function<void()> delivery_callback_;
+  std::deque<Packet> inbox_ FLIPC_GUARDED_BY(mutex_);
+  std::function<void()> delivery_callback_ FLIPC_GUARDED_BY(mutex_);
 };
 
 ThreadFabric::ThreadFabric(std::uint32_t node_count) {

@@ -32,7 +32,7 @@ void RealTimeSemaphore::Post() {
   // design; reaching one from an armed hot-path scope is a violation
   // unless the caller documented an exemption (the engine's handoff).
   hotpath::OnBlockingCall("RealTimeSemaphore::Post");
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   ++permits_;
   GrantLocked();
 }
@@ -57,7 +57,7 @@ Status RealTimeSemaphore::Wait(Priority priority, DurationNs timeout_ns) {
 }
 
 bool RealTimeSemaphore::TryWait() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   if (permits_ == 0) {
     return false;
   }
@@ -76,12 +76,12 @@ bool RealTimeSemaphore::TryWait() {
 }
 
 std::uint32_t RealTimeSemaphore::permits() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   return permits_;
 }
 
 std::uint32_t RealTimeSemaphore::waiter_count() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   return static_cast<std::uint32_t>(waiters_.size());
 }
 

@@ -20,6 +20,7 @@
 #include <mutex>
 
 #include "src/base/status.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/types.h"
 
 namespace flipc::simos {
@@ -40,7 +41,10 @@ class RealTimeSemaphore {
 
   // Blocks until a permit is granted to this caller. Returns kOk, or
   // kTimedOut if `timeout_ns` elapses first (negative = wait forever).
-  Status Wait(Priority priority, DurationNs timeout_ns = -1);
+  // Opted out of thread-safety analysis: the condvar wait needs
+  // std::unique_lock, which the analysis cannot see through.
+  Status Wait(Priority priority, DurationNs timeout_ns = -1)
+      FLIPC_NO_THREAD_SAFETY_ANALYSIS;
 
   // Non-blocking: takes a permit if one is immediately available *and* no
   // higher-priority thread is already waiting for it.
@@ -57,13 +61,13 @@ class RealTimeSemaphore {
     std::condition_variable cv;
   };
 
-  // Grants available permits to the best waiters. Caller holds mutex_.
-  void GrantLocked();
+  // Grants available permits to the best waiters.
+  void GrantLocked() FLIPC_REQUIRES(mutex_);
 
   mutable std::mutex mutex_;
-  std::uint32_t permits_ = 0;
-  std::uint64_t next_ticket_ = 0;
-  std::list<Waiter> waiters_;
+  std::uint32_t permits_ FLIPC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_ticket_ FLIPC_GUARDED_BY(mutex_) = 0;
+  std::list<Waiter> waiters_ FLIPC_GUARDED_BY(mutex_);
 };
 
 }  // namespace flipc::simos

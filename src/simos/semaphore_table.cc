@@ -5,7 +5,7 @@ namespace flipc::simos {
 SemaphoreTable::SemaphoreTable(std::uint32_t capacity) : slots_(capacity) {}
 
 Result<std::uint32_t> SemaphoreTable::Allocate() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i] == nullptr) {
       slots_[i] = std::make_unique<RealTimeSemaphore>();
@@ -16,7 +16,7 @@ Result<std::uint32_t> SemaphoreTable::Allocate() {
 }
 
 Status SemaphoreTable::Free(std::uint32_t id) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   if (id >= slots_.size() || slots_[id] == nullptr) {
     return NotFoundStatus();
   }
@@ -28,7 +28,7 @@ Status SemaphoreTable::Free(std::uint32_t id) {
 }
 
 RealTimeSemaphore* SemaphoreTable::Get(std::uint32_t id) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  ScopedLock<std::mutex> guard(mutex_);
   return id < slots_.size() ? slots_[id].get() : nullptr;
 }
 

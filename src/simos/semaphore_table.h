@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/thread_annotations.h"
 #include "src/simos/real_time_semaphore.h"
 
 namespace flipc::simos {
@@ -39,7 +40,8 @@ class SemaphoreTable {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<RealTimeSemaphore>> slots_;
+  std::vector<std::unique_ptr<RealTimeSemaphore>> slots_
+      FLIPC_GUARDED_BY(mutex_);
 };
 
 }  // namespace flipc::simos

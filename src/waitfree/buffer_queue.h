@@ -164,7 +164,7 @@ class BufferQueueView {
                     "AdvanceProcess() without a released buffer to consume "
                     "(process=%u release=%u): PeekProcess() was skipped or returned "
                     "kInvalidBuffer on an empty queue",
-                    process, release_->ReadRelaxed());
+                    process, release_->Read());
       BoundaryPanic(message);
     }
 #endif

@@ -35,7 +35,7 @@ class DropCounter {
   // --- Engine side ---------------------------------------------------------
   // Records one discarded message. Engine is the only caller, so a plain
   // load/store increment is race-free.
-  void RecordDrop() {
+  FLIPC_ROLE_ENGINE void RecordDrop() {
     FLIPC_HOT_PATH("DropCounter::RecordDrop");
     dropped_.Publish(dropped_.ReadRelaxed() + 1);
   }
@@ -47,7 +47,7 @@ class DropCounter {
   // Atomically (in the logical sense) returns the current count and resets
   // it to zero. Drops that race with this call are counted either in this
   // result or in a later one — never lost, never double-counted.
-  std::uint64_t ReadAndReset() {
+  FLIPC_ROLE_APP std::uint64_t ReadAndReset() {
     FLIPC_HOT_PATH("DropCounter::ReadAndReset");
     const std::uint64_t observed = dropped_.Read();
     const std::uint64_t prior = reclaimed_.ReadRelaxed();
@@ -78,12 +78,12 @@ struct PaddedDropCounterParts {
     reclaimed.DeclareOwner(Writer::kApplication, "PaddedDropCounterParts.reclaimed");
   }
 
-  void RecordDrop() {
+  FLIPC_ROLE_ENGINE void RecordDrop() {
     FLIPC_HOT_PATH("PaddedDropCounterParts::RecordDrop");
     dropped.Publish(dropped.ReadRelaxed() + 1);
   }
   std::uint64_t Count() const { return dropped.Read() - reclaimed.ReadRelaxed(); }
-  std::uint64_t ReadAndReset() {
+  FLIPC_ROLE_APP std::uint64_t ReadAndReset() {
     FLIPC_HOT_PATH("PaddedDropCounterParts::ReadAndReset");
     const std::uint64_t observed = dropped.Read();
     const std::uint64_t prior = reclaimed.ReadRelaxed();

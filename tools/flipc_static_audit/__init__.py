@@ -1,0 +1,1 @@
+"""FLIPC static protocol auditor (see flipc_static_audit.py)."""

@@ -1,0 +1,111 @@
+"""Shared micro-IR for the FLIPC static protocol auditor.
+
+Both frontends (libclang and the dependency-free token parser) lower the
+audited sources into this IR; the rules engine consumes only this, so the
+two frontends are interchangeable and the rules are tested independently of
+which one produced the facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Access ops. Cell ops are the SingleWriterCell interface; raw ops are the
+# std::atomic interface (order is the explicit memory_order argument, or
+# None when the call relied on the seq_cst default — a hard error).
+CELL_WRITE_OPS = {"Publish": "release", "StoreRelaxed": "relaxed"}
+CELL_READ_OPS = {"Read": "acquire", "ReadRelaxed": "relaxed"}
+RAW_WRITE_OPS = {
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "test_and_set",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+    "clear",
+}
+RAW_READ_OPS = {"load", "test"}
+# `clear` and `test` collide with std::vector/std::bitset-style interfaces;
+# frontends only emit them for src/base/locks.h (the one audited file using
+# std::atomic_flag).
+LOCKS_ONLY_RAW_OPS = {"clear", "test"}
+
+ASSIGN_OP = "assign"  # plain (non-atomic) member store
+
+ROLE_APP = "app"
+ROLE_ENGINE = "engine"
+ROLE_QUIESCENT = "quiescent"
+ROLE_MACROS = {
+    "FLIPC_ROLE_APP": ROLE_APP,
+    "FLIPC_ROLE_ENGINE": ROLE_ENGINE,
+    "FLIPC_ROLE_QUIESCENT": ROLE_QUIESCENT,
+}
+ROLE_ANNOTATIONS = {
+    "flipc_role_app": ROLE_APP,
+    "flipc_role_engine": ROLE_ENGINE,
+    "flipc_role_quiescent": ROLE_QUIESCENT,
+}
+
+
+@dataclass
+class Access:
+    member: str  # member the operation is applied to ("release_", "ring_head")
+    receiver: str  # identifier the member was reached through ("cursors_"), or ""
+    op: str  # one of CELL_*/RAW_* op names, or ASSIGN_OP
+    order: str | None  # explicit memory_order name for raw ops, else None
+    file: str
+    line: int
+
+    @property
+    def is_write(self) -> bool:
+        return op_is_write(self.op)
+
+    @property
+    def is_cell_op(self) -> bool:
+        return self.op in CELL_WRITE_OPS or self.op in CELL_READ_OPS
+
+    @property
+    def is_raw_op(self) -> bool:
+        return self.op in RAW_WRITE_OPS or self.op in RAW_READ_OPS
+
+
+def op_is_write(op: str) -> bool:
+    return op in CELL_WRITE_OPS or op in RAW_WRITE_OPS or op == ASSIGN_OP
+
+
+@dataclass
+class Function:
+    qname: str  # qualified as well as the parser could manage
+    simple: str  # unqualified name ("Send")
+    klass: str  # enclosing class name ("Endpoint"), "" for free functions
+    file: str
+    line: int
+    roles: set[str] = field(default_factory=set)  # declared roles
+    calls: list[str] = field(default_factory=list)  # simple callee names
+    accesses: list[Access] = field(default_factory=list)
+
+
+@dataclass
+class TranslationIR:
+    """Everything a frontend extracted from the audited sources."""
+
+    functions: list[Function] = field(default_factory=list)
+    # Roles found on declarations without bodies, keyed (klass, simple);
+    # merged onto matching definitions by the rules engine.
+    decl_roles: dict[tuple[str, str], set[str]] = field(default_factory=dict)
+    # memory_order_seq_cst mentions: (file, line).
+    seq_cst_sites: list[tuple[str, int]] = field(default_factory=list)
+
+    def add_decl_roles(self, klass: str, simple: str, roles: set[str]) -> None:
+        if roles:
+            self.decl_roles.setdefault((klass, simple), set()).update(roles)
+
+    def merge(self, other: "TranslationIR") -> None:
+        self.functions.extend(other.functions)
+        for key, roles in other.decl_roles.items():
+            self.decl_roles.setdefault(key, set()).update(roles)
+        self.seq_cst_sites.extend(other.seq_cst_sites)

@@ -1,0 +1,190 @@
+"""libclang frontend: lowers C++ sources to the audit IR via the real AST.
+
+Function structure — definition boundaries, enclosing class, qualified
+name, and the ``annotate("flipc_role_*")`` attributes the role macros
+expand to — comes from clang, so macro expansion, templates, and operator
+overloads are resolved exactly. Body *facts* (cell ops, raw atomic ops,
+plain member assigns, call edges) are extracted by the same token scanner
+the dependency-free frontend uses, over the body extent clang reports:
+both frontends therefore produce byte-identical Access records for the
+same source, and the rules engine cannot diverge between CI (clang) and
+local runs (tokparse).
+
+Optional dependency: ``import clang.cindex`` (python3-clang + libclang).
+The driver falls back to the tokparse frontend when it is unavailable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+
+from . import cpp_lexer, tokparse_frontend
+from .audit_ir import ROLE_ANNOTATIONS, Function, TranslationIR
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+    except Exception:
+        return False
+    try:
+        clang.cindex.Index.create()
+    except Exception:
+        return False
+    return True
+
+
+def _compile_args(compile_commands: str | None, abspath: str, root: str) -> list[str]:
+    """Args for parsing ``abspath``: its compile_commands entry if present,
+    else the entry of any TU (headers are audited standalone), else a
+    sensible default."""
+    fallback: list[str] | None = None
+    if compile_commands and os.path.exists(compile_commands):
+        with open(compile_commands, "r", encoding="utf-8") as f:
+            for entry in json.load(f):
+                raw = entry.get("arguments") or shlex.split(entry.get("command", ""))
+                args = [
+                    a
+                    for a in raw[1:]
+                    if a not in ("-c", "-o")
+                    and not a.endswith((".cc", ".cpp", ".o", ".obj"))
+                ]
+                # Drop the argument following -o/-c that endswith() missed.
+                cleaned: list[str] = []
+                skip = False
+                for a in args:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-o", "-c"):
+                        skip = True
+                        continue
+                    cleaned.append(a)
+                if os.path.abspath(entry.get("file", "")) == abspath:
+                    return cleaned
+                if fallback is None:
+                    fallback = cleaned
+    if fallback is not None:
+        return fallback
+    return ["-std=c++20", "-I" + root, "-xc++"]
+
+
+def _roles_of(cursor) -> set[str]:
+    import clang.cindex as ci
+
+    roles: set[str] = set()
+    for child in cursor.get_children():
+        if child.kind == ci.CursorKind.ANNOTATE_ATTR:
+            role = ROLE_ANNOTATIONS.get(child.spelling)
+            if role:
+                roles.add(role)
+    return roles
+
+
+def _body_open_token(
+    parser: tokparse_frontend._FileParser, lines: list[str], line: int, col: int
+) -> int | None:
+    """Token index of the body '{' located at (line, col)."""
+    if line - 1 >= len(lines):
+        return None
+    nth = lines[line - 1][: col - 1].count("{")
+    seen = 0
+    for i, tok in enumerate(parser.toks):
+        if tok.line == line and tok.text == "{":
+            if seen == nth:
+                return i
+            seen += 1
+    return None
+
+
+def _qualified_name(cursor) -> str:
+    parts = []
+    c = cursor
+    while c is not None and c.spelling:
+        parts.append(c.spelling)
+        c = c.semantic_parent
+        if c is not None and c.kind.name == "TRANSLATION_UNIT":
+            break
+    return "::".join(reversed(parts))
+
+
+def load_one(
+    rel: str,
+    abspath: str,
+    ir: TranslationIR,
+    compile_commands: str | None,
+    root: str,
+) -> None:
+    import clang.cindex as ci
+
+    with open(abspath, "r", encoding="utf-8") as f:
+        text = f.read()
+    parser = tokparse_frontend._FileParser(rel, cpp_lexer.lex(text), ir)
+    lines = text.split("\n")
+
+    index = ci.Index.create()
+    tu = index.parse(
+        abspath,
+        args=_compile_args(compile_commands, abspath, root),
+        options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD,
+    )
+
+    fn_kinds = {
+        ci.CursorKind.FUNCTION_DECL,
+        ci.CursorKind.CXX_METHOD,
+        ci.CursorKind.CONSTRUCTOR,
+        ci.CursorKind.DESTRUCTOR,
+        ci.CursorKind.FUNCTION_TEMPLATE,
+    }
+    class_kinds = {
+        ci.CursorKind.CLASS_DECL,
+        ci.CursorKind.STRUCT_DECL,
+        ci.CursorKind.CLASS_TEMPLATE,
+    }
+
+    for cursor in tu.cursor.walk_preorder():
+        if cursor.kind not in fn_kinds:
+            continue
+        loc = cursor.location
+        if loc.file is None or os.path.abspath(loc.file.name) != abspath:
+            continue
+        roles = _roles_of(cursor)
+        parent = cursor.semantic_parent
+        klass = parent.spelling if parent is not None and parent.kind in class_kinds else ""
+        if not cursor.is_definition():
+            if roles:
+                ir.add_decl_roles(klass, cursor.spelling, roles)
+            continue
+        body = None
+        for child in cursor.get_children():
+            if child.kind == ci.CursorKind.COMPOUND_STMT:
+                body = child
+        if body is None:
+            continue
+        start = body.extent.start
+        open_tok = _body_open_token(parser, lines, start.line, start.column)
+        if open_tok is None:
+            continue
+        fn = Function(
+            qname=_qualified_name(cursor),
+            simple=cursor.spelling,
+            klass=klass,
+            file=rel,
+            line=start.line,
+            roles=roles,
+        )
+        parser._scan_body(fn, open_tok + 1, cpp_lexer.match_group(parser.toks, open_tok))
+        ir.functions.append(fn)
+
+
+def load(
+    paths: list[tuple[str, str]],
+    compile_commands: str | None = None,
+    root: str = ".",
+) -> TranslationIR:
+    ir = TranslationIR()
+    for rel, abspath in paths:
+        load_one(rel, abspath, ir, compile_commands, root)
+    return ir

@@ -1,0 +1,538 @@
+#!/usr/bin/env python3
+"""FLIPC static protocol auditor.
+
+Statically proves, over ``src/base``, ``src/waitfree``, ``src/shm``,
+``src/engine`` and ``src/flipc``, the three properties the runtime guards
+only check for executions that actually happen:
+
+  1. **Role/ownership** — every write to a field listed in
+     ``src/shm/ownership_layout.h`` occurs in a function reachable only
+     from entry points of that field's owning role (``FLIPC_ROLE_APP`` /
+     ``FLIPC_ROLE_ENGINE``), or from a ``FLIPC_ROLE_QUIESCENT`` setup
+     closure when the field is marked quiescent-writable.
+  2. **Memory-order policy** — every atomic access names an explicit
+     ``memory_order`` matching the per-field ordering kind exported from
+     the ownership tables; defaulted (seq_cst) orders are hard errors, and
+     ``memory_order_seq_cst`` itself is confined to the Peterson lock.
+  3. **Hot-path purity** — inside ``FLIPC_HOT_PATH`` scopes: no
+     new/delete/throw/try, no OS mutex/condvar types, no blocking libc
+     calls (the same denylist as the post-link nm lint).
+
+The field policy is ``tools/ownership_policy.json``, generated from the
+constexpr ownership tables by ``tools/flipc_ownership_export`` (a drift
+ctest keeps the two in lockstep). Facts come from one of two
+interchangeable frontends producing the same IR: libclang when installed
+(``--frontend clang``), else a dependency-free token parser
+(``--frontend tokparse``); ``--frontend auto`` picks the best available.
+
+Usage:
+  flipc_static_audit.py --policy tools/ownership_policy.json \
+      --source-root . [--compile-commands build/compile_commands.json] \
+      [--frontend auto|clang|tokparse]
+  flipc_static_audit.py --selftest tools/lint_fixtures/static_audit \
+      [--frontend auto|clang|tokparse]
+
+Exit status: 0 clean, 1 violations (or fixture expectation failures),
+2 usage/environment errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from collections import defaultdict
+from dataclasses import dataclass
+
+if __package__ in (None, ""):  # running as a plain script
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from flipc_static_audit import clang_frontend, cpp_lexer, hotpath_scan, tokparse_frontend
+    from flipc_static_audit.audit_ir import (
+        ASSIGN_OP,
+        CELL_READ_OPS,
+        CELL_WRITE_OPS,
+        ROLE_QUIESCENT,
+        TranslationIR,
+        op_is_write,
+    )
+else:
+    from . import clang_frontend, cpp_lexer, hotpath_scan, tokparse_frontend
+    from .audit_ir import (
+        ASSIGN_OP,
+        CELL_READ_OPS,
+        CELL_WRITE_OPS,
+        ROLE_QUIESCENT,
+        TranslationIR,
+        op_is_write,
+    )
+
+AUDITED_DIRS = ("src/base", "src/engine", "src/flipc", "src/shm", "src/waitfree")
+AUDITED_EXTS = (".h", ".cc")
+
+
+# --------------------------------------------------------------------------
+# Policy
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldPolicy:
+    name: str  # "QueueCursors.release_count"
+    writer: str  # "app" | "engine"
+    quiescent: bool
+    kind: str  # cursor|hint_cursor|flag|counter|config|config_publish|data_cell|rmw|plain
+
+    @property
+    def member(self) -> str:
+        return self.name.split(".")[-1]
+
+
+class Policy:
+    def __init__(self, doc: dict) -> None:
+        self.fields: dict[str, FieldPolicy] = {}
+        self.by_member: dict[str, list[FieldPolicy]] = defaultdict(list)
+        for row in doc["fields"]:
+            f = FieldPolicy(
+                name=row["name"],
+                writer=row["writer"],
+                quiescent=bool(row["quiescent"]),
+                kind=row["kind"],
+            )
+            self.fields[f.name] = f
+            self.by_member[f.member].append(f)
+        # Aliases: "field" containing '.' maps a member variable straight to
+        # a policy field; without '.' it maps a receiver variable to a
+        # struct, prefixing subsequent member lookups.
+        self.member_aliases: dict[tuple[str, str], str] = {}
+        self.struct_aliases: dict[tuple[str, str], str] = {}
+        for row in doc.get("aliases", []):
+            key = (row["class"], row["member"])
+            if "." in row["field"]:
+                self.member_aliases[key] = row["field"]
+            else:
+                self.struct_aliases[key] = row["field"]
+        self.handoff_members: set[str] = set(doc.get("handoff_members", []))
+        seq = doc.get("seq_cst", {})
+        self.seq_cst_file: str = seq.get("file", "")
+        self.seq_cst_expected: int = int(seq.get("expected_count", 0))
+
+    def _lookup_alias(self, table: dict, klass: str, key: str) -> str | None:
+        return table.get((klass, key)) or table.get(("*", key))
+
+    def resolve(self, klass: str, acc) -> tuple[FieldPolicy | None, bool]:
+        """Maps an access to a FieldPolicy. Returns (field, via_struct_alias);
+        ``via_struct_alias`` is True when the receiver named an aliased
+        struct — then a None field means "unknown member of a governed
+        struct", which is itself reportable for writes.
+
+        Plain (non-atomic) assignments resolve ONLY through struct aliases:
+        local structs routinely share member names with shared-memory
+        layouts (e.g. ComputeLayout's ``layout.X = ...``), and plain stores
+        to anything else cannot touch an atomic policy field anyway."""
+        struct = self._lookup_alias(self.struct_aliases, klass, acc.receiver)
+        if acc.op == ASSIGN_OP:
+            if struct is None:
+                return None, False
+            return self.fields.get(struct + "." + acc.member), True
+        target = self._lookup_alias(self.member_aliases, klass, acc.member)
+        if target is not None:
+            return self.fields.get(target), False
+        if struct is not None:
+            return self.fields.get(struct + "." + acc.member), True
+        cands = self.by_member.get(acc.member, [])
+        if len(cands) == 1:
+            return cands[0], False
+        if cands and all(
+            (c.writer, c.kind, c.quiescent)
+            == (cands[0].writer, cands[0].kind, cands[0].quiescent)
+            for c in cands
+        ):
+            return cands[0], False
+        return None, False
+
+
+def load_policy(path: str) -> Policy:
+    with open(path, "r", encoding="utf-8") as f:
+        return Policy(json.load(f))
+
+
+# --------------------------------------------------------------------------
+# Rules engine
+# --------------------------------------------------------------------------
+
+_PUBLISH_ONLY_KINDS = {"cursor", "hint_cursor", "flag", "counter", "config_publish"}
+_ACQUIRE_READ_KINDS = {"cursor", "flag"}
+
+
+def _role_reachability(ir: TranslationIR) -> dict[int, set[str]]:
+    """BFS role propagation over the simple-name call graph: reach[f] is the
+    set of roles whose annotated entry points can reach f.
+
+    Annotated functions are propagation BARRIERS: their declared roles are
+    authoritative and caller roles do not flow through them. This is the
+    division of labor with the runtime boundary detector — the annotation
+    itself is validated dynamically (a thread of the wrong role entering an
+    annotated entry point trips FLIPC_CHECK_SINGLE_WRITER), while the
+    auditor proves the unannotated closure BETWEEN annotations writes only
+    what the entry role owns. It is also what keeps the simple-name call
+    graph sound in practice: ``wire_.Send()`` inside the engine must not
+    drag the engine role into ``Endpoint::Send``'s app closure just because
+    the methods share a name."""
+    for fn in ir.functions:
+        fn.roles |= ir.decl_roles.get((fn.klass, fn.simple), set())
+    by_simple: dict[str, list] = defaultdict(list)
+    for fn in ir.functions:
+        by_simple[fn.simple].append(fn)
+    reach: dict[int, set[str]] = {id(fn): set(fn.roles) for fn in ir.functions}
+    work = [fn for fn in ir.functions if fn.roles]
+    while work:
+        fn = work.pop()
+        roles = reach[id(fn)]
+        for callee in fn.calls:
+            for g in by_simple.get(callee, ()):
+                if g.roles:
+                    continue  # annotation barrier: declared roles win
+                if not roles <= reach[id(g)]:
+                    reach[id(g)] |= roles
+                    work.append(g)
+    return reach
+
+
+def _check_write_roles(errors, loc, fld, roles, eff) -> None:
+    if not roles:
+        errors.append(
+            f"{loc}: role: write to {fld.name} from a function with no "
+            f"FLIPC_ROLE_* entry point in its caller closure (unrooted write)"
+        )
+    elif fld.quiescent:
+        if eff:
+            errors.append(
+                f"{loc}: role: {fld.name} is quiescent-only but is written "
+                f"from {{{', '.join(sorted(eff))}}} hot closures"
+            )
+    else:
+        foreign = eff - {fld.writer}
+        if foreign:
+            errors.append(
+                f"{loc}: role: {fld.name} is owned by {fld.writer} but is "
+                f"written from {{{', '.join(sorted(foreign))}}} closures"
+            )
+
+
+def _check_access(errors, fn, acc, policy: Policy, roles: set[str]) -> None:
+    loc = f"{acc.file}:{acc.line}"
+    eff = roles - {ROLE_QUIESCENT}
+    fld, via_struct = policy.resolve(fn.klass, acc)
+
+    if acc.op == ASSIGN_OP:
+        if fld is None:
+            if via_struct:
+                errors.append(
+                    f"{loc}: policy: assignment through an aliased struct to "
+                    f"member '{acc.member}' that the ownership tables do not list"
+                )
+            return
+        if fld.kind != "plain":
+            errors.append(
+                f"{loc}: order: non-atomic assignment to {fld.name} "
+                f"(kind {fld.kind})"
+            )
+        _check_write_roles(errors, loc, fld, roles, eff)
+        return
+
+    if acc.is_cell_op:
+        if fld is None:
+            if acc.is_write and acc.member not in policy.handoff_members:
+                errors.append(
+                    f"{loc}: role: cell write {acc.member}.{acc.op}() does not "
+                    f"resolve to any ownership-table field"
+                )
+            return
+        if fld.kind == "plain":
+            errors.append(
+                f"{loc}: order: atomic cell op on {fld.name}, which the policy "
+                f"declares plain"
+            )
+            return
+        if fld.kind == "rmw":
+            errors.append(
+                f"{loc}: order: SingleWriterCell op on {fld.name}, which the "
+                f"policy declares rmw (raw std::atomic)"
+            )
+            return
+        if acc.is_write:
+            # Quiescent-only closures may initialize any kind with relaxed
+            # stores; everyone else follows the kind profile.
+            if eff and fld.kind in _PUBLISH_ONLY_KINDS and acc.op != "Publish":
+                errors.append(
+                    f"{loc}: order: {fld.name} (kind {fld.kind}) must be "
+                    f"written with Publish(), not {acc.op}()"
+                )
+            _check_write_roles(errors, loc, fld, roles, eff)
+        else:
+            if (
+                acc.op == "ReadRelaxed"
+                and fld.kind in _ACQUIRE_READ_KINDS
+                and eff - {fld.writer}
+            ):
+                errors.append(
+                    f"{loc}: order: cross-role read of {fld.name} (kind "
+                    f"{fld.kind}) must use Read() (acquire), not ReadRelaxed()"
+                )
+        return
+
+    if acc.is_raw_op:
+        if acc.order is None:
+            errors.append(
+                f"{loc}: order: {acc.member}.{acc.op}() relies on the "
+                f"defaulted memory_order (seq_cst); name the order explicitly"
+            )
+        if fld is not None:
+            if fld.kind != "rmw":
+                errors.append(
+                    f"{loc}: order: raw std::atomic op on {fld.name} (kind "
+                    f"{fld.kind}); use the SingleWriterCell interface"
+                )
+            elif acc.is_write:
+                _check_write_roles(errors, loc, fld, roles, eff)
+
+
+def _seq_cst_sites(rel: str, tokens) -> list[tuple[str, int]]:
+    sites = []
+    for i, t in enumerate(tokens):
+        if t.text == "memory_order_seq_cst":
+            sites.append((rel, t.line))
+        elif (
+            t.text == "seq_cst"
+            and i >= 2
+            and tokens[i - 1].text == "::"
+            and tokens[i - 2].text == "memory_order"
+        ):
+            sites.append((rel, t.line))
+    return sites
+
+
+def run_rules(ir: TranslationIR, policy: Policy) -> list[str]:
+    errors: list[str] = []
+    reach = _role_reachability(ir)
+    for fn in ir.functions:
+        roles = reach[id(fn)]
+        for acc in fn.accesses:
+            _check_access(errors, fn, acc, policy, roles)
+    return errors
+
+
+def run_token_rules(paths: list[tuple[str, str]], policy: Policy) -> list[str]:
+    """Frontend-independent whole-file rules: seq_cst confinement and
+    hot-path purity."""
+    errors: list[str] = []
+    seq_total_in_allowed = 0
+    allowed_present = False
+    for rel, abspath in paths:
+        with open(abspath, "r", encoding="utf-8") as f:
+            tokens = cpp_lexer.lex(f.read())
+        for v in hotpath_scan.scan(rel, tokens):
+            errors.append(str(v))
+        allowed = rel.replace("\\", "/") == policy.seq_cst_file
+        allowed_present = allowed_present or allowed
+        for site_rel, line in _seq_cst_sites(rel, tokens):
+            if allowed:
+                seq_total_in_allowed += 1
+            else:
+                errors.append(
+                    f"{site_rel}:{line}: order: memory_order_seq_cst outside "
+                    f"{policy.seq_cst_file or 'the whitelisted file'}"
+                )
+    if allowed_present and seq_total_in_allowed != policy.seq_cst_expected:
+        errors.append(
+            f"{policy.seq_cst_file}: order: expected exactly "
+            f"{policy.seq_cst_expected} seq_cst accesses (the Peterson lock), "
+            f"found {seq_total_in_allowed}"
+        )
+    return errors
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def collect_sources(root: str) -> list[tuple[str, str]]:
+    out: list[tuple[str, str]] = []
+    for d in AUDITED_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(AUDITED_EXTS):
+                    abspath = os.path.join(dirpath, name)
+                    rel = os.path.relpath(abspath, root).replace(os.sep, "/")
+                    out.append((rel, abspath))
+    out.sort()
+    return out
+
+
+def pick_frontends(requested: str) -> list[str]:
+    if requested == "auto":
+        return ["clang"] if clang_frontend.available() else ["tokparse"]
+    if requested == "clang" and not clang_frontend.available():
+        print(
+            "flipc_static_audit: --frontend clang requested but python "
+            "clang bindings/libclang are unavailable",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return [requested]
+
+
+def load_ir(
+    frontend: str,
+    paths: list[tuple[str, str]],
+    compile_commands: str | None,
+    root: str,
+) -> TranslationIR:
+    if frontend == "clang":
+        return clang_frontend.load(paths, compile_commands, root)
+    return tokparse_frontend.load(paths)
+
+
+def audit_paths(
+    paths: list[tuple[str, str]],
+    policy: Policy,
+    frontend: str,
+    compile_commands: str | None,
+    root: str,
+) -> list[str]:
+    ir = load_ir(frontend, paths, compile_commands, root)
+    errors = run_rules(ir, policy)
+    errors.extend(run_token_rules(paths, policy))
+    return sorted(set(errors))
+
+
+# --------------------------------------------------------------------------
+# Self-test over seeded fixtures
+# --------------------------------------------------------------------------
+
+_EXPECT_RE = re.compile(r"AUDIT-EXPECT:\s*(.+?)\s*$", re.MULTILINE)
+
+
+def run_selftest(fixture_dir: str, frontends: list[str]) -> int:
+    policy_path = os.path.join(fixture_dir, "mini_policy.json")
+    if not os.path.exists(policy_path):
+        print(f"selftest: missing {policy_path}", file=sys.stderr)
+        return 2
+    policy = load_policy(policy_path)
+    fixtures = sorted(
+        name for name in os.listdir(fixture_dir) if name.endswith(".cc")
+    )
+    if not fixtures:
+        print(f"selftest: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for frontend in frontends:
+        for name in fixtures:
+            abspath = os.path.join(fixture_dir, name)
+            with open(abspath, "r", encoding="utf-8") as f:
+                expects = _EXPECT_RE.findall(f.read())
+            errors = audit_paths(
+                [(name, abspath)], policy, frontend, None, fixture_dir
+            )
+            clean = "_clean" in name
+            if clean:
+                if expects:
+                    print(f"selftest[{frontend}] {name}: clean fixture carries "
+                          f"AUDIT-EXPECT lines")
+                    failures += 1
+                if errors:
+                    print(f"selftest[{frontend}] {name}: expected no findings, got:")
+                    for e in errors:
+                        print(f"  {e}")
+                    failures += 1
+                continue
+            if not expects:
+                print(f"selftest[{frontend}] {name}: bad fixture declares no "
+                      f"AUDIT-EXPECT lines")
+                failures += 1
+                continue
+            for want in expects:
+                if not any(want in e for e in errors):
+                    print(f"selftest[{frontend}] {name}: no finding matches "
+                          f"AUDIT-EXPECT '{want}'")
+                    failures += 1
+            for e in errors:
+                if not any(want in e for want in expects):
+                    print(f"selftest[{frontend}] {name}: unexpected finding: {e}")
+                    failures += 1
+    if failures:
+        print(f"selftest: {failures} failure(s)")
+        return 1
+    total = len(fixtures) * len(frontends)
+    print(
+        f"selftest: OK — {total} fixture run(s) across "
+        f"frontend(s) {', '.join(frontends)}"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="flipc_static_audit")
+    ap.add_argument("--policy", help="ownership_policy.json path")
+    ap.add_argument("--source-root", default=".", help="repository root")
+    ap.add_argument("--compile-commands", default=None)
+    ap.add_argument(
+        "--frontend", choices=("auto", "clang", "tokparse"), default="auto"
+    )
+    ap.add_argument(
+        "--selftest",
+        metavar="FIXTURE_DIR",
+        help="run the seeded-violation self-test instead of auditing the tree",
+    )
+    args = ap.parse_args(argv)
+
+    if args.selftest:
+        if args.frontend == "auto":
+            frontends = ["tokparse"] + (
+                ["clang"] if clang_frontend.available() else []
+            )
+        else:
+            frontends = pick_frontends(args.frontend)
+        return run_selftest(args.selftest, frontends)
+
+    if not args.policy:
+        ap.error("--policy is required (or use --selftest)")
+    try:
+        policy = load_policy(args.policy)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"flipc_static_audit: cannot load {args.policy}: {exc}", file=sys.stderr)
+        return 2
+    root = os.path.abspath(args.source_root)
+    paths = collect_sources(root)
+    if not paths:
+        print(f"flipc_static_audit: no sources under {root}", file=sys.stderr)
+        return 2
+    (frontend,) = pick_frontends(args.frontend)
+    errors = audit_paths(paths, policy, frontend, args.compile_commands, root)
+    if errors:
+        for e in errors:
+            print(e)
+        print(
+            f"flipc_static_audit[{frontend}]: {len(errors)} violation(s) "
+            f"across {len(paths)} file(s)"
+        )
+        return 1
+    print(
+        f"flipc_static_audit[{frontend}]: OK — {len(paths)} file(s), "
+        f"{len(policy.fields)} policy field(s), 0 violations"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,37 @@
+// Rule 3 (hot-path purity) — conforming code the auditor must accept:
+// wait-free cell traffic inside the scope, exempt cold branches, and
+// unrestricted code outside any hot scope.
+#include "audit_stubs.h"
+
+struct Queue {
+  Cursors cursors;
+
+  FLIPC_ROLE_APP int Fast(int x) {
+    FLIPC_HOT_PATH("fixture-send");
+    cursors.release_count.Publish(cursors.release_count.ReadRelaxed() + 1);
+    if (x < 0) {
+      // Cold error branch, off the real path by design.
+      FLIPC_HOT_PATH_EXEMPT("fixture error path");
+      int* scratch = new int(x);
+      delete scratch;
+    }
+    return x;
+  }
+
+  FLIPC_ROLE_APP int Conditional(bool armed) {
+    FLIPC_HOT_PATH_IF(armed, "fixture-send-locked");
+    cursors.release_count.Publish(1);
+    return 0;
+  }
+};
+
+// No hot scope: allocation, locks and sleeps are all legal.
+int Cold() {
+  std::mutex m;
+  m.lock();
+  int* scratch = new int(1);
+  delete scratch;
+  m.unlock();
+  usleep(1);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Rule 2 (memory-order policy) — conforming code the auditor must accept.
+#include "audit_stubs.h"
+
+struct Queue {
+  Cursors cursors;
+
+  // Cursor publication is a release store; the owner may read itself
+  // relaxed.
+  FLIPC_ROLE_APP void ProperRelease() {
+    cursors.release_count.Publish(cursors.release_count.ReadRelaxed() + 1);
+  }
+
+  // Cross-role cursor reads take acquire.
+  FLIPC_ROLE_ENGINE unsigned long ProperPoll() {
+    return cursors.release_count.Read();
+  }
+
+  // hint_cursor tolerates cross-role relaxed reads (a stale hint only costs
+  // a retry, never correctness).
+  FLIPC_ROLE_APP unsigned long HintPeek() {
+    return cursors.head_hint.ReadRelaxed();
+  }
+};
+
+// Raw std::atomic outside the policy: every access must still name its
+// order explicitly.
+struct Raw {
+  std::atomic<unsigned long> word;
+
+  void ExplicitStore() { word.store(1, std::memory_order_release); }
+  unsigned long ExplicitLoad() { return word.load(std::memory_order_acquire); }
+  unsigned long ExplicitRmw() {
+    return word.fetch_add(1, std::memory_order_relaxed);
+  }
+};

@@ -1,0 +1,34 @@
+// Rule 1 (role/ownership) — seeded violations the auditor must reject.
+#include "audit_stubs.h"
+
+struct Queue {
+  Cursors cursors;
+  Cfg cfg;
+
+  // Engine closure writing the app-owned cursor.
+  FLIPC_ROLE_ENGINE void WrongSide() {
+    cursors.release_count.Publish(1);  // AUDIT-EXPECT: owned by app
+  }
+
+  // Write with no role-annotated entry point anywhere in the caller closure.
+  void Orphan() {
+    cursors.process_count.Publish(1);  // AUDIT-EXPECT: unrooted write
+  }
+
+  // Config is quiescent-only; writing it from a live app closure races the
+  // engine's config reads.
+  FLIPC_ROLE_APP void LateConfig() {
+    cfg.capacity.StoreRelaxed(64);  // AUDIT-EXPECT: quiescent-only
+  }
+};
+
+// A write through a governed struct alias to a member the ownership tables
+// do not list means the tables drifted from the layout.
+struct Box {
+  Hdr* hdr_;
+
+  FLIPC_ROLE_APP void Drifted() {
+    hdr_->free_head = 2;
+    hdr_->bogus_word = 3;  // AUDIT-EXPECT: ownership tables do not list
+  }
+};

@@ -1,0 +1,60 @@
+// Rule 1 (role/ownership) — conforming code the auditor must accept:
+// owner-role writes, closure-propagated roles, quiescent initialization,
+// struct-alias plain writes, and the peer handoff exemption.
+#include "audit_stubs.h"
+
+struct Queue {
+  Cursors cursors;
+
+  // Direct owner-role writes.
+  FLIPC_ROLE_APP void Release() {
+    cursors.release_count.Publish(cursors.release_count.ReadRelaxed() + 1);
+  }
+
+  FLIPC_ROLE_ENGINE void AdvanceProcess() {
+    cursors.process_count.Publish(cursors.process_count.ReadRelaxed() + 1);
+  }
+
+  // The role must propagate through the call graph: BumpRelease carries no
+  // annotation but is reached only from the app root below.
+  void BumpRelease() {
+    cursors.release_count.Publish(cursors.release_count.ReadRelaxed() + 1);
+  }
+
+  FLIPC_ROLE_APP void Send() { BumpRelease(); }
+
+  // Setup code may write both sides while the structure is quiescent.
+  FLIPC_ROLE_QUIESCENT void Reset() {
+    cursors.release_count.StoreRelaxed(0);
+    cursors.process_count.StoreRelaxed(0);
+  }
+};
+
+struct Setup {
+  Cfg cfg;
+
+  FLIPC_ROLE_QUIESCENT void Configure() { cfg.capacity.StoreRelaxed(64); }
+};
+
+// Member alias: View::release_ maps to Cursors.release_count.
+struct View {
+  flipc::SingleWriterCell<unsigned long>* release_;
+
+  FLIPC_ROLE_APP void Bump() { release_->Publish(1); }
+};
+
+// Struct alias: hdr_-> resolves members against Hdr.*.
+struct Box {
+  Hdr* hdr_;
+
+  FLIPC_ROLE_QUIESCENT void Init() { hdr_->magic = 0x464c4950; }
+  FLIPC_ROLE_APP void Alloc() { hdr_->free_head = 1; }
+};
+
+// `peer` alternates writers by protocol (handoff), so an unresolved cell
+// write through it is exempt.
+struct Msg {
+  flipc::SingleWriterCell<unsigned long> peer;
+
+  void Handoff() { peer.Publish(7); }
+};

@@ -1,0 +1,21 @@
+# Drift check between src/shm/ownership_layout.h (via the
+# flipc_ownership_export generator) and the committed
+# tools/ownership_policy.json the static auditor consumes. Run as a ctest
+# (flipc_ownership_policy_drift); regenerate the committed copy with:
+#
+#   build/tools/flipc_ownership_export tools/ownership_policy.json
+#
+# Inputs: EXPORT_TOOL, COMMITTED, FRESH.
+execute_process(COMMAND ${EXPORT_TOOL} ${FRESH} RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "flipc_ownership_export failed (rc=${_rc}): the "
+                      "ownership tables and the FieldOrderKind/alias tables "
+                      "in src/shm/ownership_layout.h disagree")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${COMMITTED} ${FRESH}
+                RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "tools/ownership_policy.json drifted from "
+                      "src/shm/ownership_layout.h; regenerate it with "
+                      "flipc_ownership_export (fresh copy at ${FRESH})")
+endif()
