@@ -66,6 +66,16 @@
 //                         endpoint slot is quiescent — the static analogue
 //                         of ScopedBoundaryExemption (CommBuffer::Format,
 //                         AllocateEndpoint)
+//   FLIPC_ROLE_ENGINE_SHARD
+//                         the shard-qualified engine role: engine-side code
+//                         whose writes are additionally confined to one
+//                         shard planner's cells (the SPSC handoff ring, the
+//                         per-shard doorbell head). Statically it is the
+//                         engine role — the auditor proves the writer SIDE;
+//                         the shard dimension is enforced at run time by the
+//                         boundary checker's shard-qualified declarations
+//                         (boundary_check.h: DeclareCellOwner(cell, owner,
+//                         shard, label) + BindCurrentThread(role, shard)).
 //
 // Zero-cost by construction: under Clang they expand to an `annotate`
 // attribute (visible in the AST, absent from generated code); elsewhere to
@@ -75,10 +85,12 @@
 #if defined(__clang__)
 #define FLIPC_ROLE_APP __attribute__((annotate("flipc_role_app")))
 #define FLIPC_ROLE_ENGINE __attribute__((annotate("flipc_role_engine")))
+#define FLIPC_ROLE_ENGINE_SHARD __attribute__((annotate("flipc_role_engine_shard")))
 #define FLIPC_ROLE_QUIESCENT __attribute__((annotate("flipc_role_quiescent")))
 #else
 #define FLIPC_ROLE_APP
 #define FLIPC_ROLE_ENGINE
+#define FLIPC_ROLE_ENGINE_SHARD
 #define FLIPC_ROLE_QUIESCENT
 #endif
 

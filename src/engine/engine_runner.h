@@ -16,9 +16,23 @@ namespace flipc::engine {
 
 class EngineRunner {
  public:
+  struct Options {
+    // Pin the loop thread to this CPU (Linux only; -1 = unpinned). With the
+    // sharded engine, pinning each shard's planner to its own core keeps a
+    // shard's comm-buffer slice resident in that core's cache — the NUMA
+    // placement half of DESIGN.md §12.
+    int pin_cpu = -1;
+    // Read-touch the engine's endpoint-range slice of the comm buffer from
+    // the loop thread before entering the loop. On first-touch NUMA
+    // systems this faults the shard's pages onto the planner's node; on
+    // UMA hosts it is a cheap cache warm.
+    bool warm_touch = false;
+  };
+
   // Takes a non-owning reference; the engine (and everything it references)
   // must outlive the runner.
-  explicit EngineRunner(MessagingEngine& engine);
+  explicit EngineRunner(MessagingEngine& engine) : EngineRunner(engine, Options()) {}
+  EngineRunner(MessagingEngine& engine, Options options);
   ~EngineRunner();
   EngineRunner(const EngineRunner&) = delete;
   EngineRunner& operator=(const EngineRunner&) = delete;
@@ -41,7 +55,11 @@ class EngineRunner {
  private:
   FLIPC_ROLE_ENGINE void Loop();
 
+  // Placement steps run once at loop start, on the loop thread.
+  void ApplyPlacement();
+
   MessagingEngine& engine_;
+  Options options_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};

@@ -22,11 +22,20 @@ MessagingEngine::MessagingEngine(shm::CommBuffer& comm, simnet::Wire& wire,
       options_(options),
       model_(model),
       semaphores_(semaphores),
+      handoff_outboxes_(comm.shard_count(), nullptr),
       next_send_ok_(comm.max_endpoints(), 0),
       active_(comm.max_endpoints()),
       in_active_(comm.max_endpoints(), 0) {
   // Batch storage is sized here, once: the plan path must never allocate.
   planned_batch_.reserve(options_.transmit_batch < 1 ? 1 : options_.transmit_batch);
+  if (options_.shard_id >= comm.shard_count()) {
+    FLIPC_LOG(kError) << "engine shard id " << options_.shard_id << " out of range for a "
+                      << comm.shard_count() << "-shard comm buffer; using shard 0";
+    options_.shard_id = 0;
+  }
+  shard_id_ = options_.shard_id;
+  shard_first_ = comm.shard_first_endpoint(shard_id_);
+  shard_end_ = comm.shard_end_endpoint(shard_id_);
 }
 
 Status MessagingEngine::RegisterProtocol(std::uint32_t protocol_id, ProtocolHandler* handler) {
@@ -63,7 +72,7 @@ TimeNs MessagingEngine::NextUnthrottleTime() const {
   }
   const TimeNs now = clock_->NowNs();
   TimeNs earliest = kTimeNever;
-  for (std::uint32_t i = 0; i < comm_.max_endpoints(); ++i) {
+  for (std::uint32_t i = shard_first_; i < shard_end_; ++i) {
     const EndpointRecord& record = comm_.endpoint(i);
     if (record.Type() != EndpointType::kSend || EndpointBlocked(i)) {
       continue;
@@ -83,7 +92,9 @@ TimeNs MessagingEngine::NextUnthrottleTime() const {
 
 std::uint32_t MessagingEngine::FindSendWork() {
   FLIPC_HOT_PATH("MessagingEngine::FindSendWork");
-  const std::uint32_t n = comm_.max_endpoints();
+  // All scans cover only this shard's endpoint range; scan_cursor_ is
+  // relative to shard_first_.
+  const std::uint32_t n = shard_end_ - shard_first_;
   planned_rotation_advance_ = true;
 
   if (options_.priority_scan) {
@@ -94,7 +105,7 @@ std::uint32_t MessagingEngine::FindSendWork() {
     std::uint32_t first_ready = shm::kInvalidEndpoint;
     const TimeNs now = NowForThrottle();
     for (std::uint32_t off = 0; off < n; ++off) {
-      const std::uint32_t i = (scan_cursor_ + off) % n;
+      const std::uint32_t i = shard_first_ + (scan_cursor_ + off) % n;
       ++stats_.endpoints_visited;
       if (!SendReady(i, now)) {
         continue;
@@ -118,7 +129,7 @@ std::uint32_t MessagingEngine::FindSendWork() {
 
   const TimeNs now = NowForThrottle();
   for (std::uint32_t off = 0; off < n; ++off) {
-    const std::uint32_t i = (scan_cursor_ + off) % n;
+    const std::uint32_t i = shard_first_ + (scan_cursor_ + off) % n;
     ++stats_.endpoints_visited;
     if (SendReady(i, now)) {
       return i;
@@ -136,7 +147,7 @@ void MessagingEngine::ActivateEndpoint(std::uint32_t endpoint) {
 }
 
 void MessagingEngine::DrainDoorbells() {
-  waitfree::DoorbellRingView ring = comm_.doorbell_ring();
+  waitfree::DoorbellRingView ring = comm_.doorbell_ring(shard_id_);
   const std::uint32_t batch = options_.transmit_batch < 1 ? 1 : options_.transmit_batch;
   // Bounded drain keeps the plan a bounded work unit; leftover doorbells
   // stay published for the next plan.
@@ -160,9 +171,8 @@ void MessagingEngine::DrainDoorbells() {
 
 void MessagingEngine::SweepAllEndpoints() {
   ++stats_.backstop_sweeps;
-  const std::uint32_t n = comm_.max_endpoints();
-  stats_.endpoints_visited += n;
-  for (std::uint32_t i = 0; i < n; ++i) {
+  stats_.endpoints_visited += shard_end_ - shard_first_;
+  for (std::uint32_t i = shard_first_; i < shard_end_; ++i) {
     if (comm_.endpoint(i).Type() != EndpointType::kSend) {
       continue;
     }
@@ -224,15 +234,16 @@ bool MessagingEngine::SelectBatchFromActive() {
 
 void MessagingEngine::PlanOutboundBatch() {
   // Draining the ring publishes ring_head, an engine-owned cell, and
-  // PlanStep is otherwise role-free — bind the engine role here.
-  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kEngine);
+  // PlanStep is otherwise role-free — bind the engine role (qualified with
+  // this planner's shard: the ring's consumer cursor belongs to it) here.
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kEngine, shard_id_);
   // The whole plan — ring drain, sweeps, rotation — is the engine's
   // scheduling work unit: bounded and allocation-free (active_ and
   // planned_batch_ are fixed-capacity, sized at construction).
   FLIPC_HOT_PATH("MessagingEngine::PlanOutboundBatch");
   planned_batch_.clear();
 
-  waitfree::DoorbellRingView ring = comm_.doorbell_ring();
+  waitfree::DoorbellRingView ring = comm_.doorbell_ring(shard_id_);
   if (ring.OverflowPending()) {
     // Ack BEFORE sweeping, so a ring that overflows again mid-sweep raises
     // a fresh signal rather than being absorbed into this one.
@@ -260,26 +271,35 @@ void MessagingEngine::PlanOutboundBatch() {
   }
 }
 
+std::uint32_t MessagingEngine::RouteShardFor(const simnet::Packet& packet) const {
+  if (comm_.shard_count() <= 1 || packet.protocol != simnet::kProtocolFlipc) {
+    return shard_id_;  // Registered protocols run on the distributor's loop.
+  }
+  const Address dst = Address::FromPacked(packet.dst_addr);
+  if (!dst.valid() || dst.node() != wire_.node() ||
+      !comm_.IsValidEndpointIndex(dst.endpoint())) {
+    // Undeterminable destination: deliver locally so DeliverLocal counts
+    // the bad-address drop on the distributor.
+    return shard_id_;
+  }
+  return comm_.shard_of(dst.endpoint());
+}
+
 DurationNs MessagingEngine::PlanStep() {
   if (planned_ != WorkKind::kNone) {
     return planned_cost_;
   }
   const PlatformModel* m = model_;
   const auto charge = [m](DurationNs ns) { return m != nullptr ? ns : 0; };
-
-  // Inbound first: the receiving node must always be ready to accept from
-  // the interconnect (the optimistic protocol's no-deadlock guarantee).
-  simnet::Packet packet;
-  if (wire_.Poll(&packet)) {
-    planned_ = WorkKind::kInbound;
+  const auto price_inbound = [&](const simnet::Packet& pkt) {
     DurationNs cost = charge(m != nullptr ? m->engine_dispatch_ns : 0);
-    if (m != nullptr && packet.protocol != simnet::kProtocolFlipc &&
-        packet.protocol < kMaxProtocols && handlers_[packet.protocol] != nullptr) {
-      cost += handlers_[packet.protocol]->PlanCost(packet);
+    if (m != nullptr && pkt.protocol != simnet::kProtocolFlipc &&
+        pkt.protocol < kMaxProtocols && handlers_[pkt.protocol] != nullptr) {
+      cost += handlers_[pkt.protocol]->PlanCost(pkt);
     }
-    if (packet.protocol == simnet::kProtocolFlipc && m != nullptr) {
-      cost += m->recv_overhead_ns + m->RecvCopyNs(packet.payload.size());
-      if (packet.payload.size() + shm::kMsgHeaderSize < m->small_msg_threshold_bytes) {
+    if (pkt.protocol == simnet::kProtocolFlipc && m != nullptr) {
+      cost += m->recv_overhead_ns + m->RecvCopyNs(pkt.payload.size());
+      if (pkt.payload.size() + shm::kMsgHeaderSize < m->small_msg_threshold_bytes) {
         cost -= m->small_msg_discount_ns;
       }
       if (options_.validity_checks) {
@@ -289,9 +309,65 @@ DurationNs MessagingEngine::PlanStep() {
         cost += m->engine_false_sharing_ns;
       }
     }
-    planned_packet_ = std::move(packet);
-    planned_cost_ = cost;
-    return planned_cost_;
+    return cost;
+  };
+
+  // Inbound first: the receiving node must always be ready to accept from
+  // the interconnect (the optimistic protocol's no-deadlock guarantee).
+  simnet::Packet packet;
+
+  // Cross-shard inbound handed off by the distributor. Like wire_.Poll
+  // below, the pop consumes at plan time and the packet rides
+  // planned_packet_ into the commit.
+  if (handoff_inbox_ != nullptr) {
+    bool popped;
+    {
+      // The pop publishes handoff_head, this consumer shard's cursor.
+      waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kEngine, shard_id_);
+      popped = handoff_inbox_->Pop(&packet);
+    }
+    if (popped) {
+      ++stats_.handoff_popped;
+      if (shard_kick_ &&
+          handoff_inbox_->PendingCount() + 1 >= handoff_inbox_->capacity()) {
+        // The inbox was full before this pop, so the distributor may be
+        // parked with a routed packet waiting for this very slot.
+        FLIPC_HOT_PATH_EXEMPT("distributor un-stall wakeup");
+        shard_kick_(0);
+      }
+      planned_ = WorkKind::kInbound;
+      planned_cost_ = price_inbound(packet);
+      planned_packet_ = std::move(packet);
+      return planned_cost_;
+    }
+  }
+
+  if (is_distributor()) {
+    if (parked_packet_.has_value()) {
+      // Retry the parked handoff BEFORE polling the wire again: the parked
+      // packet is the only copy of its message, and polling past it would
+      // break the fabric's per-(src,dst) FIFO order.
+      planned_ = WorkKind::kRoute;
+      planned_route_shard_ = parked_shard_;
+      planned_packet_ = std::move(*parked_packet_);
+      parked_packet_.reset();
+      planned_cost_ = charge(m != nullptr ? m->engine_dispatch_ns : 0);
+      return planned_cost_;
+    }
+    if (wire_.Poll(&packet)) {
+      const std::uint32_t dst_shard = RouteShardFor(packet);
+      if (dst_shard != shard_id_) {
+        planned_ = WorkKind::kRoute;
+        planned_route_shard_ = dst_shard;
+        planned_packet_ = std::move(packet);
+        planned_cost_ = charge(m != nullptr ? m->engine_dispatch_ns : 0);
+        return planned_cost_;
+      }
+      planned_ = WorkKind::kInbound;
+      planned_cost_ = price_inbound(packet);
+      planned_packet_ = std::move(packet);
+      return planned_cost_;
+    }
   }
 
   if (UseDoorbellScheduling()) {
@@ -350,10 +426,11 @@ DurationNs MessagingEngine::PlanStep() {
 
 bool MessagingEngine::CommitStep() {
   // Every comm-buffer mutation the engine makes happens under this commit,
-  // so bind the engine role for its duration. Scoped (not per-thread): the
-  // simulation drivers and the model checker step the engine from the same
-  // thread that plays the application.
-  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kEngine);
+  // so bind the engine role — qualified with this planner's shard, so a
+  // write to another shard's endpoint or cursor aborts — for its duration.
+  // Scoped (not per-thread): the simulation drivers and the model checker
+  // step the engine from the same thread that plays the application.
+  waitfree::ScopedBoundaryRole boundary_role(waitfree::Writer::kEngine, shard_id_);
   if (planned_ == WorkKind::kNone) {
     PlanStep();
   }
@@ -395,6 +472,38 @@ bool MessagingEngine::CommitStep() {
       deferred_cost_ += cost.Take();
       return true;
     }
+    case WorkKind::kRoute: {
+      simnet::Packet packet = std::move(*planned_packet_);
+      planned_packet_.reset();
+      HandoffRing* ring = handoff_outboxes_[planned_route_shard_];
+      if (ring == nullptr) {
+        // Miswired assembly: that shard has no inbox. Count the discard
+        // like any undeliverable destination; dropping beats wedging the
+        // distributor's wire forever.
+        ++stats_.work_units;
+        ++stats_.drops_bad_address;
+        return true;
+      }
+      if (!ring->Push(packet)) {
+        // Inbox full. The packet is the only copy of its message, so park
+        // it; the next plan retries before any further wire polling. This
+        // is NOT progress — returning false lets the host runner back off
+        // instead of spinning on the full ring (the consumer's drain path
+        // kicks the distributor when it frees a slot of a full inbox).
+        ++stats_.handoff_full_retries;
+        parked_packet_ = std::move(packet);
+        parked_shard_ = planned_route_shard_;
+        return false;
+      }
+      ++stats_.work_units;
+      ++stats_.handoff_pushed;
+      if (shard_kick_) {
+        // Consumer wakeup: arbitrary runner code, off the product path.
+        FLIPC_HOT_PATH_EXEMPT("cross-shard wakeup");
+        shard_kick_(planned_route_shard_);
+      }
+      return true;
+    }
   }
   return false;
 }
@@ -408,7 +517,14 @@ bool MessagingEngine::HasWork() const {
   if (planned_ != WorkKind::kNone) {
     return true;
   }
-  if (wire_.PendingCount() > 0) {
+  if (parked_packet_.has_value()) {
+    return true;  // A routed packet is waiting for inbox space.
+  }
+  if (handoff_inbox_ != nullptr && handoff_inbox_->HasPending()) {
+    return true;
+  }
+  // The wire is the distributor's work; other shards never poll it.
+  if (is_distributor() && wire_.PendingCount() > 0) {
     return true;
   }
   const TimeNs now = NowForThrottle();
@@ -416,7 +532,8 @@ bool MessagingEngine::HasWork() const {
     // O(active) early-true checks. A pending doorbell or overflow signal
     // reports work even when stale — the next plan drains the ring (head
     // always advances), so the DES cannot spin on a stale hint.
-    waitfree::DoorbellRingView ring = const_cast<shm::CommBuffer&>(comm_).doorbell_ring();
+    waitfree::DoorbellRingView ring =
+        const_cast<shm::CommBuffer&>(comm_).doorbell_ring(shard_id_);
     if (ring.HasPending() || ring.OverflowPending()) {
       return true;
     }
@@ -426,10 +543,11 @@ bool MessagingEngine::HasWork() const {
       }
     }
   }
-  // Full scan stays as the authoritative fallback: work queued without a
-  // doorbell (engine-side test writes, lost doorbells) must be reported —
-  // the plan's no-candidate sweep will find anything reported here.
-  for (std::uint32_t i = 0; i < comm_.max_endpoints(); ++i) {
+  // Full scan (of this shard's range) stays as the authoritative fallback:
+  // work queued without a doorbell (engine-side test writes, lost
+  // doorbells) must be reported — the plan's no-candidate sweep will find
+  // anything reported here.
+  for (std::uint32_t i = shard_first_; i < shard_end_; ++i) {
     if (SendReady(i, now)) {
       return true;
     }
@@ -484,7 +602,8 @@ void MessagingEngine::CommitOutbound(simnet::CostAccumulator& cost) {
   const std::uint32_t endpoint_index = planned_endpoint_;
   planned_endpoint_ = shm::kInvalidEndpoint;
   if (planned_rotation_advance_) {
-    scan_cursor_ = (endpoint_index + 1) % comm_.max_endpoints();
+    // scan_cursor_ is relative to this shard's range.
+    scan_cursor_ = (endpoint_index - shard_first_ + 1) % (shard_end_ - shard_first_);
   }
   planned_rotation_advance_ = true;
   if (telemetry_ != nullptr) {

@@ -1,6 +1,8 @@
 #include "src/flipc/cluster.h"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 namespace flipc {
@@ -11,6 +13,9 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const Options& options) {
   auto cluster = std::unique_ptr<Cluster>(new Cluster());
   cluster->fabric_ = std::make_unique<simnet::ThreadFabric>(options.node_count);
 
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  unsigned next_cpu = 0;
+
   for (NodeId n = 0; n < options.node_count; ++n) {
     auto node = std::make_unique<Node>();
     Domain::Options domain_options;
@@ -18,15 +23,57 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const Options& options) {
     domain_options.node = n;
     FLIPC_ASSIGN_OR_RETURN(node->domain,
                            Domain::Create(domain_options, &cluster->semaphores_));
-    node->engine = std::make_unique<engine::MessagingEngine>(
-        node->domain->comm(), cluster->fabric_->wire(n), options.engine,
-        /*model=*/nullptr, &cluster->semaphores_);
-    node->engine->SetClock(&RealClock::Instance());
-    node->runner = std::make_unique<engine::EngineRunner>(*node->engine);
 
-    engine::EngineRunner* runner = node->runner.get();
-    node->domain->SetEngineKick([runner] { runner->Kick(); });
-    cluster->fabric_->SetDeliveryCallback(n, [runner] { runner->Kick(); });
+    const std::uint32_t shards = node->domain->comm().shard_count();
+    cluster->shard_count_ = shards;
+    node->handoffs.resize(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      engine::EngineOptions engine_options = options.engine;
+      engine_options.shard_id = s;
+      auto eng = std::make_unique<engine::MessagingEngine>(
+          node->domain->comm(), cluster->fabric_->wire(n), engine_options,
+          /*model=*/nullptr, &cluster->semaphores_);
+      eng->SetClock(&RealClock::Instance());
+      if (s != 0) {
+        // Distributor (shard 0) → consumer shard s handoff ring, sized like
+        // the doorbell ring: enough slack that only sustained consumer lag
+        // parks the distributor.
+        node->handoffs[s] = std::make_unique<engine::MessagingEngine::HandoffRing>(
+            node->domain->comm().doorbell_capacity(), /*producer_shard=*/0,
+            /*consumer_shard=*/s);
+        node->engines[0]->SetHandoffOutbox(s, node->handoffs[s].get());
+        eng->SetHandoffInbox(node->handoffs[s].get());
+      }
+      engine::EngineRunner::Options runner_options;
+      if (shards > 1 && options.pin_shard_threads) {
+        runner_options.pin_cpu = static_cast<int>(next_cpu++ % hw_threads);
+        runner_options.warm_touch = true;
+      }
+      node->engines.push_back(std::move(eng));
+      node->runners.push_back(std::make_unique<engine::EngineRunner>(
+          *node->engines.back(), runner_options));
+    }
+
+    Node* node_ptr = node.get();
+    const auto kick_shard = [node_ptr](std::uint32_t shard) {
+      if (shard < node_ptr->runners.size()) {
+        node_ptr->runners[shard]->Kick();
+      }
+    };
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      node->engines[s]->SetShardKick(kick_shard);
+    }
+    node->domain->SetShardKick(kick_shard);
+    // Unqualified kicks (callers that do not know the owning shard) wake
+    // everyone; with one shard that degenerates to the classic wiring.
+    node->domain->SetEngineKick([node_ptr] {
+      for (auto& runner : node_ptr->runners) {
+        runner->Kick();
+      }
+    });
+    // Only the distributor polls the wire, so deliveries wake shard 0.
+    engine::EngineRunner* distributor = node->runners[0].get();
+    cluster->fabric_->SetDeliveryCallback(n, [distributor] { distributor->Kick(); });
 
     cluster->nodes_.push_back(std::move(node));
   }
@@ -35,12 +82,22 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const Options& options) {
 
 Cluster::~Cluster() { Stop(); }
 
+engine::EngineStats Cluster::aggregate_stats(NodeId node) const {
+  engine::EngineStats total;
+  for (const auto& eng : nodes_[node]->engines) {
+    total.Add(eng->stats());
+  }
+  return total;
+}
+
 void Cluster::Start() {
   if (started_) {
     return;
   }
   for (auto& node : nodes_) {
-    node->runner->Start();
+    for (auto& runner : node->runners) {
+      runner->Start();
+    }
   }
   started_ = true;
 }
@@ -50,7 +107,9 @@ void Cluster::Stop() {
     return;
   }
   for (auto& node : nodes_) {
-    node->runner->Stop();
+    for (auto& runner : node->runners) {
+      runner->Stop();
+    }
   }
   started_ = false;
 }

@@ -39,6 +39,11 @@ class Cluster {
     std::uint32_t node_count = 2;
     shm::CommBufferConfig comm;
     engine::EngineOptions engine;
+    // Sharded nodes (comm.shard_count > 1): pin each shard planner thread
+    // to its own CPU and first-touch its comm-buffer slice (DESIGN.md §12).
+    // Single-shard nodes are never pinned regardless of this flag, so the
+    // default assembly is unchanged.
+    bool pin_shard_threads = true;
   };
 
   static Result<std::unique_ptr<Cluster>> Create(const Options& options);
@@ -51,15 +56,31 @@ class Cluster {
   void Stop();
 
   std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  // Planner shards per node (comm.shard_count; 1 = classic assembly).
+  std::uint32_t shard_count() const { return shard_count_; }
   Domain& domain(NodeId node) { return *nodes_[node]->domain; }
-  engine::MessagingEngine& engine(NodeId node) { return *nodes_[node]->engine; }
+  // The node's distributor shard (shard 0) — the classic single-engine view.
+  engine::MessagingEngine& engine(NodeId node) { return *nodes_[node]->engines[0]; }
+  engine::MessagingEngine& engine(NodeId node, std::uint32_t shard) {
+    return *nodes_[node]->engines[shard];
+  }
+  engine::EngineRunner& runner(NodeId node, std::uint32_t shard = 0) {
+    return *nodes_[node]->runners[shard];
+  }
+  // Sums every shard planner's counters; the telemetry identities are
+  // linear, so they hold for the aggregate exactly as per shard.
+  engine::EngineStats aggregate_stats(NodeId node) const;
   simos::SemaphoreTable& semaphores() { return semaphores_; }
 
  private:
   struct Node {
     std::unique_ptr<Domain> domain;
-    std::unique_ptr<engine::MessagingEngine> engine;
-    std::unique_ptr<engine::EngineRunner> runner;
+    // One planner per shard; [0] is the distributor (sole wire poller).
+    std::vector<std::unique_ptr<engine::MessagingEngine>> engines;
+    std::vector<std::unique_ptr<engine::EngineRunner>> runners;
+    // Distributor→consumer handoff rings, indexed by consumer shard
+    // ([0] unused — the distributor delivers its own endpoints directly).
+    std::vector<std::unique_ptr<engine::MessagingEngine::HandoffRing>> handoffs;
   };
 
   Cluster() = default;
@@ -67,6 +88,7 @@ class Cluster {
   simos::SemaphoreTable semaphores_;
   std::unique_ptr<simnet::ThreadFabric> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::uint32_t shard_count_ = 1;
   bool started_ = false;
 };
 

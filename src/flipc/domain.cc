@@ -50,6 +50,7 @@ Result<Endpoint> Domain::CreateEndpoint(const EndpointOptions& options) {
   params.priority = options.priority;
   params.allowed_peer = options.allowed_peer.packed();
   params.min_send_interval_ns = options.min_send_interval_ns;
+  params.shard = options.shard;
 
   bool owns_semaphore = false;
   if (options.group != nullptr) {

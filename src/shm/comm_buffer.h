@@ -18,7 +18,8 @@
 //   [TelemetryBlock x max_endpoints]   per-endpoint counters (app/engine lines)
 //   [cell arena]         queue cells, carved out per endpoint at allocation
 //   [buffer free list]   application-side singly linked free list
-//   [doorbell ring]      cursors + MPSC ring of endpoint indices rung on send
+//   [doorbell rings]     per shard: cursors + MPSC ring of endpoint indices
+//                        rung on send (shard_count rings; one when unsharded)
 //   [message buffers]    buffer_count x message_size bytes
 //
 // Allocation (buffers, endpoints, arena cells) is an application-side
@@ -63,10 +64,16 @@ struct CommBufferConfig {
   std::uint32_t max_endpoints = 64;
   // Total queue cells available to endpoints; 0 means 4 * buffer_count.
   std::uint32_t cell_arena_size = 0;
-  // Doorbell ring slots (power of two); 0 derives a capacity that covers
-  // every in-flight send release (bounded by buffer_count), clamped to
-  // [64, 4096].
+  // Doorbell ring slots per shard (power of two); 0 derives a capacity that
+  // covers every in-flight send release (bounded by buffer_count), clamped
+  // to [64, 4096].
   std::uint32_t doorbell_capacity = 0;
+  // Engine shard count (DESIGN.md §12). Endpoints are assigned to shards in
+  // equal contiguous index ranges of max_endpoints / shard_count (the count
+  // must divide max_endpoints evenly); each shard gets its own doorbell
+  // ring section. 1 (the default) is the unsharded engine — byte-compatible
+  // behavior with a single planner.
+  std::uint32_t shard_count = 1;
 
   std::uint32_t effective_cell_arena_size() const {
     return cell_arena_size == 0 ? 4 * buffer_count : cell_arena_size;
@@ -111,6 +118,8 @@ struct alignas(kCacheLineSize) CommBufferHeader {
   std::uint32_t max_endpoints;
   std::uint32_t cell_arena_size;
   std::uint32_t doorbell_capacity;
+  std::uint32_t shard_count;
+  std::uint32_t endpoints_per_shard;
   std::uint64_t endpoint_table_offset;
   std::uint64_t telemetry_offset;
   std::uint64_t cell_arena_offset;
@@ -132,8 +141,10 @@ inline constexpr std::uint64_t kCommBufferMagic = 0x464c495043313936ull;  // "FL
 // doorbell_offset, and the cursors + cells between the free list and the
 // message buffers). Version 3 added the per-endpoint telemetry table
 // (telemetry_offset and one TelemetryBlock per endpoint slot between the
-// endpoint table and the cell arena).
-inline constexpr std::uint32_t kCommBufferVersion = 3;
+// endpoint table and the cell arena). Version 4 added engine sharding:
+// shard_count/endpoints_per_shard in the header, one doorbell ring section
+// per shard, and the shard cell on each endpoint record's config line.
+inline constexpr std::uint32_t kCommBufferVersion = 4;
 
 class CommBuffer {
  public:
@@ -164,6 +175,24 @@ class CommBuffer {
   std::uint32_t buffer_count() const { return header_->buffer_count; }
   std::uint32_t max_endpoints() const { return header_->max_endpoints; }
 
+  // ---- Shard geometry (immutable after format) ----
+  std::uint32_t shard_count() const { return header_->shard_count; }
+  std::uint32_t endpoints_per_shard() const { return header_->endpoints_per_shard; }
+  // Shard that owns endpoint slot `index` (contiguous block assignment).
+  std::uint32_t shard_of(std::uint32_t index) const {
+    return index / header_->endpoints_per_shard;
+  }
+  // Endpoint index range [first, end) owned by `shard`.
+  std::uint32_t shard_first_endpoint(std::uint32_t shard) const {
+    return shard * header_->endpoints_per_shard;
+  }
+  std::uint32_t shard_end_endpoint(std::uint32_t shard) const {
+    const std::uint64_t end = static_cast<std::uint64_t>(shard + 1) *
+                              header_->endpoints_per_shard;
+    return end > header_->max_endpoints ? header_->max_endpoints
+                                        : static_cast<std::uint32_t>(end);
+  }
+
   // ---- Message buffers (application side) ----
   FLIPC_ROLE_APP Result<BufferIndex> AllocateBuffer();
   FLIPC_ROLE_APP Status FreeBuffer(BufferIndex index);
@@ -177,6 +206,8 @@ class CommBuffer {
   }
 
   // ---- Endpoints (application side) ----
+  static constexpr std::uint32_t kAnyShard = 0xffffffffu;
+
   struct EndpointParams {
     EndpointType type = EndpointType::kReceive;
     std::uint32_t queue_capacity = 16;  // power of two
@@ -188,6 +219,9 @@ class CommBuffer {
     std::uint32_t allowed_peer = 0xffffffffu;
     // Minimum ns between transmissions (send endpoints); 0 = unlimited.
     std::uint32_t min_send_interval_ns = 0;
+    // Restrict allocation to the slot range of one shard (DESIGN.md §12);
+    // kAnyShard picks the first free slot regardless of shard.
+    std::uint32_t shard = kAnyShard;
   };
 
   FLIPC_ROLE_QUIESCENT Result<std::uint32_t> AllocateEndpoint(const EndpointParams& params);
@@ -205,8 +239,11 @@ class CommBuffer {
   // Queue view bound to an endpoint's cursors and cells.
   waitfree::BufferQueueView queue(std::uint32_t endpoint_index);
 
-  // View of the send doorbell ring (application rings, engine drains).
-  waitfree::DoorbellRingView doorbell_ring();
+  // View of a shard's send doorbell ring (application rings, the owning
+  // shard planner drains). The no-argument form is shard 0 — the only ring
+  // when unsharded.
+  waitfree::DoorbellRingView doorbell_ring() { return doorbell_ring(0); }
+  waitfree::DoorbellRingView doorbell_ring(std::uint32_t shard);
   std::uint32_t doorbell_capacity() const { return header_->doorbell_capacity; }
 
   // Per-endpoint telemetry. Reads need no role; writes go through the
@@ -229,8 +266,11 @@ class CommBuffer {
   TelemetryBlock* telemetry_table();
   waitfree::SingleWriterCell<BufferIndex>* cell_arena();
   std::uint32_t* freelist();
-  waitfree::DoorbellCursors* doorbell_cursors();
-  waitfree::SingleWriterCell<std::uint64_t>* doorbell_cells();
+  // Byte stride between consecutive shards' doorbell sections (cursors +
+  // cells, cache-line aligned).
+  std::size_t doorbell_section_stride() const;
+  waitfree::DoorbellCursors* doorbell_cursors(std::uint32_t shard);
+  waitfree::SingleWriterCell<std::uint64_t>* doorbell_cells(std::uint32_t shard);
 
   std::byte* base_ = nullptr;
   CommBufferHeader* header_ = nullptr;

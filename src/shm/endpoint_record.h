@@ -68,6 +68,11 @@ struct alignas(kCacheLineSize) EndpointRecord {
   // Capacity control (future-work): minimum ns between transmissions from
   // this endpoint; 0 means unlimited. Enforced by the engine's scheduler.
   waitfree::SingleWriterCell<std::uint32_t> min_send_interval_ns;
+  // Sharded engine: which shard planner owns this endpoint (DESIGN.md §12).
+  // Assigned at allocation from the comm buffer's shard geometry and
+  // published here so the application rings the owning shard's doorbell
+  // ring without recomputing the mapping. Always 0 when shard_count == 1.
+  waitfree::SingleWriterCell<std::uint32_t> shard;
 
   // ---- Line 1: application-written hot state ----
   alignas(kCacheLineSize) waitfree::SingleWriterCell<std::uint32_t> release_count;

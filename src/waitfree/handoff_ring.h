@@ -1,0 +1,187 @@
+// The engine-to-engine handoff ring: a wait-free SPSC ring that moves
+// cross-shard work between shard planners.
+//
+// With the sharded engine (DESIGN.md §12) each planner owns one endpoint
+// range. Inbound packets all arrive at the distributor shard (the one shard
+// that polls the node's wire, preserving the fabric's per-(src,dst) FIFO
+// order), and packets destined for another shard's endpoints are handed off
+// through one of these rings — one ring per consumer shard, with the
+// distributor as the only producer.
+//
+// The ring reuses the doorbell ring's lap-tag idiom (doorbell_ring.h): slot
+// validity is carried by a producer-published tag cell per slot, never by a
+// consumer-written flag, so every shared word keeps exactly one writer:
+//
+//   * handoff_tail and the slot tags are written only by the PRODUCER shard;
+//   * handoff_head is written only by the CONSUMER shard;
+//   * the two cursors live on separate cache lines (the false-sharing rule
+//     applies across shards exactly as it does across the app/engine
+//     boundary).
+//
+// Unlike the MPSC doorbell ring there is no RMW anywhere: with a single
+// producer the slot claim is a plain private counter, so both sides are
+// loads and stores only — the engine-side discipline the paper's controllers
+// require. And unlike doorbells, handoff entries are not hints: a packet in
+// the ring is the only copy of that message. Push therefore reports a full
+// ring to the caller instead of dropping, and the distributor parks the
+// packet and stalls wire polling until the consumer drains a slot (bounded
+// memory, order preserved, liveness restored by the consumer's progress —
+// see MessagingEngine's route-retry path).
+//
+// Both sides run under the shard-qualified engine role
+// (FLIPC_ROLE_ENGINE_SHARD): statically they are engine-side writers; at run
+// time the cells are declared with their owning shard id, so a planner that
+// writes another shard's cursor aborts under FLIPC_CHECK_SINGLE_WRITER.
+#ifndef SRC_WAITFREE_HANDOFF_RING_H_
+#define SRC_WAITFREE_HANDOFF_RING_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/base/hotpath.h"
+#include "src/base/types.h"
+#include "src/waitfree/boundary_check.h"
+#include "src/waitfree/single_writer.h"
+
+namespace flipc::waitfree {
+
+// Cursor block, one cache line per writing shard.
+struct alignas(kCacheLineSize) HandoffCursors {
+  // --- Producer-shard line ---
+  // Published producer position (introspection / PendingCount). The
+  // producer's authoritative position is its private counter; this cell
+  // mirrors it for readers.
+  SingleWriterCell<std::uint32_t> handoff_tail;
+
+  // --- Consumer-shard line ---
+  alignas(kCacheLineSize) SingleWriterCell<std::uint32_t> handoff_head;
+
+  // Registers the cursors with the ownership race detector, qualified by
+  // the owning shards (no-op unless FLIPC_CHECK_SINGLE_WRITER).
+  void DeclareOwners(std::uint32_t producer_shard, std::uint32_t consumer_shard) {
+    handoff_tail.DeclareOwner(Writer::kEngine, producer_shard,
+                              "HandoffCursors.handoff_tail");
+    handoff_head.DeclareOwner(Writer::kEngine, consumer_shard,
+                              "HandoffCursors.handoff_head");
+  }
+};
+static_assert(sizeof(HandoffCursors) == 2 * kCacheLineSize);
+
+// Owning SPSC handoff ring carrying T by move. T must be cheap to move and
+// moved-from-empty (the engine instantiates it with simnet::Packet, whose
+// payload vector moves without allocating). Capacity is rounded up to a
+// power of two. The ring lives in engine host memory — unlike the comm
+// buffer it never crosses the app boundary — so owning std::vector storage
+// is fine; construction is off the hot path.
+template <typename T>
+class SpscHandoffRing {
+ public:
+  explicit SpscHandoffRing(std::uint32_t capacity,
+                           std::uint32_t producer_shard = kShardAny,
+                           std::uint32_t consumer_shard = kShardAny) {
+    std::uint32_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    capacity_ = cap;
+    mask_ = cap - 1;
+    while ((cap >>= 1) != 0) {
+      ++shift_;
+    }
+    slots_.resize(capacity_);
+    // Cells are neither copyable nor movable (they wrap an atomic), so the
+    // tag array is a value-initialized unique_ptr array rather than a
+    // vector. Zeroed tags: lap tag 0 never matches.
+    tags_ = std::make_unique<SingleWriterCell<std::uint32_t>[]>(capacity_);
+    cursors_.DeclareOwners(producer_shard, consumer_shard);
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+      tags_[i].DeclareOwner(Writer::kEngine, producer_shard, "HandoffRing.slot_tags");
+    }
+  }
+
+  ~SpscHandoffRing() {
+    // Declarations are keyed by address; drop them before the heap reuses
+    // this storage.
+    UndeclareCellRange(&cursors_, sizeof(cursors_));
+    UndeclareCellRange(tags_.get(), capacity_ * sizeof(tags_[0]));
+  }
+
+  SpscHandoffRing(const SpscHandoffRing&) = delete;
+  SpscHandoffRing& operator=(const SpscHandoffRing&) = delete;
+
+  std::uint32_t capacity() const { return capacity_; }
+
+  // ====================== Producer shard only ==============================
+
+  // Pushes `value` into the ring, or returns false (value untouched) when
+  // the ring is full. Wait-free: one bounded attempt, loads and stores only.
+  FLIPC_ROLE_ENGINE_SHARD bool Push(T& value) {
+    FLIPC_HOT_PATH("SpscHandoffRing::Push");
+    const std::uint32_t pos = tail_pos_;
+    // Acquire pairs with the consumer's head Publish: observing the
+    // advanced head also orders the consumer's move-out of the slot this
+    // push is about to overwrite.
+    if (pos - cursors_.handoff_head.Read() >= capacity_) {
+      return false;
+    }
+    slots_[pos & mask_] = std::move(value);
+    // Release-publishing the tag makes the slot contents visible to the
+    // consumer; the tail mirror is for introspection only.
+    tags_[pos & mask_].Publish(ExpectedTag(pos));
+    tail_pos_ = pos + 1;
+    cursors_.handoff_tail.Publish(tail_pos_);
+    return true;
+  }
+
+  // ====================== Consumer shard only ==============================
+
+  // Moves the next entry into `*out` and returns true, or returns false
+  // when the ring is empty. Wait-free: loads and stores only.
+  FLIPC_ROLE_ENGINE_SHARD bool Pop(T* out) {
+    FLIPC_HOT_PATH("SpscHandoffRing::Pop");
+    const std::uint32_t head = cursors_.handoff_head.ReadRelaxed();
+    // Acquire pairs with the producer's tag Publish (orders the slot data).
+    if (tags_[head & mask_].Read() != ExpectedTag(head)) {
+      return false;  // Slot not yet published for this lap: ring empty.
+    }
+    *out = std::move(slots_[head & mask_]);
+    // Release-publishing the head returns the slot to the producer and
+    // orders the move-out above before any producer reuse.
+    cursors_.handoff_head.Publish(head + 1);
+    return true;
+  }
+
+  // True when a published entry is waiting at the head (consumer-accurate;
+  // other readers see a racy hint).
+  bool HasPending() const {
+    const std::uint32_t head = cursors_.handoff_head.ReadRelaxed();
+    return tags_[head & mask_].Read() == ExpectedTag(head);
+  }
+
+  // ==================== Introspection (either side) ========================
+
+  std::uint32_t PendingCount() const {
+    return cursors_.handoff_tail.Read() - cursors_.handoff_head.Read();
+  }
+
+ private:
+  // Lap tag for position `pos`: lap number + 1, so a zero-initialized tag
+  // never matches any expected tag (same construction as the doorbell
+  // ring's cell tags).
+  std::uint32_t ExpectedTag(std::uint32_t pos) const { return (pos >> shift_) + 1; }
+
+  HandoffCursors cursors_{};
+  std::vector<T> slots_;
+  std::unique_ptr<SingleWriterCell<std::uint32_t>[]> tags_;
+  // Producer-private position; the shared handoff_tail cell mirrors it.
+  std::uint32_t tail_pos_ = 0;
+  std::uint32_t mask_ = 0;
+  std::uint32_t capacity_ = 0;
+  std::uint32_t shift_ = 0;
+};
+
+}  // namespace flipc::waitfree
+
+#endif  // SRC_WAITFREE_HANDOFF_RING_H_

@@ -26,6 +26,7 @@
 #include "src/waitfree/buffer_queue.h"
 #include "src/waitfree/doorbell_ring.h"
 #include "src/waitfree/drop_counter.h"
+#include "src/waitfree/handoff_ring.h"
 #include "src/waitfree/msg_state.h"
 
 namespace flipc::waitfree {
@@ -160,6 +161,49 @@ TEST(SanitizerStress, DoorbellRingAppVsEngineThreads) {
   EXPECT_FALSE(ring.view().HasPending());
 }
 
+TEST(SanitizerStress, HandoffRingShardVsShardThreads) {
+  // Cross-SHARD stress: unlike the tests above, both sides of this ring are
+  // engine threads — the distributor shard pushing, a planner shard popping.
+  // Entries are not hints: every pushed value is the only copy, so the
+  // invariant is total conservation in FIFO order, with Push refusing (not
+  // dropping) when full.
+  constexpr std::uint32_t kCapacity = 8;
+  constexpr std::uint64_t kMessages = kQueueMessages;
+  SpscHandoffRing<std::uint64_t> ring(kCapacity, /*producer_shard=*/0,
+                                      /*consumer_shard=*/1);
+
+  // Consumer: planner shard 1 drains its inbox, checking FIFO.
+  std::thread consumer([&ring] {
+    BoundaryRole::BindCurrentThread(Writer::kEngine, /*shard=*/1);
+    std::uint64_t next = 0;
+    std::uint64_t value = 0;
+    while (next < kMessages) {
+      if (!ring.Pop(&value)) {
+        std::this_thread::yield();
+        continue;
+      }
+      ASSERT_EQ(value, next) << "consumer shard popped out of order";
+      ++next;
+    }
+    BoundaryRole::UnbindCurrentThread();
+  });
+
+  // Producer (this thread): distributor shard 0 pushes sequential values,
+  // retrying on full exactly as the engine's park-and-retry path does.
+  BoundaryRole::BindCurrentThread(Writer::kEngine, /*shard=*/0);
+  for (std::uint64_t i = 0; i < kMessages; ++i) {
+    std::uint64_t value = i;
+    while (!ring.Push(value)) {
+      std::this_thread::yield();
+    }
+  }
+  BoundaryRole::UnbindCurrentThread();
+  consumer.join();
+
+  EXPECT_EQ(ring.PendingCount(), 0u);
+  EXPECT_FALSE(ring.HasPending());
+}
+
 // ---- Ownership checker death tests (checking builds only) ------------------
 
 #ifdef FLIPC_CHECK_SINGLE_WRITER
@@ -261,6 +305,41 @@ TEST(OwnershipCheckerDeath, HandoffWrongDirectionAborts) {
         state.Store(MsgState::kCompleted);
       },
       "may only be stored by the engine");
+}
+
+TEST(OwnershipCheckerDeath, WrongShardPushingHandoffRingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Shard-qualified ownership: Push writes the producer shard's slot tags
+  // and tail cursor. A planner bound to the CONSUMER shard calling Push is
+  // an engine-side thread with the right role but the wrong shard — only
+  // the shard qualifier catches it.
+  EXPECT_DEATH(
+      {
+        SpscHandoffRing<std::uint64_t> ring(4, /*producer_shard=*/0,
+                                            /*consumer_shard=*/1);
+        ScopedBoundaryRole consumer(Writer::kEngine, /*shard=*/1);
+        std::uint64_t value = 42;
+        ring.Push(value);
+      },
+      "owned by engine shard 0 but was written by a thread bound to shard 1");
+}
+
+TEST(OwnershipCheckerDeath, WrongShardPoppingHandoffRingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SpscHandoffRing<std::uint64_t> ring(4, /*producer_shard=*/0,
+                                            /*consumer_shard=*/1);
+        {
+          ScopedBoundaryRole producer(Writer::kEngine, /*shard=*/0);
+          std::uint64_t value = 7;
+          ring.Push(value);
+          // Cross-shard write: handoff_head is the consumer shard's cursor.
+          ring.Pop(&value);
+        }
+      },
+      "HandoffCursors.handoff_head.*owned by engine shard 1 but was written "
+      "by a thread bound to shard 0");
 }
 
 TEST(OwnershipChecker, UnboundThreadsAndExemptionsAreUnchecked) {

@@ -176,10 +176,11 @@ TEST(Telemetry, EngineHistogramsRecordCommittedWork) {
   EXPECT_EQ(stats.batched_messages + (stats.messages_sent - stats.batched_messages), 5u);
 }
 
-// The telemetry table is part of the shared-memory ABI: version 3, one
+// The telemetry table is part of the shared-memory ABI: introduced in
+// version 3 (version 4 added shard geometry without moving it), one
 // cache-line-aligned block per endpoint slot, visible through Attach.
-TEST(Telemetry, CommBufferVersionThreeAbi) {
-  static_assert(shm::kCommBufferVersion == 3);
+TEST(Telemetry, CommBufferTelemetryAbi) {
+  static_assert(shm::kCommBufferVersion == 4);
   static_assert(sizeof(shm::TelemetryBlock) == 2 * kCacheLineSize);
   static_assert(alignof(shm::TelemetryBlock) == kCacheLineSize);
 

@@ -42,11 +42,16 @@ ROLE_QUIESCENT = "quiescent"
 ROLE_MACROS = {
     "FLIPC_ROLE_APP": ROLE_APP,
     "FLIPC_ROLE_ENGINE": ROLE_ENGINE,
+    # Shard-qualified engine role: statically it IS the engine role (the
+    # auditor proves the writer side); the per-shard confinement is enforced
+    # at run time by the boundary checker's shard-qualified declarations.
+    "FLIPC_ROLE_ENGINE_SHARD": ROLE_ENGINE,
     "FLIPC_ROLE_QUIESCENT": ROLE_QUIESCENT,
 }
 ROLE_ANNOTATIONS = {
     "flipc_role_app": ROLE_APP,
     "flipc_role_engine": ROLE_ENGINE,
+    "flipc_role_engine_shard": ROLE_ENGINE,
     "flipc_role_quiescent": ROLE_QUIESCENT,
 }
 

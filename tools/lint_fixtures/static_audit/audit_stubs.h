@@ -13,10 +13,12 @@
 #if defined(__clang__)
 #define FLIPC_ROLE_APP __attribute__((annotate("flipc_role_app")))
 #define FLIPC_ROLE_ENGINE __attribute__((annotate("flipc_role_engine")))
+#define FLIPC_ROLE_ENGINE_SHARD __attribute__((annotate("flipc_role_engine_shard")))
 #define FLIPC_ROLE_QUIESCENT __attribute__((annotate("flipc_role_quiescent")))
 #else
 #define FLIPC_ROLE_APP
 #define FLIPC_ROLE_ENGINE
+#define FLIPC_ROLE_ENGINE_SHARD
 #define FLIPC_ROLE_QUIESCENT
 #endif
 
@@ -62,6 +64,15 @@ struct Cfg {
 struct Hdr {
   unsigned long magic;      // plain, quiescent-only
   unsigned long free_head;  // plain, app-owned
+};
+
+// Cross-shard handoff cursors (shard_role_*.cc). Both are engine-side
+// cells; the static auditor proves the engine-vs-app split, while the
+// producer-vs-consumer SHARD split is a runtime property enforced by the
+// boundary checker's shard-qualified declarations.
+struct HandoffCursors {
+  flipc::SingleWriterCell<unsigned long> handoff_tail;  // producer shard's cursor
+  flipc::SingleWriterCell<unsigned long> handoff_head;  // consumer shard's cursor
 };
 
 #endif  // TOOLS_LINT_FIXTURES_STATIC_AUDIT_AUDIT_STUBS_H_

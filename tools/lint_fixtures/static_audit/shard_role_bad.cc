@@ -1,0 +1,20 @@
+// Shard-qualified roles — seeded violations the auditor must reject: the
+// handoff cursors are engine-side cells, so application closures and
+// unrooted writers may not touch them even though two engine shards share
+// the ring.
+#include "audit_stubs.h"
+
+struct HandoffRing {
+  HandoffCursors cursors;
+
+  // An application closure draining another shard's inbox directly would
+  // bypass the planner; the cursors are engine-owned.
+  FLIPC_ROLE_APP void AppDrain() {
+    cursors.handoff_head.Publish(1);  // AUDIT-EXPECT: owned by engine
+  }
+
+  // Write with no role-annotated entry point anywhere in the caller closure.
+  void Orphan() {
+    cursors.handoff_tail.Publish(1);  // AUDIT-EXPECT: unrooted write
+  }
+};

@@ -1,0 +1,39 @@
+// Shard-qualified roles (sharded engine, DESIGN.md §12) — conforming code
+// the auditor must accept. FLIPC_ROLE_ENGINE_SHARD statically means "engine
+// side": the auditor proves no application closure touches the handoff
+// cursors, while the producer-vs-consumer shard confinement is a runtime
+// property the boundary checker's shard-qualified declarations enforce.
+#include "audit_stubs.h"
+
+struct HandoffRing {
+  HandoffCursors cursors;
+
+  // Producer shard: publishes its tail mirror after a push.
+  FLIPC_ROLE_ENGINE_SHARD void Push() {
+    cursors.handoff_tail.Publish(cursors.handoff_tail.ReadRelaxed() + 1);
+  }
+
+  // Consumer shard: returns the slot after moving the entry out.
+  FLIPC_ROLE_ENGINE_SHARD void Pop() {
+    cursors.handoff_head.Publish(cursors.handoff_head.ReadRelaxed() + 1);
+  }
+
+  // The shard role propagates through the call graph like the others:
+  // AdvanceHead carries no annotation but is reached only from Pop2 below.
+  void AdvanceHead() {
+    cursors.handoff_head.Publish(cursors.handoff_head.ReadRelaxed() + 1);
+  }
+
+  FLIPC_ROLE_ENGINE_SHARD void Pop2() { AdvanceHead(); }
+
+  // Construction zeroes both sides while the ring is quiescent.
+  FLIPC_ROLE_QUIESCENT void Reset() {
+    cursors.handoff_tail.StoreRelaxed(0);
+    cursors.handoff_head.StoreRelaxed(0);
+  }
+
+  // Either side may read the other's cursor (full/empty checks).
+  FLIPC_ROLE_ENGINE_SHARD unsigned long Pending() {
+    return cursors.handoff_tail.Read() - cursors.handoff_head.Read();
+  }
+};
