@@ -10,8 +10,14 @@
 #   asan-ubsan    AddressSanitizer + UBSan build + full ctest
 #   tidy          clang-tidy over src/ (skipped with a notice if not installed)
 #   static-audit  flipc_static_audit (role/memory-order/hot-path proofs) +
-#                 policy drift check + fixture selftest (skipped without
-#                 python3)
+#                 policy + protocol-IR drift checks, fixture selftest and
+#                 the fact-cache selftest (skipped without python3)
+#   progress-cert whole-program wait-free certificate (interprocedural
+#                 purity closure + bounded-progress proofs) under EVERY
+#                 frontend available here — tokparse always, libclang when
+#                 python3-clang is importable — plus the JSON report and
+#                 the park-site census gate (>=1 annotated park site, none
+#                 inside a hot-path scope)
 #
 # Usage: scripts/check.sh [leg ...]     (default: every leg)
 # Build trees live under build-matrix/<leg> and are reused across runs.
@@ -27,7 +33,7 @@ fi
 JOBS="$(nproc 2> /dev/null || echo 4)"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit)
+  LEGS=(plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit progress-cert)
 fi
 
 build_and_test() {
@@ -67,7 +73,38 @@ run_static_audit() {
   echo "==== [static-audit] protocol auditor + drift + selftest ($dir) ===="
   cmake -B "$dir" -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j "$JOBS" --target flipc_ownership_export
-  ctest --test-dir "$dir" --output-on-failure     -R '^flipc_(static_audit|static_audit_selftest|ownership_policy_drift)$'
+  ctest --test-dir "$dir" --output-on-failure     -R '^flipc_(static_audit|static_audit_selftest|static_audit_cache|ownership_policy_drift|protocol_ir_drift)$'
+}
+
+run_progress_cert() {
+  if ! command -v python3 > /dev/null 2>&1; then
+    echo "==== [progress-cert] SKIPPED: python3 not installed ===="
+    return 0
+  fi
+  local dir="build-matrix/progress-cert"
+  mkdir -p "$dir"
+  local frontends=(tokparse)
+  if python3 -c 'import clang.cindex' > /dev/null 2>&1; then
+    frontends+=(clang)
+  else
+    echo "==== [progress-cert] python3-clang not importable: tokparse frontend only ===="
+  fi
+  for fe in "${frontends[@]}"; do
+    echo "==== [progress-cert/$fe] whole-program wait-free certificate ===="
+    python3 tools/flipc_static_audit/flipc_static_audit.py       --policy tools/ownership_policy.json --source-root .       --frontend "$fe" --cache-dir "$dir/cache-$fe"       --json "$dir/audit_report_$fe.json"
+  done
+  echo "==== [progress-cert] park-site census gate ===="
+  python3 - "$dir/audit_report_${frontends[0]}.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+census = doc["unbounded_wait_sites"]
+print(f"park sites: {census['total']} total, {census['in_hot_scope']} in hot scopes")
+if census["total"] < 1:
+    sys.exit("expected at least one FLIPC_UNBOUNDED_WAIT park site "
+             "(the annotations vanished, so the census gate is vacuous)")
+if census["in_hot_scope"] != 0:
+    sys.exit("FLIPC_UNBOUNDED_WAIT park site(s) inside hot-path scopes")
+EOF
 }
 
 for leg in "${LEGS[@]}"; do
@@ -80,8 +117,9 @@ for leg in "${LEGS[@]}"; do
     asan-ubsan)    build_and_test asan-ubsan -DFLIPC_SANITIZE=address,undefined ;;
     tidy)          run_tidy ;;
     static-audit)  run_static_audit ;;
+    progress-cert) run_progress_cert ;;
     *)
-      echo "unknown leg '$leg' (expected: plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit)" >&2
+      echo "unknown leg '$leg' (expected: plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit progress-cert)" >&2
       exit 2
       ;;
   esac

@@ -94,6 +94,34 @@
 #define FLIPC_ROLE_QUIESCENT
 #endif
 
+// ---- Progress annotations (tools/flipc_static_audit) -----------------------
+//
+// The bounded-progress certifier proves that every loop reachable from a
+// wait-free entry point (a FLIPC_HOT_PATH scope) terminates in a bounded
+// number of steps. Loops whose trip bound is a compile-time constant or a
+// countdown are recognized automatically; everything else must be annotated:
+//
+//   FLIPC_BOUNDED_BY(expr)       placed as the statement immediately before
+//                                a loop: the loop executes at most `expr`
+//                                iterations (a ring/queue capacity, a shard's
+//                                endpoint-range width, a histogram's bucket
+//                                count). `expr` must name real in-scope state
+//                                — it is syntax-checked (unevaluated), so the
+//                                annotation cannot rot into referring to
+//                                variables that no longer exist.
+//   FLIPC_UNBOUNDED_WAIT(why)    placed before a loop that legitimately waits
+//                                for another agent's progress (a lock spin, a
+//                                blocking-receive park). Such a park site is
+//                                permitted only OUTSIDE hot-path scopes and
+//                                outside the hot closure; the certifier
+//                                hard-errors on one reachable from a wait-free
+//                                entry point.
+//
+// Both are statements that compile to nothing in every build mode; the
+// auditor frontends read the macro names straight from the token stream.
+#define FLIPC_BOUNDED_BY(expr) ((void)sizeof((expr)))
+#define FLIPC_UNBOUNDED_WAIT(why) ((void)sizeof((why)))
+
 namespace flipc::hotpath {
 
 // What a guard observed inside an armed hot-path scope.

@@ -48,8 +48,10 @@ class FLIPC_CAPABILITY("TasLock") TasLock {
 
   void lock() FLIPC_ACQUIRE() {
     hotpath::OnLockAcquire("TasLock::lock");
+    FLIPC_UNBOUNDED_WAIT("lock spin: bounded only by the holder's release");
     while (flag_.test_and_set(std::memory_order_acquire)) {
       // Spin on a plain load to avoid hammering the bus with RMWs.
+      FLIPC_UNBOUNDED_WAIT("lock spin: bounded only by the holder's release");
       while (flag_.test(std::memory_order_relaxed)) {
         CpuRelax();
       }
@@ -89,6 +91,7 @@ class FLIPC_CAPABILITY("PetersonLock") PetersonLock {
     const int other = 1 - side;
     interested_[side].store(true, std::memory_order_seq_cst);
     turn_.store(other, std::memory_order_seq_cst);
+    FLIPC_UNBOUNDED_WAIT("lock spin: bounded only by the other side's exit");
     while (interested_[other].load(std::memory_order_seq_cst) &&
            turn_.load(std::memory_order_seq_cst) == other) {
       CpuRelax();

@@ -85,6 +85,7 @@ void EngineRunner::Loop() {
   constexpr int kSpinBudget = 64;
   int idle_polls = 0;
 
+  FLIPC_UNBOUNDED_WAIT("engine thread main loop: runs until Stop()");
   while (!stop_.load(std::memory_order_acquire)) {
     const std::uint64_t kicks_before = kicks_.load(std::memory_order_acquire);
     if (engine_.Step()) {

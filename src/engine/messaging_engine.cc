@@ -104,6 +104,7 @@ std::uint32_t MessagingEngine::FindSendWork() {
     std::uint32_t best_priority = 0;
     std::uint32_t first_ready = shm::kInvalidEndpoint;
     const TimeNs now = NowForThrottle();
+    FLIPC_BOUNDED_BY(shard_end_ - shard_first_);
     for (std::uint32_t off = 0; off < n; ++off) {
       const std::uint32_t i = shard_first_ + (scan_cursor_ + off) % n;
       ++stats_.endpoints_visited;
@@ -128,6 +129,7 @@ std::uint32_t MessagingEngine::FindSendWork() {
   }
 
   const TimeNs now = NowForThrottle();
+  FLIPC_BOUNDED_BY(shard_end_ - shard_first_);
   for (std::uint32_t off = 0; off < n; ++off) {
     const std::uint32_t i = shard_first_ + (scan_cursor_ + off) % n;
     ++stats_.endpoints_visited;
@@ -172,6 +174,7 @@ void MessagingEngine::DrainDoorbells() {
 void MessagingEngine::SweepAllEndpoints() {
   ++stats_.backstop_sweeps;
   stats_.endpoints_visited += shard_end_ - shard_first_;
+  FLIPC_BOUNDED_BY(shard_end_ - shard_first_);
   for (std::uint32_t i = shard_first_; i < shard_end_; ++i) {
     if (comm_.endpoint(i).Type() != EndpointType::kSend) {
       continue;

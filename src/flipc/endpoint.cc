@@ -142,6 +142,7 @@ Result<MessageBuffer> Endpoint::AcquireBlocking(EndpointType expected, simos::Pr
 
   const TimeNs deadline =
       timeout_ns < 0 ? kTimeNever : RealClock::Instance().NowNs() + timeout_ns;
+  FLIPC_UNBOUNDED_WAIT("blocking receive: parks on the endpoint semaphore");
   for (;;) {
     Result<MessageBuffer> result = AcquireCommon(expected, /*locked=*/true);
     if (result.ok() || result.status().code() != StatusCode::kUnavailable) {

@@ -36,7 +36,7 @@ void EndpointGroup::RemoveMember(const Endpoint& endpoint) {
   cursor_ = 0;
 }
 
-std::size_t EndpointGroup::size() const {
+std::size_t EndpointGroup::member_count() const {
   ScopedLock<std::mutex> guard(mutex_);
   return members_.size();
 }

@@ -51,7 +51,12 @@ class EndpointGroup {
                                         DurationNs timeout_ns = -1);
 
   std::uint32_t semaphore_id() const { return semaphore_id_; }
-  std::size_t size() const;
+
+  // Number of member endpoints. Deliberately NOT named `size()`: this
+  // accessor takes the group mutex, and the wait-free certifier resolves
+  // calls by simple name — a container `.size()` inside an engine hot
+  // scope must not alias a lock-taking function.
+  std::size_t member_count() const;
 
   // Removes an endpoint from the group's scan set (e.g. before destroying
   // it). The endpoint keeps signaling the group's semaphore until it is

@@ -140,6 +140,13 @@ void CheckCellWrite(const void* cell) {
   std::uint32_t shard;
   const char* label;
   {
+    // Checker-internal bookkeeping: the registry lookup takes the shared
+    // lock, which is accepted debug-mode cost (this whole function compiles
+    // out of product builds). The exemption keeps the hot-path guard — and
+    // the static certifier's purity closure, which reaches this function
+    // through SingleWriterCell::Publish — from charging the checker's own
+    // lock to the protocol.
+    FLIPC_HOT_PATH_EXEMPT("single-writer checker bookkeeping");
     Registry& registry = *registry_ptr;
     std::shared_lock lock(registry.mutex);
     const auto it = registry.cells.find(cell);

@@ -128,6 +128,7 @@ class DoorbellRingView {
     // stale (plus slack for producers racing ahead while we consume).
     FLIPC_HOT_PATH_LOOP_BUDGET(budget, "DoorbellRingView::Pop",
                                2 * static_cast<std::uint64_t>(capacity_) + 64);
+    FLIPC_BOUNDED_BY(2 * capacity_ + 64);
     for (;;) {
       FLIPC_HOT_PATH_LOOP_STEP(budget);
       const std::uint32_t head = cursors_->ring_head.ReadRelaxed();

@@ -217,7 +217,7 @@ TEST(EndpointGroup, ReceiveScansAllMembers) {
   auto rx1 = b.CreateEndpoint(member_options);
   auto rx2 = b.CreateEndpoint(member_options);
   ASSERT_TRUE(rx1.ok() && rx2.ok());
-  EXPECT_EQ((*group)->size(), 2u);
+  EXPECT_EQ((*group)->member_count(), 2u);
 
   for (auto* rx : {&*rx1, &*rx2}) {
     auto buffer = b.AllocateBuffer();
@@ -254,9 +254,9 @@ TEST(EndpointGroup, RemoveMemberStopsScanning) {
   member_options.group = group->get();
   auto rx = b.CreateEndpoint(member_options);
   ASSERT_TRUE(rx.ok());
-  EXPECT_EQ((*group)->size(), 1u);
+  EXPECT_EQ((*group)->member_count(), 1u);
   (*group)->RemoveMember(*rx);
-  EXPECT_EQ((*group)->size(), 0u);
+  EXPECT_EQ((*group)->member_count(), 0u);
 }
 
 // ------------------------------ Call counters --------------------------------

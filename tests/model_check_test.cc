@@ -8,6 +8,14 @@
 // bounded operation sequences (up to a few thousand schedules) and check
 // the queue and drop-counter invariants against a reference model in every
 // one of them. A violation prints the exact schedule that produced it.
+//
+// The operation mixes and expected schedule counts for the three rings are
+// GENERATED from the protocol IR the static certifier exports
+// (tests/generated_model_schedules.h — see tools/flipc_static_audit
+// --emit-schedules): when the wait-free protocol changes, the drift ctest
+// regenerates the seeds rather than this file silently model-checking a
+// stale operation mix. The drop-counter tests at the bottom are documented
+// extras — the structure is a counter, not one of the generated rings.
 #include <functional>
 #include <string>
 #include <vector>
@@ -19,9 +27,12 @@
 #include "src/waitfree/doorbell_ring.h"
 #include "src/waitfree/drop_counter.h"
 #include "src/waitfree/handoff_ring.h"
+#include "tests/generated_model_schedules.h"
 
 namespace flipc::waitfree {
 namespace {
+
+namespace gen = flipc::generated_schedules;
 
 // Explores all interleavings of two operation sequences. Each operation is
 // a callback; `check` runs after every operation with the schedule string.
@@ -75,7 +86,7 @@ void ForAllInterleavings(const std::vector<std::function<void()>>& app_ops,
 
 class QueueModel {
  public:
-  static constexpr std::uint32_t kCapacity = 4;
+  static constexpr std::uint32_t kCapacity = gen::kModelCapacity;
 
   void Reset() {
     queue_ = std::make_unique<InlineBufferQueue<kCapacity>>();
@@ -127,55 +138,21 @@ class QueueModel {
   std::uint32_t acquired_ = 0;
 };
 
-TEST(ModelCheck, QueueAllInterleavingsOfSixOps) {
+TEST(ModelCheck, QueueSteadyStateInterleavings) {
   QueueModel model;
   std::string current_schedule;
 
-  // App: release, release, acquire, release, acquire.
-  std::vector<std::function<void()>> app_ops = {
-      [&] { model.AppRelease(); },
-      [&] { model.AppRelease(); },
-      [&] { model.AppAcquire(current_schedule); },
-      [&] { model.AppRelease(); },
-      [&] { model.AppAcquire(current_schedule); },
-  };
-  // Engine: process x4.
-  std::vector<std::function<void()>> engine_ops = {
-      [&] { model.EngineProcess(current_schedule); },
-      [&] { model.EngineProcess(current_schedule); },
-      [&] { model.EngineProcess(current_schedule); },
-      [&] { model.EngineProcess(current_schedule); },
-  };
-
-  int schedules = 0;
-  ForAllInterleavings(
-      app_ops, engine_ops,
-      [&](const std::string& schedule) {
-        current_schedule = schedule;
-        model.CheckInvariants(schedule);
-        if (schedule.size() == app_ops.size() + engine_ops.size()) {
-          ++schedules;
-        }
-      },
-      [&] { model.Reset(); });
-  // C(9,4) = 126 distinct schedules.
-  EXPECT_EQ(schedules, 126);
-}
-
-TEST(ModelCheck, QueueFullBoundaryInterleavings) {
-  QueueModel model;
-  std::string current_schedule;
-
-  // App: 6 releases against capacity 4 (some must be refused), then 2 acquires.
+  // App side from the generated release/acquire mix ('R'/'A').
   std::vector<std::function<void()>> app_ops;
-  for (int i = 0; i < 6; ++i) {
-    app_ops.emplace_back([&] { model.AppRelease(); });
+  for (const char* p = gen::kQueueSteadyAppOps; *p != '\0'; ++p) {
+    if (*p == 'R') {
+      app_ops.emplace_back([&] { model.AppRelease(); });
+    } else {
+      app_ops.emplace_back([&] { model.AppAcquire(current_schedule); });
+    }
   }
-  app_ops.emplace_back([&] { model.AppAcquire(current_schedule); });
-  app_ops.emplace_back([&] { model.AppAcquire(current_schedule); });
-
   std::vector<std::function<void()>> engine_ops;
-  for (int i = 0; i < 3; ++i) {
+  for (unsigned i = 0; i < gen::kQueueSteadyEngineProcessOps; ++i) {
     engine_ops.emplace_back([&] { model.EngineProcess(current_schedule); });
   }
 
@@ -190,8 +167,39 @@ TEST(ModelCheck, QueueFullBoundaryInterleavings) {
         }
       },
       [&] { model.Reset(); });
-  // C(11,3) = 165 schedules.
-  EXPECT_EQ(schedules, 165);
+  EXPECT_EQ(schedules, gen::kQueueSteadySchedules);
+}
+
+TEST(ModelCheck, QueueFullBoundaryInterleavings) {
+  QueueModel model;
+  std::string current_schedule;
+
+  // Releases beyond capacity (some must be refused), then the acquires.
+  std::vector<std::function<void()>> app_ops;
+  for (unsigned i = 0; i < gen::kQueueFullReleaseOps; ++i) {
+    app_ops.emplace_back([&] { model.AppRelease(); });
+  }
+  for (unsigned i = 0; i < gen::kQueueFullAcquireOps; ++i) {
+    app_ops.emplace_back([&] { model.AppAcquire(current_schedule); });
+  }
+
+  std::vector<std::function<void()>> engine_ops;
+  for (unsigned i = 0; i < gen::kQueueFullEngineProcessOps; ++i) {
+    engine_ops.emplace_back([&] { model.EngineProcess(current_schedule); });
+  }
+
+  int schedules = 0;
+  ForAllInterleavings(
+      app_ops, engine_ops,
+      [&](const std::string& schedule) {
+        current_schedule = schedule;
+        model.CheckInvariants(schedule);
+        if (schedule.size() == app_ops.size() + engine_ops.size()) {
+          ++schedules;
+        }
+      },
+      [&] { model.Reset(); });
+  EXPECT_EQ(schedules, gen::kQueueFullSchedules);
 }
 
 // ---- Doorbell ring: application rings vs engine pops -----------------------
@@ -201,7 +209,7 @@ TEST(ModelCheck, QueueFullBoundaryInterleavings) {
 // popped in FIFO order — no doorbell lost, none duplicated, none invented.
 class DoorbellModel {
  public:
-  static constexpr std::uint32_t kCapacity = 4;
+  static constexpr std::uint32_t kCapacity = gen::kModelCapacity;
 
   void Reset() {
     ring_ = std::make_unique<InlineDoorbellRing<kCapacity>>();
@@ -259,14 +267,14 @@ TEST(ModelCheck, DoorbellRingAllInterleavings) {
   DoorbellModel model;
   std::string current_schedule;
 
-  // App: 5 rings against capacity 4 — schedules where the engine lags see
-  // a full ring and must take the overflow path.
+  // Rings one past capacity — schedules where the engine lags see a full
+  // ring and must take the overflow path.
   std::vector<std::function<void()>> app_ops;
-  for (std::uint32_t i = 0; i < 5; ++i) {
+  for (std::uint32_t i = 0; i < gen::kDoorbellSteadyRingOps; ++i) {
     app_ops.emplace_back([&model, i] { model.AppRing(i); });
   }
   std::vector<std::function<void()>> engine_ops;
-  for (int i = 0; i < 4; ++i) {
+  for (unsigned i = 0; i < gen::kDoorbellSteadyPopOps; ++i) {
     engine_ops.emplace_back([&] { model.EnginePop(current_schedule); });
   }
 
@@ -281,28 +289,30 @@ TEST(ModelCheck, DoorbellRingAllInterleavings) {
         }
       },
       [&] { model.Reset(); });
-  // C(9,4) = 126 distinct schedules.
-  EXPECT_EQ(schedules, 126);
+  EXPECT_EQ(schedules, gen::kDoorbellSteadySchedules);
 }
 
 TEST(ModelCheck, DoorbellOverflowAckInterleavings) {
   DoorbellModel model;
   std::string current_schedule;
 
-  // App: 7 rings against capacity 4 guarantee refusals in every schedule
-  // ordering the acks early; engine: pop, ack, pop, ack — every placement
-  // of the acknowledgement relative to refusals must keep the signal
-  // level-exact (ack too early must leave a later refusal pending).
+  // Rings well past capacity guarantee refusals in every schedule ordering
+  // the acks early; the engine runs the generated pop/ack mix ('P'/'A') —
+  // every placement of the acknowledgement relative to refusals must keep
+  // the signal level-exact (ack too early must leave a later refusal
+  // pending).
   std::vector<std::function<void()>> app_ops;
-  for (std::uint32_t i = 0; i < 7; ++i) {
+  for (std::uint32_t i = 0; i < gen::kDoorbellOverflowRingOps; ++i) {
     app_ops.emplace_back([&model, i] { model.AppRing(i); });
   }
-  std::vector<std::function<void()>> engine_ops = {
-      [&] { model.EnginePop(current_schedule); },
-      [&] { model.EngineAckOverflow(); },
-      [&] { model.EnginePop(current_schedule); },
-      [&] { model.EngineAckOverflow(); },
-  };
+  std::vector<std::function<void()>> engine_ops;
+  for (const char* p = gen::kDoorbellOverflowEngineOps; *p != '\0'; ++p) {
+    if (*p == 'P') {
+      engine_ops.emplace_back([&] { model.EnginePop(current_schedule); });
+    } else {
+      engine_ops.emplace_back([&] { model.EngineAckOverflow(); });
+    }
+  }
 
   int schedules = 0;
   ForAllInterleavings(
@@ -315,8 +325,7 @@ TEST(ModelCheck, DoorbellOverflowAckInterleavings) {
         }
       },
       [&] { model.Reset(); });
-  // C(11,4) = 330 distinct schedules.
-  EXPECT_EQ(schedules, 330);
+  EXPECT_EQ(schedules, gen::kDoorbellOverflowSchedules);
 }
 
 // ---- Handoff ring: distributor shard pushes vs planner shard pops ----------
@@ -336,7 +345,7 @@ TEST(ModelCheck, DoorbellOverflowAckInterleavings) {
 // advanced, or a zero tag matching) would surface as a phantom or lost pop.
 class HandoffModel {
  public:
-  static constexpr std::uint32_t kCapacity = 4;
+  static constexpr std::uint32_t kCapacity = gen::kModelCapacity;
 
   void Reset() {
     ring_ = std::make_unique<SpscHandoffRing<std::uint32_t>>(
@@ -387,17 +396,17 @@ TEST(ModelCheck, HandoffRingWrapInterleavings) {
   HandoffModel model;
   std::string current_schedule;
 
-  // Producer: 8 pushes against capacity 4 — schedules with early pops carry
-  // positions 4..7 into the second lap (tag 2); schedules with late pops
-  // exercise the full-refusal path. Consumer: 5 pops.
+  // Pushes across two laps — schedules with early pops carry the positions
+  // past capacity into the second lap (tag 2); schedules with late pops
+  // exercise the full-refusal path.
   std::vector<std::function<void()>> producer_ops;
-  for (std::uint32_t i = 0; i < 8; ++i) {
+  for (std::uint32_t i = 0; i < gen::kHandoffWrapPushOps; ++i) {
     producer_ops.emplace_back([&model, i, &current_schedule] {
       model.ProducerPush(i, current_schedule);
     });
   }
   std::vector<std::function<void()>> consumer_ops;
-  for (int i = 0; i < 5; ++i) {
+  for (unsigned i = 0; i < gen::kHandoffWrapPopOps; ++i) {
     consumer_ops.emplace_back([&] { model.ConsumerPop(current_schedule); });
   }
 
@@ -412,11 +421,13 @@ TEST(ModelCheck, HandoffRingWrapInterleavings) {
         }
       },
       [&] { model.Reset(); });
-  // C(13,5) = 1287 distinct schedules.
-  EXPECT_EQ(schedules, 1287);
+  EXPECT_EQ(schedules, gen::kHandoffWrapSchedules);
 }
 
 // ---- Drop counter: engine drops vs application read-and-reset --------------
+//
+// Hand-written extra (not generated): the drop counter is a two-location
+// counter, not one of the three protocol rings the IR export covers.
 
 TEST(ModelCheck, DropCounterNeverLosesEvents) {
   std::unique_ptr<DropCounter> counter;

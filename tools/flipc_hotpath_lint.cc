@@ -383,6 +383,59 @@ bool IsAllowlisted(const std::string& rel_path, const std::vector<std::string>& 
   return false;
 }
 
+// True when the file has at least one line the allowlist could be excusing.
+// Matches CheckSourceFile's own line-level detection, so an entry is "used"
+// exactly when removing it would make the source pass fail.
+bool FileUsesRawAtomics(const std::string& path) {
+  std::ifstream file(path);
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.find("std::atomic") != std::string::npos ||
+        line.find("memory_order_") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// A stale allowlist entry is a standing grant nobody audits: either the
+// file is gone (renamed away) or it no longer touches raw atomics. Both
+// are errors — the list must shrink in the same commit that obsoletes the
+// entry, or a later change can silently start using the leftover grant.
+int CheckAllowlistLiveness(const std::vector<std::string>& allowed,
+                           const std::filesystem::path& root,
+                           const std::vector<std::string>& scanned_rel_paths,
+                           bool quiet) {
+  int stale = 0;
+  for (const std::string& entry : allowed) {
+    bool exists = false;
+    for (const std::string& rel : scanned_rel_paths) {
+      if (rel == entry) {
+        exists = true;
+        break;
+      }
+    }
+    if (!exists) {
+      ++stale;
+      if (!quiet) {
+        Fail("stale allowlist entry " + entry +
+             ": no such audited source file (remove it from "
+             "tools/hotpath_lint_allowlist.txt)");
+      }
+      continue;
+    }
+    if (!FileUsesRawAtomics((root / entry).string())) {
+      ++stale;
+      if (!quiet) {
+        Fail("stale allowlist entry " + entry +
+             ": the file no longer uses raw std::atomic / memory_order_ "
+             "(remove the entry so the grant cannot be silently reused)");
+      }
+    }
+  }
+  return stale;
+}
+
 // Scans one source file; returns violations found (also reported via Fail
 // unless quiet). Used both by the real pass and the selftest.
 int CheckSourceFile(const std::string& path, const std::string& rel_path,
@@ -455,15 +508,18 @@ void RunSourcePass(const std::string& source_root, const std::string& allowlist_
       files.push_back(entry.path());
     }
   }
+  std::vector<std::string> scanned_rel_paths;
   for (const auto& file : files) {
     const std::string rel_path =
         std::filesystem::relative(file, root).generic_string();
+    scanned_rel_paths.push_back(rel_path);
     const bool atomics_allowed = PathContains(rel_path, "src/waitfree/") ||
                                  rel_path == "src/base/locks.h" ||
                                  IsAllowlisted(rel_path, allowed);
     CheckSourceFile(file.string(), rel_path, atomics_allowed, /*quiet=*/false);
     ++scanned;
   }
+  CheckAllowlistLiveness(allowed, root, scanned_rel_paths, /*quiet=*/false);
   std::printf("hotpath lint: source pass scanned %d files (%zu allowlisted)\n", scanned,
               allowed.size());
 }
@@ -499,6 +555,29 @@ int RunSelftest(const std::string& bad_object, const std::string& bad_source) {
   } else {
     std::printf("selftest: source pass flagged the bad fixture (%d violations)\n",
                 source_violations);
+  }
+  // Liveness pass: an allowlist naming a vanished file and one whose file
+  // needs no grant (the bad source DOES use atomics, so granting it is
+  // live; the clean grant below is the stale one).
+  const std::vector<std::string> stale_allowlist = {
+      "src/no/such/file.cc",
+      "tools/lint_fixtures/hotpath_bad_source.cc",
+  };
+  const std::vector<std::string> scanned = {
+      "tools/lint_fixtures/hotpath_bad_source.cc"};
+  const std::filesystem::path bad_root =
+      std::filesystem::path(bad_source).parent_path().parent_path().parent_path();
+  const int stale =
+      CheckAllowlistLiveness(stale_allowlist, bad_root, scanned, /*quiet=*/true);
+  if (stale != 1) {
+    std::fprintf(stderr,
+                 "hotpath lint selftest FAIL: liveness pass found %d stale "
+                 "entries in the seeded allowlist, expected exactly 1\n",
+                 stale);
+    rc = 1;
+  } else {
+    std::printf("selftest: liveness pass flagged the vanished-file grant and "
+                "kept the live one\n");
   }
   // `failures` may have been bumped by quiet==false paths on I/O errors.
   return failures != 0 ? 1 : rc;

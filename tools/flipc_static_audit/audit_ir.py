@@ -8,7 +8,7 @@ which one produced the facts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 # Access ops. Cell ops are the SingleWriterCell interface; raw ops are the
 # std::atomic interface (order is the explicit memory_order argument, or
@@ -39,20 +39,35 @@ ASSIGN_OP = "assign"  # plain (non-atomic) member store
 ROLE_APP = "app"
 ROLE_ENGINE = "engine"
 ROLE_QUIESCENT = "quiescent"
+# Raw role names as declared in the source; "engine_shard" is the
+# shard-qualified engine role. The rules engine works on EFFECTIVE roles
+# (shard-qualified engine IS the engine role — the auditor proves the writer
+# side, the shard dimension is enforced at run time), but the raw name is
+# kept on the Function so the protocol-IR export can carry the shard
+# qualifier.
+ROLE_MACROS_RAW = {
+    "FLIPC_ROLE_APP": "app",
+    "FLIPC_ROLE_ENGINE": "engine",
+    "FLIPC_ROLE_ENGINE_SHARD": "engine_shard",
+    "FLIPC_ROLE_QUIESCENT": "quiescent",
+}
+RAW_ROLE_TO_EFFECTIVE = {
+    "app": ROLE_APP,
+    "engine": ROLE_ENGINE,
+    "engine_shard": ROLE_ENGINE,
+    "quiescent": ROLE_QUIESCENT,
+}
 ROLE_MACROS = {
-    "FLIPC_ROLE_APP": ROLE_APP,
-    "FLIPC_ROLE_ENGINE": ROLE_ENGINE,
-    # Shard-qualified engine role: statically it IS the engine role (the
-    # auditor proves the writer side); the per-shard confinement is enforced
-    # at run time by the boundary checker's shard-qualified declarations.
-    "FLIPC_ROLE_ENGINE_SHARD": ROLE_ENGINE,
-    "FLIPC_ROLE_QUIESCENT": ROLE_QUIESCENT,
+    macro: RAW_ROLE_TO_EFFECTIVE[raw] for macro, raw in ROLE_MACROS_RAW.items()
+}
+ROLE_ANNOTATIONS_RAW = {
+    "flipc_role_app": "app",
+    "flipc_role_engine": "engine",
+    "flipc_role_engine_shard": "engine_shard",
+    "flipc_role_quiescent": "quiescent",
 }
 ROLE_ANNOTATIONS = {
-    "flipc_role_app": ROLE_APP,
-    "flipc_role_engine": ROLE_ENGINE,
-    "flipc_role_engine_shard": ROLE_ENGINE,
-    "flipc_role_quiescent": ROLE_QUIESCENT,
+    ann: RAW_ROLE_TO_EFFECTIVE[raw] for ann, raw in ROLE_ANNOTATIONS_RAW.items()
 }
 
 
@@ -83,15 +98,71 @@ def op_is_write(op: str) -> bool:
 
 
 @dataclass
+class CallSite:
+    """One `name(...)` call expression inside a function body."""
+
+    name: str  # callee simple name
+    line: int
+    in_hot: bool  # inside an armed (FLIPC_HOT_PATH*) non-exempt region
+    in_exempt: bool  # inside a FLIPC_HOT_PATH_EXEMPT region
+
+
+@dataclass
+class Loop:
+    """One loop statement inside a function body, with the facts the
+    bounded-progress certifier needs."""
+
+    kind: str  # "for" | "forever" | "range-for" | "while" | "do"
+    file: str
+    line: int
+    bounded: bool  # trip bound recognized automatically (constant/countdown)
+    bound: str | None  # FLIPC_BOUNDED_BY(expr) annotation text, if any
+    wait: bool  # annotated FLIPC_UNBOUNDED_WAIT park site
+    in_hot: bool
+    in_exempt: bool
+
+
+@dataclass
+class Impurity:
+    """A banned-construct site (allocation/unwinding/lock type/blocking
+    call) OUTSIDE exempt regions — reported when the enclosing function is
+    reachable from a hot-path scope."""
+
+    what: str  # human-readable description, mirrors hotpath_scan's wording
+    file: str
+    line: int
+
+
+@dataclass
+class WaitSite:
+    """A FLIPC_UNBOUNDED_WAIT annotation site (for the hot-scope ban and
+    the perf-smoke gate's census)."""
+
+    file: str
+    line: int
+    in_hot: bool
+
+
+@dataclass
 class Function:
     qname: str  # qualified as well as the parser could manage
     simple: str  # unqualified name ("Send")
     klass: str  # enclosing class name ("Endpoint"), "" for free functions
     file: str
     line: int
-    roles: set[str] = field(default_factory=set)  # declared roles
+    roles: set[str] = field(default_factory=set)  # declared effective roles
+    role_macros: set[str] = field(default_factory=set)  # raw names incl. engine_shard
     calls: list[str] = field(default_factory=list)  # simple callee names
     accesses: list[Access] = field(default_factory=list)
+    hot_lines: list[int] = field(default_factory=list)  # FLIPC_HOT_PATH markers
+    call_sites: list[CallSite] = field(default_factory=list)
+    loops: list[Loop] = field(default_factory=list)
+    impurities: list[Impurity] = field(default_factory=list)
+    wait_sites: list[WaitSite] = field(default_factory=list)
+
+    @property
+    def is_hot_root(self) -> bool:
+        return bool(self.hot_lines)
 
 
 @dataclass
@@ -114,3 +185,56 @@ class TranslationIR:
         for key, roles in other.decl_roles.items():
             self.decl_roles.setdefault(key, set()).update(roles)
         self.seq_cst_sites.extend(other.seq_cst_sites)
+
+
+# --------------------------------------------------------------------------
+# (De)serialization — the content-hash cache stores one TranslationIR per
+# audited file as JSON. The schema is internal to the auditor; bump
+# flipc_static_audit.CACHE_SCHEMA whenever it changes shape.
+# --------------------------------------------------------------------------
+
+
+def function_to_dict(fn: Function) -> dict:
+    d = asdict(fn)
+    d["roles"] = sorted(fn.roles)
+    d["role_macros"] = sorted(fn.role_macros)
+    return d
+
+
+def function_from_dict(d: dict) -> Function:
+    return Function(
+        qname=d["qname"],
+        simple=d["simple"],
+        klass=d["klass"],
+        file=d["file"],
+        line=d["line"],
+        roles=set(d["roles"]),
+        role_macros=set(d["role_macros"]),
+        calls=list(d["calls"]),
+        accesses=[Access(**a) for a in d["accesses"]],
+        hot_lines=list(d["hot_lines"]),
+        call_sites=[CallSite(**c) for c in d["call_sites"]],
+        loops=[Loop(**l) for l in d["loops"]],
+        impurities=[Impurity(**i) for i in d["impurities"]],
+        wait_sites=[WaitSite(**w) for w in d["wait_sites"]],
+    )
+
+
+def ir_to_dict(ir: TranslationIR) -> dict:
+    return {
+        "functions": [function_to_dict(fn) for fn in ir.functions],
+        "decl_roles": [
+            [klass, simple, sorted(roles)]
+            for (klass, simple), roles in sorted(ir.decl_roles.items())
+        ],
+        "seq_cst_sites": [[rel, line] for rel, line in ir.seq_cst_sites],
+    }
+
+
+def ir_from_dict(d: dict) -> TranslationIR:
+    ir = TranslationIR()
+    ir.functions = [function_from_dict(f) for f in d["functions"]]
+    for klass, simple, roles in d["decl_roles"]:
+        ir.decl_roles[(klass, simple)] = set(roles)
+    ir.seq_cst_sites = [(rel, line) for rel, line in d["seq_cst_sites"]]
+    return ir

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Unit test for the static auditor's content-hash fact cache.
+
+Proves the invalidation contract gather_facts() documents: unchanged files
+hit, any content change misses, the frontend and the extraction schema are
+part of the key, equal findings come back from both paths, and a corrupt
+cache entry falls through to a clean re-parse instead of an error.
+
+Run from anywhere: python3 tools/flipc_static_audit/cache_selftest.py
+Exit 0 on success, 1 on the first failed check.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+from flipc_static_audit import flipc_static_audit as audit  # noqa: E402
+
+_SOURCE_V1 = """
+#define FLIPC_HOT_PATH(label) ((void)0)
+int Hot(int x) {
+  FLIPC_HOT_PATH("cache-fixture");
+  int* p = new int(x);
+  delete p;
+  return x;
+}
+"""
+
+_SOURCE_V2 = _SOURCE_V1.replace('"cache-fixture"', '"cache-fixture-v2"')
+
+
+def main() -> int:
+    failures = 0
+
+    def check(cond: bool, what: str) -> None:
+        nonlocal failures
+        if cond:
+            print(f"cache_selftest: ok - {what}")
+        else:
+            print(f"cache_selftest: FAIL - {what}")
+            failures += 1
+
+    tmp = tempfile.mkdtemp(prefix="flipc_audit_cache_test_")
+    try:
+        src = os.path.join(tmp, "unit.cc")
+        cache = os.path.join(tmp, "cache")
+        with open(src, "w", encoding="utf-8") as f:
+            f.write(_SOURCE_V1)
+        paths = [("unit.cc", src)]
+
+        facts1, stats = audit.gather_facts(paths, "tokparse", None, tmp, cache)
+        check(stats == {"hits": 0, "misses": 1}, "cold cache misses")
+        check(
+            len(facts1[0][1].ir.functions) == 1
+            and len(facts1[0][1].ir.functions[0].impurities) == 2,
+            "parse extracted the fixture's two impurities",
+        )
+
+        facts2, stats = audit.gather_facts(paths, "tokparse", None, tmp, cache)
+        check(stats == {"hits": 1, "misses": 0}, "unchanged file hits")
+        check(
+            audit._facts_to_doc(facts1[0][1]) == audit._facts_to_doc(facts2[0][1]),
+            "cached facts equal parsed facts",
+        )
+
+        with open(src, "w", encoding="utf-8") as f:
+            f.write(_SOURCE_V2)
+        _, stats = audit.gather_facts(paths, "tokparse", None, tmp, cache)
+        check(stats == {"hits": 0, "misses": 1}, "content change invalidates")
+        _, stats = audit.gather_facts(paths, "tokparse", None, tmp, cache)
+        check(stats == {"hits": 1, "misses": 0}, "new content re-cached")
+
+        # The frontend is part of the key: a tokparse entry must never be
+        # served to the clang frontend (their extraction could differ).
+        key_tok = audit._cache_key("tokparse", "unit.cc", _SOURCE_V2.encode(), b"")
+        key_clang = audit._cache_key("clang", "unit.cc", _SOURCE_V2.encode(), b"")
+        check(key_tok != key_clang, "frontend is part of the cache key")
+
+        # So is the extraction schema tag: bumping CACHE_SCHEMA orphans
+        # every existing entry instead of deserializing stale shapes.
+        orig_schema = audit.CACHE_SCHEMA
+        try:
+            audit.CACHE_SCHEMA = orig_schema + "-bumped"
+            _, stats = audit.gather_facts(paths, "tokparse", None, tmp, cache)
+            check(
+                stats == {"hits": 0, "misses": 1}, "schema bump invalidates"
+            )
+        finally:
+            audit.CACHE_SCHEMA = orig_schema
+
+        # A corrupt entry is indistinguishable from a miss.
+        cpath = os.path.join(
+            cache, audit._cache_key("tokparse", "unit.cc", _SOURCE_V2.encode(), b"") + ".json"
+        )
+        check(os.path.exists(cpath), "cache entry lives at the derived key")
+        with open(cpath, "w", encoding="utf-8") as f:
+            f.write("{ truncated")
+        facts3, stats = audit.gather_facts(paths, "tokparse", None, tmp, cache)
+        check(
+            stats == {"hits": 0, "misses": 1}
+            and len(facts3[0][1].ir.functions) == 1,
+            "corrupt entry falls through to re-parse",
+        )
+        _, stats = audit.gather_facts(paths, "tokparse", None, tmp, cache)
+        check(stats == {"hits": 1, "misses": 0}, "re-parse repaired the entry")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    if failures:
+        print(f"cache_selftest: {failures} failure(s)")
+        return 1
+    print("cache_selftest: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

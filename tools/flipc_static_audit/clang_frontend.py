@@ -21,7 +21,12 @@ import os
 import shlex
 
 from . import cpp_lexer, tokparse_frontend
-from .audit_ir import ROLE_ANNOTATIONS, Function, TranslationIR
+from .audit_ir import (
+    RAW_ROLE_TO_EFFECTIVE,
+    ROLE_ANNOTATIONS_RAW,
+    Function,
+    TranslationIR,
+)
 
 
 def available() -> bool:
@@ -72,12 +77,13 @@ def _compile_args(compile_commands: str | None, abspath: str, root: str) -> list
 
 
 def _roles_of(cursor) -> set[str]:
+    """Raw role names (see ROLE_ANNOTATIONS_RAW) on a cursor."""
     import clang.cindex as ci
 
     roles: set[str] = set()
     for child in cursor.get_children():
         if child.kind == ci.CursorKind.ANNOTATE_ATTR:
-            role = ROLE_ANNOTATIONS.get(child.spelling)
+            role = ROLE_ANNOTATIONS_RAW.get(child.spelling)
             if role:
                 roles.add(role)
     return roles
@@ -155,7 +161,11 @@ def load_one(
         klass = parent.spelling if parent is not None and parent.kind in class_kinds else ""
         if not cursor.is_definition():
             if roles:
-                ir.add_decl_roles(klass, cursor.spelling, roles)
+                ir.add_decl_roles(
+                    klass,
+                    cursor.spelling,
+                    {RAW_ROLE_TO_EFFECTIVE[r] for r in roles},
+                )
             continue
         body = None
         for child in cursor.get_children():
@@ -173,7 +183,8 @@ def load_one(
             klass=klass,
             file=rel,
             line=start.line,
-            roles=roles,
+            roles={RAW_ROLE_TO_EFFECTIVE[r] for r in roles},
+            role_macros=set(roles),
         )
         parser._scan_body(fn, open_tok + 1, cpp_lexer.match_group(parser.toks, open_tok))
         ir.functions.append(fn)

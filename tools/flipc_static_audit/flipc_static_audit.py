@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""FLIPC static protocol auditor.
+"""FLIPC static protocol auditor / wait-free certifier.
 
 Statically proves, over ``src/base``, ``src/waitfree``, ``src/shm``,
-``src/engine`` and ``src/flipc``, the three properties the runtime guards
-only check for executions that actually happen:
+``src/engine`` and ``src/flipc``, the properties the runtime guards only
+check for executions that actually happen:
 
   1. **Role/ownership** — every write to a field listed in
      ``src/shm/ownership_layout.h`` occurs in a function reachable only
@@ -14,9 +14,17 @@ only check for executions that actually happen:
      ``memory_order`` matching the per-field ordering kind exported from
      the ownership tables; defaulted (seq_cst) orders are hard errors, and
      ``memory_order_seq_cst`` itself is confined to the Peterson lock.
-  3. **Hot-path purity** — inside ``FLIPC_HOT_PATH`` scopes: no
-     new/delete/throw/try, no OS mutex/condvar types, no blocking libc
-     calls (the same denylist as the post-link nm lint).
+  3. **Hot-path purity, interprocedural** — inside ``FLIPC_HOT_PATH``
+     scopes: no new/delete/throw/try, no OS mutex/condvar types, no
+     blocking libc calls — and the same for every function transitively
+     reachable from such a scope through the cross-TU call graph (the
+     purity CLOSURE; ``FLIPC_HOT_PATH_EXEMPT`` regions cut call edges and
+     waive constructs, exactly as they suspend the runtime guards).
+  4. **Bounded progress** — every loop reachable from a wait-free entry
+     point (a hot-path scope) must have a recognizable constant/countdown
+     trip bound, carry a ``FLIPC_BOUNDED_BY(expr)`` annotation naming its
+     bound, or be a ``FLIPC_UNBOUNDED_WAIT`` park site — and park sites
+     are hard errors inside hot scopes or anywhere in the hot closure.
 
 The field policy is ``tools/ownership_policy.json``, generated from the
 constexpr ownership tables by ``tools/flipc_ownership_export`` (a drift
@@ -25,10 +33,18 @@ interchangeable frontends producing the same IR: libclang when installed
 (``--frontend clang``), else a dependency-free token parser
 (``--frontend tokparse``); ``--frontend auto`` picks the best available.
 
+The auditor can also EXPORT the protocol it proved: ``--emit-ir`` writes
+the per-function protocol IR (field, access kind, memory order, role,
+shard qualifier, program order) for ``src/waitfree`` as JSON, and
+``--emit-schedules`` generates the armed model-check schedule seeds for
+the three rings from that IR (consumed by tests/model_check_test.cc; both
+artifacts are checked in and drift-tested like ownership_policy.json).
+
 Usage:
   flipc_static_audit.py --policy tools/ownership_policy.json \
       --source-root . [--compile-commands build/compile_commands.json] \
-      [--frontend auto|clang|tokparse]
+      [--frontend auto|clang|tokparse] [--cache-dir DIR] [--json PATH] \
+      [--emit-ir PATH] [--emit-schedules PATH]
   flipc_static_audit.py --selftest tools/lint_fixtures/static_audit \
       [--frontend auto|clang|tokparse]
 
@@ -39,6 +55,7 @@ Exit status: 0 clean, 1 violations (or fixture expectation failures),
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import re
@@ -48,28 +65,75 @@ from dataclasses import dataclass
 
 if __package__ in (None, ""):  # running as a plain script
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    from flipc_static_audit import clang_frontend, cpp_lexer, hotpath_scan, tokparse_frontend
+    from flipc_static_audit import (
+        clang_frontend,
+        cpp_lexer,
+        hotpath_scan,
+        schedule_gen,
+        tokparse_frontend,
+    )
     from flipc_static_audit.audit_ir import (
         ASSIGN_OP,
         CELL_READ_OPS,
         CELL_WRITE_OPS,
         ROLE_QUIESCENT,
         TranslationIR,
+        ir_from_dict,
+        ir_to_dict,
         op_is_write,
     )
 else:
-    from . import clang_frontend, cpp_lexer, hotpath_scan, tokparse_frontend
+    from . import clang_frontend, cpp_lexer, hotpath_scan, schedule_gen, tokparse_frontend
     from .audit_ir import (
         ASSIGN_OP,
         CELL_READ_OPS,
         CELL_WRITE_OPS,
         ROLE_QUIESCENT,
         TranslationIR,
+        ir_from_dict,
+        ir_to_dict,
         op_is_write,
     )
 
 AUDITED_DIRS = ("src/base", "src/engine", "src/flipc", "src/shm", "src/waitfree")
 AUDITED_EXTS = (".h", ".cc")
+
+# Bump whenever the IR shape or any rule-relevant extraction changes: the
+# content-hash cache stores extracted facts keyed by (schema, frontend,
+# file content), so a schema bump invalidates every entry at once.
+CACHE_SCHEMA = "flipc-audit-v2"
+
+# The protocol-IR export covers the wait-free protocol structures.
+PROTOCOL_IR_PREFIX = "src/waitfree/"
+
+
+# --------------------------------------------------------------------------
+# Findings
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str  # role | order | policy | hot-path | hot-closure | progress | ir-drift
+    file: str
+    line: int | None  # None for whole-file findings
+    function: str  # enclosing function qname, "" for file-level findings
+    message: str
+
+    def __str__(self) -> str:
+        if self.line is None:
+            return f"{self.file}: {self.rule}: {self.message}"
+        return f"{self.file}:{self.line}: {self.rule}: {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": 0 if self.line is None else self.line,
+            "function": self.function,
+            "verdict": "violation",
+            "message": self.message,
+        }
 
 
 # --------------------------------------------------------------------------
@@ -159,7 +223,7 @@ def load_policy(path: str) -> Policy:
 
 
 # --------------------------------------------------------------------------
-# Rules engine
+# Rules engine: roles + memory orders
 # --------------------------------------------------------------------------
 
 _PUBLISH_ONLY_KINDS = {"cursor", "hint_cursor", "flag", "counter", "config_publish"}
@@ -200,103 +264,308 @@ def _role_reachability(ir: TranslationIR) -> dict[int, set[str]]:
     return reach
 
 
-def _check_write_roles(errors, loc, fld, roles, eff) -> None:
+def _check_write_roles(findings, fn, acc, fld, roles, eff) -> None:
     if not roles:
-        errors.append(
-            f"{loc}: role: write to {fld.name} from a function with no "
-            f"FLIPC_ROLE_* entry point in its caller closure (unrooted write)"
+        findings.append(
+            Finding(
+                "role",
+                acc.file,
+                acc.line,
+                fn.qname,
+                f"write to {fld.name} from a function with no "
+                f"FLIPC_ROLE_* entry point in its caller closure (unrooted write)",
+            )
         )
     elif fld.quiescent:
         if eff:
-            errors.append(
-                f"{loc}: role: {fld.name} is quiescent-only but is written "
-                f"from {{{', '.join(sorted(eff))}}} hot closures"
+            findings.append(
+                Finding(
+                    "role",
+                    acc.file,
+                    acc.line,
+                    fn.qname,
+                    f"{fld.name} is quiescent-only but is written "
+                    f"from {{{', '.join(sorted(eff))}}} hot closures",
+                )
             )
     else:
         foreign = eff - {fld.writer}
         if foreign:
-            errors.append(
-                f"{loc}: role: {fld.name} is owned by {fld.writer} but is "
-                f"written from {{{', '.join(sorted(foreign))}}} closures"
+            findings.append(
+                Finding(
+                    "role",
+                    acc.file,
+                    acc.line,
+                    fn.qname,
+                    f"{fld.name} is owned by {fld.writer} but is "
+                    f"written from {{{', '.join(sorted(foreign))}}} closures",
+                )
             )
 
 
-def _check_access(errors, fn, acc, policy: Policy, roles: set[str]) -> None:
-    loc = f"{acc.file}:{acc.line}"
+def _check_access(findings, fn, acc, policy: Policy, roles: set[str]) -> None:
     eff = roles - {ROLE_QUIESCENT}
     fld, via_struct = policy.resolve(fn.klass, acc)
 
     if acc.op == ASSIGN_OP:
         if fld is None:
             if via_struct:
-                errors.append(
-                    f"{loc}: policy: assignment through an aliased struct to "
-                    f"member '{acc.member}' that the ownership tables do not list"
+                findings.append(
+                    Finding(
+                        "policy",
+                        acc.file,
+                        acc.line,
+                        fn.qname,
+                        f"assignment through an aliased struct to "
+                        f"member '{acc.member}' that the ownership tables do not list",
+                    )
                 )
             return
         if fld.kind != "plain":
-            errors.append(
-                f"{loc}: order: non-atomic assignment to {fld.name} "
-                f"(kind {fld.kind})"
+            findings.append(
+                Finding(
+                    "order",
+                    acc.file,
+                    acc.line,
+                    fn.qname,
+                    f"non-atomic assignment to {fld.name} (kind {fld.kind})",
+                )
             )
-        _check_write_roles(errors, loc, fld, roles, eff)
+        _check_write_roles(findings, fn, acc, fld, roles, eff)
         return
 
     if acc.is_cell_op:
         if fld is None:
             if acc.is_write and acc.member not in policy.handoff_members:
-                errors.append(
-                    f"{loc}: role: cell write {acc.member}.{acc.op}() does not "
-                    f"resolve to any ownership-table field"
+                findings.append(
+                    Finding(
+                        "role",
+                        acc.file,
+                        acc.line,
+                        fn.qname,
+                        f"cell write {acc.member}.{acc.op}() does not "
+                        f"resolve to any ownership-table field",
+                    )
                 )
             return
         if fld.kind == "plain":
-            errors.append(
-                f"{loc}: order: atomic cell op on {fld.name}, which the policy "
-                f"declares plain"
+            findings.append(
+                Finding(
+                    "order",
+                    acc.file,
+                    acc.line,
+                    fn.qname,
+                    f"atomic cell op on {fld.name}, which the policy declares plain",
+                )
             )
             return
         if fld.kind == "rmw":
-            errors.append(
-                f"{loc}: order: SingleWriterCell op on {fld.name}, which the "
-                f"policy declares rmw (raw std::atomic)"
+            findings.append(
+                Finding(
+                    "order",
+                    acc.file,
+                    acc.line,
+                    fn.qname,
+                    f"SingleWriterCell op on {fld.name}, which the "
+                    f"policy declares rmw (raw std::atomic)",
+                )
             )
             return
         if acc.is_write:
             # Quiescent-only closures may initialize any kind with relaxed
             # stores; everyone else follows the kind profile.
             if eff and fld.kind in _PUBLISH_ONLY_KINDS and acc.op != "Publish":
-                errors.append(
-                    f"{loc}: order: {fld.name} (kind {fld.kind}) must be "
-                    f"written with Publish(), not {acc.op}()"
+                findings.append(
+                    Finding(
+                        "order",
+                        acc.file,
+                        acc.line,
+                        fn.qname,
+                        f"{fld.name} (kind {fld.kind}) must be "
+                        f"written with Publish(), not {acc.op}()",
+                    )
                 )
-            _check_write_roles(errors, loc, fld, roles, eff)
+            _check_write_roles(findings, fn, acc, fld, roles, eff)
         else:
             if (
                 acc.op == "ReadRelaxed"
                 and fld.kind in _ACQUIRE_READ_KINDS
                 and eff - {fld.writer}
             ):
-                errors.append(
-                    f"{loc}: order: cross-role read of {fld.name} (kind "
-                    f"{fld.kind}) must use Read() (acquire), not ReadRelaxed()"
+                findings.append(
+                    Finding(
+                        "order",
+                        acc.file,
+                        acc.line,
+                        fn.qname,
+                        f"cross-role read of {fld.name} (kind "
+                        f"{fld.kind}) must use Read() (acquire), not ReadRelaxed()",
+                    )
                 )
         return
 
     if acc.is_raw_op:
         if acc.order is None:
-            errors.append(
-                f"{loc}: order: {acc.member}.{acc.op}() relies on the "
-                f"defaulted memory_order (seq_cst); name the order explicitly"
+            findings.append(
+                Finding(
+                    "order",
+                    acc.file,
+                    acc.line,
+                    fn.qname,
+                    f"{acc.member}.{acc.op}() relies on the "
+                    f"defaulted memory_order (seq_cst); name the order explicitly",
+                )
             )
         if fld is not None:
             if fld.kind != "rmw":
-                errors.append(
-                    f"{loc}: order: raw std::atomic op on {fld.name} (kind "
-                    f"{fld.kind}); use the SingleWriterCell interface"
+                findings.append(
+                    Finding(
+                        "order",
+                        acc.file,
+                        acc.line,
+                        fn.qname,
+                        f"raw std::atomic op on {fld.name} (kind "
+                        f"{fld.kind}); use the SingleWriterCell interface",
+                    )
                 )
             elif acc.is_write:
-                _check_write_roles(errors, loc, fld, roles, eff)
+                _check_write_roles(findings, fn, acc, fld, roles, eff)
+
+
+def run_rules(ir: TranslationIR, policy: Policy) -> list[Finding]:
+    findings: list[Finding] = []
+    reach = _role_reachability(ir)
+    for fn in ir.functions:
+        roles = reach[id(fn)]
+        for acc in fn.accesses:
+            _check_access(findings, fn, acc, policy, roles)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rules engine: interprocedural purity closure + bounded progress
+# --------------------------------------------------------------------------
+
+
+def run_closure_rules(ir: TranslationIR) -> list[Finding]:
+    """The whole-program half of the wait-free certificate.
+
+    Roots are functions containing an armed hot-path scope. From every call
+    made inside such a scope (outside FLIPC_HOT_PATH_EXEMPT regions) the
+    certifier chases the cross-TU call graph by callee simple name — the
+    same over-approximating resolution the role pass uses, so every
+    same-named audited function must satisfy the obligations — and
+    requires, for every function in the closure:
+
+      * purity: no allocation/unwinding/lock types/blocking libc calls
+        outside exempt regions (the caller's armed scope stays armed
+        through the callee at run time, so the static obligation follows
+        the same contour);
+      * bounded progress: every loop outside exempt regions has a
+        recognized constant/countdown bound or a FLIPC_BOUNDED_BY
+        annotation, and FLIPC_UNBOUNDED_WAIT park sites are errors (a
+        wait-free entry point must not reach an unbounded wait).
+
+    The roots' own hot regions carry the same loop obligations; their
+    banned-construct scan is run_token_rules' hotpath_scan (per-line,
+    per-scope attribution)."""
+    findings: list[Finding] = []
+    by_simple: dict[str, list] = defaultdict(list)
+    for fn in ir.functions:
+        by_simple[fn.simple].append(fn)
+
+    def check_loop(fn, loop, root: str, is_root: bool) -> None:
+        if loop.wait:
+            if not is_root:
+                findings.append(
+                    Finding(
+                        "progress",
+                        loop.file,
+                        loop.line,
+                        fn.qname,
+                        f"FLIPC_UNBOUNDED_WAIT park site in '{fn.qname}' is "
+                        f"reachable from wait-free entry point '{root}'",
+                    )
+                )
+            return
+        if loop.bounded or loop.bound is not None:
+            return
+        findings.append(
+            Finding(
+                "progress",
+                loop.file,
+                loop.line,
+                fn.qname,
+                f"unbounded {loop.kind} loop in '{fn.qname}' reachable from "
+                f"wait-free entry point '{root}'; bound the trip count, "
+                f"annotate FLIPC_BOUNDED_BY(expr), or park it outside hot "
+                f"scopes with FLIPC_UNBOUNDED_WAIT",
+            )
+        )
+
+    # id(fn) -> (root qname, "file:line" of the call that pulled it in).
+    origin: dict[int, tuple[str, str]] = {}
+    work: list = []
+    for fn in ir.functions:
+        if not fn.is_hot_root:
+            continue
+        for w in fn.wait_sites:
+            if w.in_hot:
+                findings.append(
+                    Finding(
+                        "progress",
+                        w.file,
+                        w.line,
+                        fn.qname,
+                        "FLIPC_UNBOUNDED_WAIT park site inside a hot-path scope",
+                    )
+                )
+        for loop in fn.loops:
+            if loop.in_hot:
+                check_loop(fn, loop, fn.qname, is_root=True)
+        for cs in fn.call_sites:
+            if cs.in_hot and not cs.in_exempt:
+                for g in by_simple.get(cs.name, ()):
+                    if id(g) not in origin and g is not fn:
+                        origin[id(g)] = (fn.qname, f"{fn.file}:{cs.line}")
+                        work.append(g)
+
+    while work:
+        g = work.pop()
+        root, via = origin[id(g)]
+        for imp in g.impurities:
+            findings.append(
+                Finding(
+                    "hot-closure",
+                    imp.file,
+                    imp.line,
+                    g.qname,
+                    f"{imp.what} in '{g.qname}', which is reachable from the "
+                    f"hot-path scope in '{root}' (called at {via})",
+                )
+            )
+        for loop in g.loops:
+            if not loop.in_exempt:
+                check_loop(g, loop, root, is_root=False)
+        for cs in g.call_sites:
+            if not cs.in_exempt:
+                for h in by_simple.get(cs.name, ()):
+                    if id(h) not in origin:
+                        origin[id(h)] = (root, f"{g.file}:{cs.line}")
+                        work.append(h)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Per-file facts (frontend output + token rules input) and the cache
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FileFacts:
+    ir: TranslationIR
+    hot_violations: list[tuple[str, int, str]]  # (file, line, what)
+    seq_sites: list[tuple[str, int]]
 
 
 def _seq_cst_sites(rel: str, tokens) -> list[tuple[str, int]]:
@@ -314,44 +583,208 @@ def _seq_cst_sites(rel: str, tokens) -> list[tuple[str, int]]:
     return sites
 
 
-def run_rules(ir: TranslationIR, policy: Policy) -> list[str]:
-    errors: list[str] = []
-    reach = _role_reachability(ir)
-    for fn in ir.functions:
-        roles = reach[id(fn)]
-        for acc in fn.accesses:
-            _check_access(errors, fn, acc, policy, roles)
-    return errors
+def _extract_file_facts(
+    frontend: str,
+    rel: str,
+    abspath: str,
+    text: str,
+    compile_commands: str | None,
+    root: str,
+) -> FileFacts:
+    tokens = cpp_lexer.lex(text)
+    ir = TranslationIR()
+    if frontend == "clang":
+        clang_frontend.load_one(rel, abspath, ir, compile_commands, root)
+    else:
+        tokparse_frontend._FileParser(rel, tokens, ir).parse()
+    hot = [(v.file, v.line, v.what) for v in hotpath_scan.scan(rel, tokens)]
+    return FileFacts(ir=ir, hot_violations=hot, seq_sites=_seq_cst_sites(rel, tokens))
 
 
-def run_token_rules(paths: list[tuple[str, str]], policy: Policy) -> list[str]:
+def _facts_to_doc(facts: FileFacts) -> dict:
+    return {
+        "ir": ir_to_dict(facts.ir),
+        "hot_violations": [[f, l, w] for f, l, w in facts.hot_violations],
+        "seq_sites": [[f, l] for f, l in facts.seq_sites],
+    }
+
+
+def _facts_from_doc(doc: dict) -> FileFacts:
+    return FileFacts(
+        ir=ir_from_dict(doc["ir"]),
+        hot_violations=[(f, l, w) for f, l, w in doc["hot_violations"]],
+        seq_sites=[(f, l) for f, l in doc["seq_sites"]],
+    )
+
+
+def _cache_key(frontend: str, rel: str, content: bytes, extra: bytes) -> str:
+    h = hashlib.sha256()
+    for part in (CACHE_SCHEMA.encode(), frontend.encode(), rel.encode(), extra):
+        h.update(part)
+        h.update(b"\0")
+    h.update(content)
+    return h.hexdigest()
+
+
+def gather_facts(
+    paths: list[tuple[str, str]],
+    frontend: str,
+    compile_commands: str | None,
+    root: str,
+    cache_dir: str | None = None,
+) -> tuple[list[tuple[str, FileFacts]], dict]:
+    """Extracts FileFacts for every audited file, consulting the
+    content-hash cache when ``cache_dir`` is set. A cache entry is keyed by
+    sha256(schema, frontend, relpath, compile-commands digest, file bytes),
+    so ANY change to the source (or to the extraction schema, or — for the
+    clang frontend — to the compile flags) misses and re-parses; unchanged
+    files deserialize their facts instead of re-parsing."""
+    stats = {"hits": 0, "misses": 0}
+    extra = b""
+    if (
+        frontend == "clang"
+        and compile_commands
+        and os.path.exists(compile_commands)
+    ):
+        with open(compile_commands, "rb") as f:
+            extra = hashlib.sha256(f.read()).digest()
+    out: list[tuple[str, FileFacts]] = []
+    for rel, abspath in paths:
+        with open(abspath, "rb") as f:
+            content = f.read()
+        facts: FileFacts | None = None
+        cpath = None
+        if cache_dir:
+            cpath = os.path.join(
+                cache_dir, _cache_key(frontend, rel, content, extra) + ".json"
+            )
+            if os.path.exists(cpath):
+                try:
+                    with open(cpath, "r", encoding="utf-8") as f:
+                        facts = _facts_from_doc(json.load(f))
+                    stats["hits"] += 1
+                except (OSError, ValueError, KeyError, TypeError):
+                    facts = None  # corrupt entry: fall through to re-parse
+        if facts is None:
+            facts = _extract_file_facts(
+                frontend, rel, abspath, content.decode("utf-8"),
+                compile_commands, root,
+            )
+            stats["misses"] += 1
+            if cpath:
+                os.makedirs(cache_dir, exist_ok=True)
+                tmp = cpath + f".tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as f:
+                    json.dump(_facts_to_doc(facts), f)
+                os.replace(tmp, cpath)
+        out.append((rel, facts))
+    return out, stats
+
+
+def run_token_rules(
+    facts: list[tuple[str, FileFacts]], policy: Policy
+) -> list[Finding]:
     """Frontend-independent whole-file rules: seq_cst confinement and
-    hot-path purity."""
-    errors: list[str] = []
+    hot-path purity (per-scope, per-line attribution)."""
+    findings: list[Finding] = []
     seq_total_in_allowed = 0
     allowed_present = False
-    for rel, abspath in paths:
-        with open(abspath, "r", encoding="utf-8") as f:
-            tokens = cpp_lexer.lex(f.read())
-        for v in hotpath_scan.scan(rel, tokens):
-            errors.append(str(v))
+    for rel, f in facts:
+        for vfile, vline, what in f.hot_violations:
+            findings.append(Finding("hot-path", vfile, vline, "", what))
         allowed = rel.replace("\\", "/") == policy.seq_cst_file
         allowed_present = allowed_present or allowed
-        for site_rel, line in _seq_cst_sites(rel, tokens):
+        for site_rel, line in f.seq_sites:
             if allowed:
                 seq_total_in_allowed += 1
             else:
-                errors.append(
-                    f"{site_rel}:{line}: order: memory_order_seq_cst outside "
-                    f"{policy.seq_cst_file or 'the whitelisted file'}"
+                findings.append(
+                    Finding(
+                        "order",
+                        site_rel,
+                        line,
+                        "",
+                        f"memory_order_seq_cst outside "
+                        f"{policy.seq_cst_file or 'the whitelisted file'}",
+                    )
                 )
     if allowed_present and seq_total_in_allowed != policy.seq_cst_expected:
-        errors.append(
-            f"{policy.seq_cst_file}: order: expected exactly "
-            f"{policy.seq_cst_expected} seq_cst accesses (the Peterson lock), "
-            f"found {seq_total_in_allowed}"
+        findings.append(
+            Finding(
+                "order",
+                policy.seq_cst_file,
+                None,
+                "",
+                f"expected exactly {policy.seq_cst_expected} seq_cst accesses "
+                f"(the Peterson lock), found {seq_total_in_allowed}",
+            )
         )
-    return errors
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Protocol IR export
+# --------------------------------------------------------------------------
+
+
+def build_protocol_ir(
+    ir: TranslationIR, policy: Policy, file_prefix: str | None = PROTOCOL_IR_PREFIX
+) -> dict:
+    """Machine-readable protocol IR: for every function in the wait-free
+    protocol files, the ordered list of shared-field accesses with their
+    resolved policy field, access kind, effective memory order, the
+    function's roles and shard qualifier. Line numbers are deliberately
+    omitted — the export must drift when the PROTOCOL changes (fields, op
+    order, memory orders, roles), not when comments shift lines."""
+    functions = []
+    fns = sorted(ir.functions, key=lambda f: (f.file, f.line, f.qname))
+    for fn in fns:
+        if file_prefix is not None and not fn.file.startswith(file_prefix):
+            continue
+        accesses = []
+        for seq, acc in enumerate(fn.accesses):
+            fld, _ = policy.resolve(fn.klass, acc)
+            if acc.op in CELL_WRITE_OPS:
+                order = CELL_WRITE_OPS[acc.op]
+            elif acc.op in CELL_READ_OPS:
+                order = CELL_READ_OPS[acc.op]
+            elif acc.op == ASSIGN_OP:
+                order = "plain"
+            else:
+                order = acc.order if acc.order is not None else "seq_cst(defaulted)"
+            accesses.append(
+                {
+                    "seq": seq,
+                    "member": acc.member,
+                    "op": acc.op,
+                    "access": "write" if op_is_write(acc.op) else "read",
+                    "order": order,
+                    "field": fld.name if fld else None,
+                    "kind": fld.kind if fld else None,
+                    "writer": fld.writer if fld else None,
+                }
+            )
+        roles = sorted(fn.roles | ir.decl_roles.get((fn.klass, fn.simple), set()))
+        functions.append(
+            {
+                "function": fn.qname,
+                "class": fn.klass,
+                "file": fn.file,
+                "roles": roles,
+                "shard_qualified": "engine_shard" in fn.role_macros,
+                "hot": fn.is_hot_root,
+                "accesses": accesses,
+            }
+        )
+    return {
+        "version": 1,
+        "generator": "tools/flipc_static_audit --emit-ir (tokparse frontend)",
+        "functions": functions,
+    }
+
+
+def protocol_ir_text(doc: dict) -> str:
+    return json.dumps(doc, indent=2) + "\n"
 
 
 # --------------------------------------------------------------------------
@@ -388,15 +821,11 @@ def pick_frontends(requested: str) -> list[str]:
     return [requested]
 
 
-def load_ir(
-    frontend: str,
-    paths: list[tuple[str, str]],
-    compile_commands: str | None,
-    root: str,
-) -> TranslationIR:
-    if frontend == "clang":
-        return clang_frontend.load(paths, compile_commands, root)
-    return tokparse_frontend.load(paths)
+def merge_facts(facts: list[tuple[str, FileFacts]]) -> TranslationIR:
+    ir = TranslationIR()
+    for _rel, f in facts:
+        ir.merge(f.ir)
+    return ir
 
 
 def audit_paths(
@@ -405,11 +834,51 @@ def audit_paths(
     frontend: str,
     compile_commands: str | None,
     root: str,
-) -> list[str]:
-    ir = load_ir(frontend, paths, compile_commands, root)
-    errors = run_rules(ir, policy)
-    errors.extend(run_token_rules(paths, policy))
-    return sorted(set(errors))
+    cache_dir: str | None = None,
+) -> tuple[list[Finding], TranslationIR, dict]:
+    facts, stats = gather_facts(paths, frontend, compile_commands, root, cache_dir)
+    ir = merge_facts(facts)
+    findings = run_rules(ir, policy)
+    findings.extend(run_closure_rules(ir))
+    findings.extend(run_token_rules(facts, policy))
+    return sorted(set(findings), key=str), ir, stats
+
+
+def wait_site_census(ir: TranslationIR) -> dict:
+    total = 0
+    in_hot = 0
+    for fn in ir.functions:
+        for w in fn.wait_sites:
+            total += 1
+            if w.in_hot:
+                in_hot += 1
+    return {"total": total, "in_hot_scope": in_hot}
+
+
+def write_json_report(
+    path: str,
+    findings: list[Finding],
+    ir: TranslationIR,
+    frontend: str,
+    nfiles: int,
+    cache_stats: dict,
+) -> None:
+    by_rule: dict[str, int] = defaultdict(int)
+    for f in findings:
+        by_rule[f.rule] += 1
+    doc = {
+        "version": 1,
+        "frontend": frontend,
+        "files": nfiles,
+        "ok": not findings,
+        "findings": [f.to_json() for f in findings],
+        "summary": {"total": len(findings), "by_rule": dict(sorted(by_rule.items()))},
+        "unbounded_wait_sites": wait_site_census(ir),
+        "cache": cache_stats,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
 
 
 # --------------------------------------------------------------------------
@@ -418,6 +887,59 @@ def audit_paths(
 
 _EXPECT_RE = re.compile(r"AUDIT-EXPECT:\s*(.+?)\s*$", re.MULTILINE)
 
+_EXPECTED_IR_NAME = "expected_ir.json"
+
+
+def _collect_fixtures(fixture_dir: str):
+    """Fixture units: single ``*.cc`` files, plus ``*_bad``/``*_clean``
+    SUBDIRECTORIES whose .cc files are audited together as one multi-TU
+    program (cross-TU rules need more than one file). A group directory may
+    also carry an expected_ir.json: the protocol-IR export over the group
+    is then byte-compared against it (the drift rule's fixture)."""
+    units = []
+    for name in sorted(os.listdir(fixture_dir)):
+        path = os.path.join(fixture_dir, name)
+        if os.path.isfile(path) and name.endswith(".cc"):
+            units.append((name, [(name, path)], None))
+        elif os.path.isdir(path) and (
+            name.endswith("_bad") or name.endswith("_clean")
+        ):
+            files = [
+                (f"{name}/{f}", os.path.join(path, f))
+                for f in sorted(os.listdir(path))
+                if f.endswith(".cc")
+            ]
+            expected_ir = os.path.join(path, _EXPECTED_IR_NAME)
+            units.append(
+                (name, files, expected_ir if os.path.exists(expected_ir) else None)
+            )
+    return units
+
+
+def _fixture_ir_drift(
+    files: list[tuple[str, str]], policy: Policy, expected_ir: str
+) -> list[Finding]:
+    """IR export over a fixture group vs its checked-in expectation. Always
+    uses the tokparse frontend: the export artifact is defined to be
+    tokparse output (deterministic and dependency-free), whichever frontend
+    audits."""
+    facts, _ = gather_facts(files, "tokparse", None, ".", None)
+    got = protocol_ir_text(build_protocol_ir(merge_facts(facts), policy, None))
+    with open(expected_ir, "r", encoding="utf-8") as f:
+        want = f.read()
+    if got == want:
+        return []
+    return [
+        Finding(
+            "ir-drift",
+            os.path.basename(os.path.dirname(expected_ir)),
+            None,
+            "",
+            "protocol IR differs from expected_ir.json "
+            "(regenerate with --emit-ir)",
+        )
+    ]
+
 
 def run_selftest(fixture_dir: str, frontends: list[str]) -> int:
     policy_path = os.path.join(fixture_dir, "mini_policy.json")
@@ -425,22 +947,24 @@ def run_selftest(fixture_dir: str, frontends: list[str]) -> int:
         print(f"selftest: missing {policy_path}", file=sys.stderr)
         return 2
     policy = load_policy(policy_path)
-    fixtures = sorted(
-        name for name in os.listdir(fixture_dir) if name.endswith(".cc")
-    )
-    if not fixtures:
+    units = _collect_fixtures(fixture_dir)
+    if not units:
         print(f"selftest: no fixtures in {fixture_dir}", file=sys.stderr)
         return 2
 
     failures = 0
     for frontend in frontends:
-        for name in fixtures:
-            abspath = os.path.join(fixture_dir, name)
-            with open(abspath, "r", encoding="utf-8") as f:
-                expects = _EXPECT_RE.findall(f.read())
-            errors = audit_paths(
-                [(name, abspath)], policy, frontend, None, fixture_dir
+        for name, files, expected_ir in units:
+            expects: list[str] = []
+            for _rel, abspath in files:
+                with open(abspath, "r", encoding="utf-8") as f:
+                    expects.extend(_EXPECT_RE.findall(f.read()))
+            findings, _ir, _stats = audit_paths(
+                files, policy, frontend, None, fixture_dir
             )
+            if expected_ir is not None:
+                findings = findings + _fixture_ir_drift(files, policy, expected_ir)
+            errors = [str(f) for f in findings]
             clean = "_clean" in name
             if clean:
                 if expects:
@@ -470,7 +994,7 @@ def run_selftest(fixture_dir: str, frontends: list[str]) -> int:
     if failures:
         print(f"selftest: {failures} failure(s)")
         return 1
-    total = len(fixtures) * len(frontends)
+    total = len(units) * len(frontends)
     print(
         f"selftest: OK — {total} fixture run(s) across "
         f"frontend(s) {', '.join(frontends)}"
@@ -488,6 +1012,29 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--compile-commands", default=None)
     ap.add_argument(
         "--frontend", choices=("auto", "clang", "tokparse"), default="auto"
+    )
+    ap.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-hash cache directory (skip re-parsing unchanged files)",
+    )
+    ap.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable findings report",
+    )
+    ap.add_argument(
+        "--emit-ir",
+        metavar="PATH",
+        default=None,
+        help="write the src/waitfree protocol IR (always tokparse-derived)",
+    )
+    ap.add_argument(
+        "--emit-schedules",
+        metavar="PATH",
+        default=None,
+        help="generate tests/generated_model_schedules.h from the protocol IR",
     )
     ap.add_argument(
         "--selftest",
@@ -518,18 +1065,51 @@ def main(argv: list[str]) -> int:
         print(f"flipc_static_audit: no sources under {root}", file=sys.stderr)
         return 2
     (frontend,) = pick_frontends(args.frontend)
-    errors = audit_paths(paths, policy, frontend, args.compile_commands, root)
-    if errors:
-        for e in errors:
-            print(e)
+    findings, ir, stats = audit_paths(
+        paths, policy, frontend, args.compile_commands, root, args.cache_dir
+    )
+
+    if args.emit_ir or args.emit_schedules:
+        # The export artifacts are defined as tokparse output: byte-stable,
+        # dependency-free, identical in every environment regardless of
+        # which frontend ran the audit.
+        if frontend == "tokparse":
+            export_ir = ir
+        else:
+            tok_facts, _ = gather_facts(paths, "tokparse", None, root, args.cache_dir)
+            export_ir = merge_facts(tok_facts)
+        ir_doc = build_protocol_ir(export_ir, policy)
+        if args.emit_ir:
+            with open(args.emit_ir, "w", encoding="utf-8") as f:
+                f.write(protocol_ir_text(ir_doc))
+        if args.emit_schedules:
+            try:
+                header = schedule_gen.generate_header(ir_doc)
+            except schedule_gen.ScheduleGenError as exc:
+                print(f"flipc_static_audit: --emit-schedules: {exc}", file=sys.stderr)
+                return 2
+            with open(args.emit_schedules, "w", encoding="utf-8") as f:
+                f.write(header)
+
+    if args.json:
+        write_json_report(args.json, findings, ir, frontend, len(paths), stats)
+
+    if findings:
+        for f in findings:
+            print(f)
         print(
-            f"flipc_static_audit[{frontend}]: {len(errors)} violation(s) "
+            f"flipc_static_audit[{frontend}]: {len(findings)} violation(s) "
             f"across {len(paths)} file(s)"
         )
         return 1
+    cache_note = (
+        f", cache {stats['hits']} hit(s)/{stats['misses']} miss(es)"
+        if args.cache_dir
+        else ""
+    )
     print(
         f"flipc_static_audit[{frontend}]: OK — {len(paths)} file(s), "
-        f"{len(policy.fields)} policy field(s), 0 violations"
+        f"{len(policy.fields)} policy field(s), 0 violations{cache_note}"
     )
     return 0
 

@@ -28,10 +28,10 @@ from dataclasses import dataclass
 
 from .cpp_lexer import IDENT, Token
 
-_HOT_MARKERS = {"FLIPC_HOT_PATH", "FLIPC_HOT_PATH_IF"}
-_EXEMPT_MARKER = "FLIPC_HOT_PATH_EXEMPT"
+HOT_MARKERS = {"FLIPC_HOT_PATH", "FLIPC_HOT_PATH_IF"}
+EXEMPT_MARKER = "FLIPC_HOT_PATH_EXEMPT"
 
-_BANNED_KEYWORDS = {
+BANNED_KEYWORDS = {
     "new": "dynamic allocation (new) in a hot-path scope",
     "delete": "dynamic deallocation (delete) in a hot-path scope",
     "throw": "exception throw in a hot-path scope",
@@ -39,7 +39,7 @@ _BANNED_KEYWORDS = {
     "catch": "catch handler in a hot-path scope",
 }
 
-_BANNED_TYPES = {
+BANNED_TYPES = {
     "mutex": "std::mutex in a hot-path scope",
     "recursive_mutex": "std::recursive_mutex in a hot-path scope",
     "shared_mutex": "std::shared_mutex in a hot-path scope",
@@ -51,7 +51,7 @@ _BANNED_TYPES = {
 }
 
 # Mirrors kLockSymbols/kBlockingSymbols in tools/flipc_hotpath_lint.cc.
-_BANNED_CALLS = {
+BANNED_CALLS = {
     "pthread_mutex_lock",
     "pthread_mutex_trylock",
     "pthread_mutex_timedlock",
@@ -118,24 +118,24 @@ def scan(rel: str, tokens: list[Token]) -> list[HotPathViolation]:
             while exempt_depths and depth < exempt_depths[-1]:
                 exempt_depths.pop()
         elif t.kind == IDENT:
-            if text in _HOT_MARKERS:
+            if text in HOT_MARKERS:
                 hot_depths.append(depth)
-            elif text == _EXEMPT_MARKER:
+            elif text == EXEMPT_MARKER:
                 if hot_depths:
                     exempt_depths.append(depth)
             elif hot():
                 nxt = tokens[i + 1].text if i + 1 < n else ""
                 prev = tokens[i - 1].text if i > 0 else ""
-                if text in _BANNED_KEYWORDS:
+                if text in BANNED_KEYWORDS:
                     violations.append(
-                        HotPathViolation(rel, t.line, _BANNED_KEYWORDS[text])
+                        HotPathViolation(rel, t.line, BANNED_KEYWORDS[text])
                     )
-                elif text in _BANNED_TYPES and prev != "." and prev != "->":
+                elif text in BANNED_TYPES and prev != "." and prev != "->":
                     violations.append(
-                        HotPathViolation(rel, t.line, _BANNED_TYPES[text])
+                        HotPathViolation(rel, t.line, BANNED_TYPES[text])
                     )
                 elif (
-                    text in _BANNED_CALLS
+                    text in BANNED_CALLS
                     and nxt == "("
                     and prev not in (".", "->")
                 ):

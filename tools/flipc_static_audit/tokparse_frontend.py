@@ -27,20 +27,34 @@ in fact extracted.
 
 from __future__ import annotations
 
-from . import cpp_lexer
+import re
+
+from . import cpp_lexer, hotpath_scan
 from .audit_ir import (
     ASSIGN_OP,
     CELL_READ_OPS,
     CELL_WRITE_OPS,
     LOCKS_ONLY_RAW_OPS,
     RAW_READ_OPS,
+    RAW_ROLE_TO_EFFECTIVE,
     RAW_WRITE_OPS,
-    ROLE_MACROS,
+    ROLE_MACROS_RAW,
     Access,
+    CallSite,
     Function,
+    Impurity,
+    Loop,
     TranslationIR,
+    WaitSite,
 )
-from .cpp_lexer import IDENT, PUNCT, Token, match_group
+from .cpp_lexer import IDENT, NUMBER, PUNCT, Token, match_group
+
+_BOUNDED_MARKER = "FLIPC_BOUNDED_BY"
+_WAIT_MARKER = "FLIPC_UNBOUNDED_WAIT"
+
+# Identifiers that look like compile-time constants: kCamelCase constants
+# and ALL_CAPS macros/enumerators.
+_CONST_IDENT_RE = re.compile(r"(?:k[A-Z]\w*|[A-Z][A-Z0-9_]+)$")
 
 _NOT_A_CALL = {
     "if",
@@ -133,8 +147,8 @@ class _FileParser:
                 i += 1
                 if self._text(i) == "<":
                     i = self._skip_template_args(i)
-            elif t.kind == IDENT and text in ROLE_MACROS:
-                pending_roles.add(ROLE_MACROS[text])
+            elif t.kind == IDENT and text in ROLE_MACROS_RAW:
+                pending_roles.add(ROLE_MACROS_RAW[text])
                 i += 1
             elif text in ("public", "private", "protected") and self._text(i + 1) == ":":
                 i += 2
@@ -207,15 +221,16 @@ class _FileParser:
     ) -> int:
         """Parses one declaration starting at i; registers a Function when it
         turns out to be a definition, or declaration roles when it is a
-        role-annotated prototype. Returns the index to continue from."""
+        role-annotated prototype. ``roles`` holds RAW role names (see
+        ROLE_MACROS_RAW). Returns the index to continue from."""
         j = i
         name_chain: list[str] | None = None
         params_close = -1
         saw_eq = False
         while j < hi:
             t = self._text(j)
-            if self._kind(j) == IDENT and t in ROLE_MACROS:
-                roles = roles | {ROLE_MACROS[t]}
+            if self._kind(j) == IDENT and t in ROLE_MACROS_RAW:
+                roles = roles | {ROLE_MACROS_RAW[t]}
                 j += 1
                 continue
             if t == "(":
@@ -244,7 +259,11 @@ class _FileParser:
                         if len(name_chain) > 1
                         else (scope[-1] if scope else "")
                     )
-                    self.ir.add_decl_roles(klass, name_chain[-1], roles)
+                    self.ir.add_decl_roles(
+                        klass,
+                        name_chain[-1],
+                        {RAW_ROLE_TO_EFFECTIVE[r] for r in roles},
+                    )
                 return j + 1
             if t == ":" and params_close != -1 and not saw_eq:
                 body = self._consume_init_list(j)
@@ -338,7 +357,8 @@ class _FileParser:
             klass=klass,
             file=self.rel,
             line=self.toks[body_open].line,
-            roles=set(roles),
+            roles={RAW_ROLE_TO_EFFECTIVE[r] for r in roles},
+            role_macros=set(roles),
         )
         self._scan_body(fn, body_open + 1, match_group(self.toks, body_open))
         self.ir.functions.append(fn)
@@ -392,15 +412,216 @@ class _FileParser:
                 return self._text(k + 2)
         return None
 
+    # ---- loop boundedness ---------------------------------------------------
+
+    def _top_level_split(self, open_paren: int) -> tuple[int, list[int], int]:
+        """For the paren group at ``open_paren``: (close index, indices of
+        top-level ';' tokens, index of the first top-level ':' or -1)."""
+        close = match_group(self.toks, open_paren)
+        depth = 0
+        semis: list[int] = []
+        colon = -1
+        for k in range(open_paren + 1, close):
+            txt = self._text(k)
+            if txt in ("(", "[", "{"):
+                depth += 1
+            elif txt in (")", "]", "}"):
+                depth -= 1
+            elif depth == 0:
+                if txt == ";":
+                    semis.append(k)
+                elif txt == ":" and colon == -1:
+                    colon = k
+        return close, semis, colon
+
+    def _side_is_constant(self, lo: int, hi: int) -> bool:
+        """True when toks[lo:hi] is an expression built only from literals
+        and constant-looking identifiers (kFoo / ALL_CAPS / sizeof)."""
+        ok_punct = {"::", ".", "->", "(", ")", "+", "-", "*", "/", "%", "<<", ">>", ","}
+        has_const = False
+        for k in range(lo, hi):
+            t = self.toks[k]
+            if t.kind == NUMBER:
+                has_const = True
+            elif t.kind == IDENT:
+                if t.text == "sizeof" or _CONST_IDENT_RE.fullmatch(t.text):
+                    has_const = True
+                elif t.text not in ("true", "false"):
+                    return False
+            elif t.text not in ok_punct:
+                return False
+        return has_const
+
+    def _cond_is_bounded(self, lo: int, hi: int) -> bool:
+        """Heuristic trip-bound recognizer for a loop condition toks[lo:hi):
+        countdown loops (`budget-- > 0`) and comparisons against a
+        compile-time-constant-looking bound (`i < kMax`, `i != 4`)."""
+        if hi <= lo:
+            return False
+        for k in range(lo, hi):
+            if self._text(k) == "--":
+                return True
+        depth = 0
+        for k in range(lo, hi):
+            txt = self._text(k)
+            if txt in ("(", "[", "{"):
+                depth += 1
+            elif txt in (")", "]", "}"):
+                depth -= 1
+            elif depth == 0 and txt in ("<", "<=", ">", ">=", "!="):
+                return self._side_is_constant(lo, k) or self._side_is_constant(
+                    k + 1, hi
+                )
+        return False
+
+    # ---- body scanning ------------------------------------------------------
+
     def _scan_body(self, fn: Function, lo: int, hi: int) -> None:
         calls: set[str] = set()
+        depth = 0
+        # Brace depths at which a hot scope / exemption was armed, exactly
+        # the hotpath_scan.scan() discipline but function-local. Exemptions
+        # count even in functions that never arm a scope themselves: a
+        # callee's FLIPC_HOT_PATH_EXEMPT region suspends the caller's armed
+        # scope at run time, so the certifier honors it statically too.
+        hot_depths: list[int] = []
+        exempt_depths: list[int] = []
+        pending_bound: str | None = None
+        pending_wait = False
+        # Token index of a do-block's closing '}' -> its Loop record, so the
+        # trailing `while (cond)` updates the right loop instead of opening
+        # a new one.
+        do_tails: dict[int, Loop] = {}
+
+        def in_hot() -> bool:
+            return bool(hot_depths) and not exempt_depths
+
+        def in_exempt() -> bool:
+            return bool(exempt_depths)
+
+        def add_loop(kind: str, line: int, bounded: bool) -> Loop:
+            nonlocal pending_bound, pending_wait
+            loop = Loop(
+                kind=kind,
+                file=self.rel,
+                line=line,
+                bounded=bounded,
+                bound=pending_bound,
+                wait=pending_wait,
+                in_hot=in_hot(),
+                in_exempt=in_exempt(),
+            )
+            pending_bound = None
+            pending_wait = False
+            fn.loops.append(loop)
+            return loop
+
         i = lo
         while i < hi:
             t = self.toks[i]
             text = t.text
-            if t.kind == IDENT:
+            if text == "{":
+                depth += 1
+            elif text == "}":
+                depth -= 1
+                while hot_depths and depth < hot_depths[-1]:
+                    hot_depths.pop()
+                while exempt_depths and depth < exempt_depths[-1]:
+                    exempt_depths.pop()
+            elif t.kind == IDENT:
                 nxt = self._text(i + 1)
                 prev = self._text(i - 1)
+                if text in hotpath_scan.HOT_MARKERS:
+                    hot_depths.append(depth)
+                    fn.hot_lines.append(t.line)
+                    i += 1
+                    continue
+                if text == hotpath_scan.EXEMPT_MARKER:
+                    exempt_depths.append(depth)
+                    i += 1
+                    continue
+                if text == _BOUNDED_MARKER and nxt == "(":
+                    close = match_group(self.toks, i + 1)
+                    pending_bound = " ".join(
+                        self._text(k) for k in range(i + 2, close)
+                    )
+                    i = close + 1
+                    continue
+                if text == _WAIT_MARKER and nxt == "(":
+                    pending_wait = True
+                    fn.wait_sites.append(
+                        WaitSite(file=self.rel, line=t.line, in_hot=in_hot())
+                    )
+                    i = match_group(self.toks, i + 1) + 1
+                    continue
+                if text == "for" and nxt == "(":
+                    close, semis, colon = self._top_level_split(i + 1)
+                    if not semis and colon != -1:
+                        add_loop("range-for", t.line, True)
+                    elif len(semis) >= 2:
+                        cond_lo, cond_hi = semis[0] + 1, semis[1]
+                        if cond_hi <= cond_lo:
+                            add_loop("forever", t.line, False)
+                        else:
+                            add_loop(
+                                "for", t.line, self._cond_is_bounded(cond_lo, cond_hi)
+                            )
+                    else:
+                        add_loop("for", t.line, False)
+                    i += 1
+                    continue
+                if text == "while" and nxt == "(":
+                    tail_of = do_tails.pop(i - 1, None) if prev == "}" else None
+                    close = match_group(self.toks, i + 1)
+                    if tail_of is not None:
+                        tail_of.bounded = self._cond_is_bounded(i + 2, close)
+                    else:
+                        add_loop(
+                            "while", t.line, self._cond_is_bounded(i + 2, close)
+                        )
+                    i += 1
+                    continue
+                if text == "do" and nxt == "{":
+                    loop = add_loop("do", t.line, False)
+                    do_tails[match_group(self.toks, i + 1)] = loop
+                    i += 1
+                    continue
+                if not in_exempt():
+                    if text in hotpath_scan.BANNED_KEYWORDS:
+                        fn.impurities.append(
+                            Impurity(
+                                what=hotpath_scan.BANNED_KEYWORDS[text].replace(
+                                    " in a hot-path scope", ""
+                                ),
+                                file=self.rel,
+                                line=t.line,
+                            )
+                        )
+                    elif (
+                        text in hotpath_scan.BANNED_TYPES
+                        and prev not in (".", "->")
+                    ):
+                        fn.impurities.append(
+                            Impurity(
+                                what=hotpath_scan.BANNED_TYPES[text].replace(
+                                    " in a hot-path scope", ""
+                                ),
+                                file=self.rel,
+                                line=t.line,
+                            )
+                        )
+                    elif (
+                        text in hotpath_scan.BANNED_CALLS
+                        and nxt == "("
+                        and prev not in (".", "->")
+                    ):
+                        fn.impurities.append(
+                            Impurity(
+                                what=f"blocking call {text}()",
+                                file=self.rel,
+                                line=t.line,
+                            )
+                        )
                 if text == "memory_order_seq_cst":
                     self.ir.seq_cst_sites.append((self.rel, t.line))
                 if nxt == "(":
@@ -432,8 +653,20 @@ class _FileParser:
                                         line=t.line,
                                     )
                                 )
-                    if text not in _NOT_A_CALL and prev != "new":
+                    if (
+                        text not in _NOT_A_CALL
+                        and prev != "new"
+                        and not text.startswith("FLIPC_")
+                    ):
                         calls.add(text)
+                        fn.call_sites.append(
+                            CallSite(
+                                name=text,
+                                line=t.line,
+                                in_hot=in_hot(),
+                                in_exempt=in_exempt(),
+                            )
+                        )
                 elif nxt in _ASSIGN_PUNCT and prev in (".", "->"):
                     got = self._member_at(i)
                     if got:

@@ -25,6 +25,8 @@
 #define FLIPC_HOT_PATH(label) ((void)0)
 #define FLIPC_HOT_PATH_IF(armed, label) ((void)0)
 #define FLIPC_HOT_PATH_EXEMPT(reason) ((void)0)
+#define FLIPC_BOUNDED_BY(expr) ((void)sizeof((expr)))
+#define FLIPC_UNBOUNDED_WAIT(why) ((void)sizeof((why)))
 
 extern "C" int usleep(unsigned int usec);
 

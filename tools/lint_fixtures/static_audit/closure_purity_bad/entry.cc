@@ -1,0 +1,14 @@
+// Interprocedural purity closure — the ENTRY translation unit. The hot
+// scope below is pure in THIS file; the violations live in helper.cc,
+// reachable only through the cross-TU call graph. A per-TU auditor passes
+// this file; the whole-program certifier must not.
+#include "audit_stubs.h"
+
+int RefillCache(int want);
+void ParkUntilSpace(const bool* full);
+
+int Transmit(int want, const bool* full) {
+  FLIPC_HOT_PATH("fixture-crosstu-entry");
+  ParkUntilSpace(full);
+  return RefillCache(want);
+}

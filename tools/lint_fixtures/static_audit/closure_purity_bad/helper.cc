@@ -1,0 +1,19 @@
+// Interprocedural purity closure — the CALLEE translation unit. Nothing
+// here arms a hot scope, so the per-TU hot-path pass sees no violation;
+// the impurities and the park site are charged to the hot scope in
+// entry.cc through the closure.
+#include "audit_stubs.h"
+
+int RefillCache(int want) {
+  int* scratch = new int[8];  // AUDIT-EXPECT: hot-closure: dynamic allocation (new) in 'RefillCache'
+  scratch[0] = want;
+  const int head = scratch[0];
+  delete[] scratch;  // AUDIT-EXPECT: hot-closure: dynamic deallocation (delete) in 'RefillCache'
+  return head;
+}
+
+void ParkUntilSpace(const bool* full) {
+  FLIPC_UNBOUNDED_WAIT("fixture: waits on the other side");
+  while (*full) {  // AUDIT-EXPECT: FLIPC_UNBOUNDED_WAIT park site in 'ParkUntilSpace' is reachable from wait-free entry point 'Transmit'
+  }
+}

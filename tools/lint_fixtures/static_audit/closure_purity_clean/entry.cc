@@ -1,0 +1,11 @@
+// Interprocedural purity closure — clean counterpart of closure_purity_bad.
+// The same cross-TU call shape, but the callee satisfies the closure
+// obligations: no allocation, and its loop carries a recognized bound.
+#include "audit_stubs.h"
+
+int RefillCache(int want);
+
+int Transmit(int want) {
+  FLIPC_HOT_PATH("fixture-crosstu-entry");
+  return RefillCache(want);
+}

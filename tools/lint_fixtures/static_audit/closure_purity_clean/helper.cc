@@ -1,0 +1,23 @@
+// Pure cross-TU callee: fixed storage, constant-bounded loop, and one
+// FLIPC_HOT_PATH_EXEMPT region showing the closure honors exemptions in
+// callees (the checker bookkeeping idiom from src/waitfree).
+#include "audit_stubs.h"
+
+namespace {
+constexpr int kSlots = 8;
+int g_scratch[kSlots];
+}  // namespace
+
+int RefillCache(int want) {
+  for (int i = 0; i < kSlots; ++i) {
+    g_scratch[i] = want + i;
+  }
+  {
+    // Diagnostic-only bookkeeping may take slow paths; the exemption
+    // suspends the caller's armed scope, so the closure skips this region.
+    FLIPC_HOT_PATH_EXEMPT("fixture: diagnostics bookkeeping");
+    int* note = new int(want);
+    delete note;
+  }
+  return g_scratch[0];
+}

@@ -1,0 +1,20 @@
+// Protocol-IR drift — bad fixture: expected_ir.json was captured BEFORE
+// Process() moved its hint update after the cursor publish, so the access
+// sequence in the export no longer matches the expectation. The checked-in
+// expectation is intentionally stale; do not regenerate it.
+#include "audit_stubs.h"
+
+// AUDIT-EXPECT: protocol IR differs from expected_ir.json
+struct MiniRing {
+  Cursors cursors;
+
+  FLIPC_ROLE_APP void Release() {
+    FLIPC_HOT_PATH("fixture-ir-release");
+    cursors.release_count.Publish(cursors.release_count.ReadRelaxed() + 1);
+  }
+
+  FLIPC_ROLE_ENGINE void Process() {
+    cursors.process_count.Publish(cursors.process_count.ReadRelaxed() + 1);
+    cursors.head_hint.Publish(cursors.process_count.ReadRelaxed());
+  }
+};

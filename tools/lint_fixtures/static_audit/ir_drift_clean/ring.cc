@@ -1,0 +1,19 @@
+// Protocol-IR drift — clean fixture: the IR export over this TU must be
+// byte-identical to the checked-in expected_ir.json. Regenerate by
+// running the selftest's drift helper over this group (see
+// tools/lint_fixtures/static_audit/regen_expected_ir.py).
+#include "audit_stubs.h"
+
+struct MiniRing {
+  Cursors cursors;
+
+  FLIPC_ROLE_APP void Release() {
+    FLIPC_HOT_PATH("fixture-ir-release");
+    cursors.release_count.Publish(cursors.release_count.ReadRelaxed() + 1);
+  }
+
+  FLIPC_ROLE_ENGINE void Process() {
+    cursors.head_hint.Publish(cursors.process_count.ReadRelaxed());
+    cursors.process_count.Publish(cursors.process_count.ReadRelaxed() + 1);
+  }
+};

@@ -1,0 +1,15 @@
+// Bounded-progress certification — a loop whose bound is real but not
+// recognizable from the condition (the exit is data-dependent), missing
+// the FLIPC_BOUNDED_BY annotation that progress_bound_clean.cc carries.
+#include "audit_stubs.h"
+
+int PopUntilFresh(const int* tags, int lap) {
+  FLIPC_HOT_PATH("fixture-pop");
+  int i = 0;
+  // Bounded by two laps of the ring in reality, but the certifier cannot
+  // see that from the condition alone.
+  while (tags[i] != lap) {  // AUDIT-EXPECT: unbounded while loop in 'PopUntilFresh' reachable from wait-free entry point 'PopUntilFresh'
+    ++i;
+  }
+  return i;
+}

@@ -1,0 +1,21 @@
+// Bounded-progress certification — the same data-dependent loop as
+// progress_bound_bad.cc, discharged by a FLIPC_BOUNDED_BY annotation
+// stating the bound the certifier cannot derive (and syntax-checking it,
+// unevaluated, against the enclosing scope).
+#include "audit_stubs.h"
+
+namespace {
+constexpr int kRingCapacity = 8;
+}  // namespace
+
+int PopUntilFresh(const int* tags, int lap) {
+  FLIPC_HOT_PATH("fixture-pop");
+  int i = 0;
+  // Every slot is stamped with the previous or current lap tag, so the
+  // scan terminates within two laps of the ring.
+  FLIPC_BOUNDED_BY(2 * kRingCapacity);
+  while (tags[i] != lap) {
+    ++i;
+  }
+  return i;
+}

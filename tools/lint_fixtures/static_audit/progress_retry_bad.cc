@@ -1,0 +1,20 @@
+// Bounded-progress certification — unannotated retry loops inside a
+// wait-free entry point. Neither loop has a recognized trip bound, a
+// FLIPC_BOUNDED_BY annotation, or an FLIPC_UNBOUNDED_WAIT park marker.
+#include "audit_stubs.h"
+
+int SpinForDoorbell(const bool* ready) {
+  FLIPC_HOT_PATH("fixture-retry");
+  while (!*ready) {  // AUDIT-EXPECT: unbounded while loop in 'SpinForDoorbell' reachable from wait-free entry point 'SpinForDoorbell'
+  }
+  return 1;
+}
+
+int DrainForever(const bool* ready) {
+  FLIPC_HOT_PATH("fixture-forever");
+  for (;;) {  // AUDIT-EXPECT: unbounded forever loop in 'DrainForever' reachable from wait-free entry point 'DrainForever'
+    if (*ready) {
+      return 1;
+    }
+  }
+}

@@ -1,0 +1,31 @@
+// Bounded-progress certification — the shapes the certifier accepts:
+// countdown conditions, comparisons against constant-looking bounds, and
+// range-for. Counterpart of progress_retry_bad.cc.
+#include "audit_stubs.h"
+
+namespace {
+constexpr int kSpinBudget = 64;
+}  // namespace
+
+int SpinForDoorbell(const bool* ready) {
+  FLIPC_HOT_PATH("fixture-retry");
+  int budget = kSpinBudget;
+  while (budget-- > 0) {
+    if (*ready) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int SweepSlots(const int (&slots)[8]) {
+  FLIPC_HOT_PATH("fixture-sweep");
+  int acc = 0;
+  for (int i = 0; i < kSpinBudget; ++i) {
+    acc += slots[i & 7];
+  }
+  for (int v : slots) {
+    acc += v;
+  }
+  return acc;
+}

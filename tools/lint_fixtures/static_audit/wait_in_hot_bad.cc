@@ -1,0 +1,14 @@
+// Park sites and wait-freedom — FLIPC_UNBOUNDED_WAIT marks a legal park
+// site ONLY outside hot scopes. Annotating a wait inside an armed
+// hot-path scope is a contradiction (the scope claims wait-freedom), and
+// the certifier rejects it rather than treating the annotation as a
+// waiver.
+#include "audit_stubs.h"
+
+int AcquireSlow(const bool* ready) {
+  FLIPC_HOT_PATH("fixture-wait-in-hot");
+  FLIPC_UNBOUNDED_WAIT("fixture: annotated wait inside an armed scope");  // AUDIT-EXPECT: FLIPC_UNBOUNDED_WAIT park site inside a hot-path scope
+  while (!*ready) {
+  }
+  return 1;
+}
