@@ -18,6 +18,12 @@
 #                 python3-clang is importable — plus the JSON report and
 #                 the park-site census gate (>=1 annotated park site, none
 #                 inside a hot-path scope)
+#   failure-scenarios
+#                 the DESIGN.md §14 failure-injection family (engine
+#                 kill/restart recovery, endpoint churn, stale doorbells,
+#                 seeded fabric fault plans) under ThreadSanitizer; failing
+#                 tests leave Chrome-trace postmortems
+#                 (failure_postmortem_*.json) in the build tree
 #
 # Usage: scripts/check.sh [leg ...]     (default: every leg)
 # Build trees live under build-matrix/<leg> and are reused across runs.
@@ -33,7 +39,7 @@ fi
 JOBS="$(nproc 2> /dev/null || echo 4)"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit progress-cert)
+  LEGS=(plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit progress-cert failure-scenarios)
 fi
 
 build_and_test() {
@@ -107,6 +113,16 @@ if census["in_hot_scope"] != 0:
 EOF
 }
 
+run_failure_scenarios() {
+  local dir="build-matrix/failure-scenarios"
+  echo "==== [failure-scenarios] crash/restart + churn + fault-plan family under TSan ($dir) ===="
+  cmake -B "$dir" -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFLIPC_SANITIZE=thread
+  cmake --build "$dir" -j "$JOBS"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+      -R '^(failure_scenarios_test|simnet_test|engine_test|soak_test|cluster_test)$'
+}
+
 for leg in "${LEGS[@]}"; do
   case "$leg" in
     plain)         build_and_test plain ;;
@@ -118,8 +134,9 @@ for leg in "${LEGS[@]}"; do
     tidy)          run_tidy ;;
     static-audit)  run_static_audit ;;
     progress-cert) run_progress_cert ;;
+    failure-scenarios) run_failure_scenarios ;;
     *)
-      echo "unknown leg '$leg' (expected: plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit progress-cert)" >&2
+      echo "unknown leg '$leg' (expected: plain single-writer hot-path hot-path-tsan tsan asan-ubsan tidy static-audit progress-cert failure-scenarios)" >&2
       exit 2
       ;;
   esac

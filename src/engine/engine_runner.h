@@ -52,6 +52,10 @@ class EngineRunner {
   // node is genuinely quiet; parks during steady traffic mean lost kicks.
   std::uint64_t idle_parks() const { return idle_parks_.load(std::memory_order_relaxed); }
 
+  // Total Kick() calls observed; with idle_parks() this is the kick-path
+  // liveness picture the failure-scenario tests assert over.
+  std::uint64_t kicks() const { return kicks_.load(std::memory_order_relaxed); }
+
  private:
   FLIPC_ROLE_ENGINE void Loop();
 

@@ -1,5 +1,6 @@
 #include "src/engine/messaging_engine.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -160,8 +161,13 @@ void MessagingEngine::DrainDoorbells() {
       break;
     }
     ++stats_.doorbells_consumed;
-    if (!comm_.IsValidEndpointIndex(endpoint)) {
-      continue;  // Corrupt hint from the application side; ignore.
+    if (!comm_.IsValidEndpointIndex(endpoint) || endpoint < shard_first_ ||
+        endpoint >= shard_end_) {
+      // Corrupt or out-of-shard hint from the application side; ignore.
+      // The range check matters: activating a foreign endpoint would later
+      // make THIS planner write another shard's engine-owned cells through
+      // CommitOutboundOne.
+      continue;
     }
     if (in_active_[endpoint] != 0) {
       ++stats_.doorbell_dups;
@@ -514,6 +520,56 @@ bool MessagingEngine::CommitStep() {
 bool MessagingEngine::Step() {
   PlanStep();
   return CommitStep();
+}
+
+void MessagingEngine::RecoverFromBuffer() {
+  // Recovery is a quiescent-role closure (DESIGN.md §14): the dead
+  // engine's writer role died with it and no runner steps this shard yet,
+  // so relaxed stores into engine-owned cells are unraced — the same
+  // exemption window CommBuffer::AllocateEndpoint's slot reset uses.
+  waitfree::ScopedBoundaryExemption quiescent_recovery;
+
+  // Doorbells are hints; the cursor sweep below rediscovers their work
+  // from the authoritative queue cursors, so fast-forward past anything
+  // rung at the dead engine.
+  comm_.doorbell_ring(shard_id_).ResetConsumerQuiescent();
+
+  // Discard any half-planned unit inherited through this object (a fresh
+  // engine has none; an in-place recovery might). planned_packet_ and
+  // parked_packet_ held the ONLY copy of an inbound wire packet on the
+  // dead engine — that copy died with its heap, a legitimate loss the
+  // optimistic contract already covers (same as a packet lost mid-wire).
+  planned_ = WorkKind::kNone;
+  planned_cost_ = 0;
+  planned_packet_.reset();
+  planned_batch_.clear();
+  parked_packet_.reset();
+  planned_endpoint_ = shm::kInvalidEndpoint;
+  planned_rotation_advance_ = true;
+  scan_cursor_ = 0;
+  while (!active_.empty()) {
+    active_.pop_front();
+  }
+  std::fill(in_active_.begin(), in_active_.end(), 0);
+
+  // Rebuild the active list from the cursors. Deliberately NOT
+  // SweepAllEndpoints(): that counts toward backstop_sweeps, whose
+  // cause identity (overflow + periodic + no-candidate) must survive
+  // recovery; this sweep is accounted under stats_.recovered_active.
+  std::uint64_t activated = 0;
+  stats_.endpoints_visited += shard_end_ - shard_first_;
+  for (std::uint32_t i = shard_first_; i < shard_end_; ++i) {
+    if (comm_.endpoint(i).Type() != EndpointType::kSend) {
+      continue;
+    }
+    if (comm_.queue(i).ProcessableCount() == 0) {
+      continue;
+    }
+    ActivateEndpoint(i);
+    ++activated;
+  }
+  ++stats_.recoveries;
+  stats_.recovered_active += activated;
 }
 
 bool MessagingEngine::HasWork() const {

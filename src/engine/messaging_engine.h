@@ -130,6 +130,9 @@ struct EngineStats {
   std::uint64_t handoff_popped = 0;       // packets consumed from this shard's inbox
   std::uint64_t handoff_full_retries = 0; // route commits that found the inbox full
                                           // (packet parked, wire polling stalled)
+  // ---- Crash recovery ----
+  std::uint64_t recoveries = 0;           // RecoverFromBuffer invocations
+  std::uint64_t recovered_active = 0;     // endpoints re-activated by recovery sweeps
 
   // Sums `other` into this (per-shard stats -> node aggregate). The
   // counter identities (backstop_sweeps == doorbell_overflows +
@@ -160,6 +163,8 @@ struct EngineStats {
     handoff_pushed += other.handoff_pushed;
     handoff_popped += other.handoff_popped;
     handoff_full_retries += other.handoff_full_retries;
+    recoveries += other.recoveries;
+    recovered_active += other.recovered_active;
   }
 };
 
@@ -229,6 +234,20 @@ class MessagingEngine {
 
   // Plan + commit in one call; used by the real-concurrency runner.
   FLIPC_ROLE_ENGINE bool Step();
+
+  // ---- Crash recovery (DESIGN.md §14) ----
+
+  // Rebuilds this shard's scheduling state purely from the authoritative
+  // queue cursors of a communication buffer abandoned by a dead engine:
+  // fast-forwards the doorbell ring's consume cursor (doorbells are hints;
+  // the sweep below rediscovers their work), clears any half-planned work
+  // unit, and re-activates every send endpoint in the shard's range with
+  // processable work. Must run while NO other engine-side actor touches
+  // this shard's range (the quiescent role) — typically on a freshly
+  // constructed engine before its runner starts. The sweep here is not a
+  // backstop sweep (it does not count toward backstop_sweeps, preserving
+  // the sweep-cause identity); it increments stats_.recoveries instead.
+  FLIPC_ROLE_QUIESCENT void RecoverFromBuffer();
 
   bool HasWork() const;
 

@@ -5,12 +5,15 @@
 #include <thread>
 #include <utility>
 
+#include "src/base/thread_annotations.h"
+
 namespace flipc {
 
 // ================================ Cluster ===================================
 
 Result<std::unique_ptr<Cluster>> Cluster::Create(const Options& options) {
   auto cluster = std::unique_ptr<Cluster>(new Cluster());
+  cluster->options_ = options;  // RestartShard rebuilds engines from these.
   cluster->fabric_ = std::make_unique<simnet::ThreadFabric>(options.node_count);
 
   const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -52,28 +55,38 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const Options& options) {
       node->engines.push_back(std::move(eng));
       node->runners.push_back(std::make_unique<engine::EngineRunner>(
           *node->engines.back(), runner_options));
+      node->runner_options.push_back(runner_options);
     }
 
+    // Every kick null-checks its runner slot under the node's runner mutex:
+    // between KillShard and RestartShard the slot is empty, and a kick for
+    // a dead shard must be a no-op, not a crash. (Kicking is already off
+    // the product hot path — a host-thread parking artifact.)
     Node* node_ptr = node.get();
-    const auto kick_shard = [node_ptr](std::uint32_t shard) {
-      if (shard < node_ptr->runners.size()) {
+    node->kick_shard = [node_ptr](std::uint32_t shard) {
+      ScopedLock<std::mutex> guard(node_ptr->runner_mutex);
+      if (shard < node_ptr->runners.size() && node_ptr->runners[shard] != nullptr) {
         node_ptr->runners[shard]->Kick();
       }
     };
     for (std::uint32_t s = 0; s < shards; ++s) {
-      node->engines[s]->SetShardKick(kick_shard);
+      node->engines[s]->SetShardKick(node->kick_shard);
     }
-    node->domain->SetShardKick(kick_shard);
+    node->domain->SetShardKick(node->kick_shard);
     // Unqualified kicks (callers that do not know the owning shard) wake
     // everyone; with one shard that degenerates to the classic wiring.
     node->domain->SetEngineKick([node_ptr] {
+      ScopedLock<std::mutex> guard(node_ptr->runner_mutex);
       for (auto& runner : node_ptr->runners) {
-        runner->Kick();
+        if (runner != nullptr) {
+          runner->Kick();
+        }
       }
     });
-    // Only the distributor polls the wire, so deliveries wake shard 0.
-    engine::EngineRunner* distributor = node->runners[0].get();
-    cluster->fabric_->SetDeliveryCallback(n, [distributor] { distributor->Kick(); });
+    // Only the distributor polls the wire, so deliveries wake shard 0 —
+    // through the null-safe kick, so a killed distributor tolerates
+    // deliveries arriving while it is down.
+    cluster->fabric_->SetDeliveryCallback(n, [node_ptr] { node_ptr->kick_shard(0); });
 
     cluster->nodes_.push_back(std::move(node));
   }
@@ -84,8 +97,11 @@ Cluster::~Cluster() { Stop(); }
 
 engine::EngineStats Cluster::aggregate_stats(NodeId node) const {
   engine::EngineStats total;
+  ScopedLock<std::mutex> guard(nodes_[node]->runner_mutex);
   for (const auto& eng : nodes_[node]->engines) {
-    total.Add(eng->stats());
+    if (eng != nullptr) {
+      total.Add(eng->stats());
+    }
   }
   return total;
 }
@@ -95,8 +111,11 @@ void Cluster::Start() {
     return;
   }
   for (auto& node : nodes_) {
+    ScopedLock<std::mutex> guard(node->runner_mutex);
     for (auto& runner : node->runners) {
-      runner->Start();
+      if (runner != nullptr) {
+        runner->Start();
+      }
     }
   }
   started_ = true;
@@ -107,11 +126,108 @@ void Cluster::Stop() {
     return;
   }
   for (auto& node : nodes_) {
-    for (auto& runner : node->runners) {
-      runner->Stop();
+    // Move the runners out under the mutex, join outside it: a dying loop
+    // thread may be inside a kick lambda that takes the same mutex.
+    std::vector<std::unique_ptr<engine::EngineRunner>> doomed;
+    {
+      ScopedLock<std::mutex> guard(node->runner_mutex);
+      doomed.resize(node->runners.size());
+      for (std::size_t s = 0; s < node->runners.size(); ++s) {
+        doomed[s] = std::move(node->runners[s]);
+      }
+    }
+    for (auto& runner : doomed) {
+      if (runner != nullptr) {
+        runner->Stop();
+      }
+    }
+    {
+      ScopedLock<std::mutex> guard(node->runner_mutex);
+      for (std::size_t s = 0; s < node->runners.size(); ++s) {
+        node->runners[s] = std::move(doomed[s]);
+      }
     }
   }
   started_ = false;
+}
+
+bool Cluster::shard_alive(NodeId node, std::uint32_t shard) const {
+  ScopedLock<std::mutex> guard(nodes_[node]->runner_mutex);
+  return shard < nodes_[node]->engines.size() &&
+         nodes_[node]->engines[shard] != nullptr;
+}
+
+bool Cluster::KillShard(NodeId node_id, std::uint32_t shard) {
+  Node& node = *nodes_[node_id];
+  std::unique_ptr<engine::EngineRunner> runner;
+  {
+    ScopedLock<std::mutex> guard(node.runner_mutex);
+    if (shard >= node.engines.size() || node.engines[shard] == nullptr) {
+      return false;
+    }
+    runner = std::move(node.runners[shard]);
+  }
+  // Join outside the mutex (the loop thread's last act may be a kick that
+  // takes it). After the join nothing references the engine; destroy it.
+  if (runner != nullptr) {
+    runner->Stop();
+    runner.reset();
+  }
+  ScopedLock<std::mutex> guard(node.runner_mutex);
+  node.engines[shard].reset();
+  return true;
+}
+
+bool Cluster::RestartShard(NodeId node_id, std::uint32_t shard) {
+  Node& node = *nodes_[node_id];
+  {
+    ScopedLock<std::mutex> guard(node.runner_mutex);
+    if (shard >= node.engines.size() || node.engines[shard] != nullptr) {
+      return false;
+    }
+  }
+  // Build and recover the engine before publishing it: RecoverFromBuffer
+  // must run in the quiescent role, before any runner can step the shard.
+  engine::EngineOptions engine_options = options_.engine;
+  engine_options.shard_id = shard;
+  auto eng = std::make_unique<engine::MessagingEngine>(
+      node.domain->comm(), fabric_->wire(node_id), engine_options,
+      /*model=*/nullptr, &semaphores_);
+  eng->SetClock(&RealClock::Instance());
+  // The Node-owned handoff rings survived the crash (cursors and the
+  // producer's private position live in the ring object); only the
+  // engine's pointers need rewiring.
+  if (shard == 0) {
+    for (std::uint32_t s = 1; s < node.handoffs.size(); ++s) {
+      eng->SetHandoffOutbox(s, node.handoffs[s].get());
+    }
+  } else {
+    eng->SetHandoffInbox(node.handoffs[shard].get());
+  }
+  eng->SetShardKick(node.kick_shard);
+  eng->RecoverFromBuffer();
+
+  auto runner = std::make_unique<engine::EngineRunner>(*eng, node.runner_options[shard]);
+  engine::EngineRunner* started = nullptr;
+  {
+    ScopedLock<std::mutex> guard(node.runner_mutex);
+    node.engines[shard] = std::move(eng);
+    node.runners[shard] = std::move(runner);
+    started = node.runners[shard].get();
+  }
+  if (started_) {
+    started->Start();
+  }
+  // Wake every surviving runner: peers may be parked waiting on the dead
+  // shard (a distributor with a parked packet for its full inbox, or
+  // consumers idle behind a wire nobody polled).
+  ScopedLock<std::mutex> guard(node.runner_mutex);
+  for (auto& r : node.runners) {
+    if (r != nullptr) {
+      r->Kick();
+    }
+  }
+  return true;
 }
 
 // =============================== SimCluster =================================
@@ -130,8 +246,8 @@ Result<std::unique_ptr<SimCluster>> SimCluster::Create(Options options) {
     }
     link = std::make_unique<simnet::MeshLinkModel>(mesh);
   }
-  cluster->fabric_ = std::make_unique<simnet::SimFabric>(cluster->sim_, std::move(link),
-                                                         options.node_count);
+  cluster->fabric_ = std::make_unique<simnet::SimFabric>(
+      cluster->sim_, std::move(link), options.node_count, std::move(options.fabric));
 
   for (NodeId n = 0; n < options.node_count; ++n) {
     auto node = std::make_unique<Node>();

@@ -14,7 +14,9 @@
 #ifndef SRC_FLIPC_CLUSTER_H_
 #define SRC_FLIPC_CLUSTER_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/base/status.h"
@@ -67,6 +69,28 @@ class Cluster {
   engine::EngineRunner& runner(NodeId node, std::uint32_t shard = 0) {
     return *nodes_[node]->runners[shard];
   }
+  // Whether the shard's planner currently exists (false between KillShard
+  // and RestartShard).
+  bool shard_alive(NodeId node, std::uint32_t shard) const;
+
+  // ---- Failure injection (DESIGN.md §14) ----
+
+  // Murders one shard planner mid-traffic: stops its runner thread and
+  // destroys runner and engine, abandoning the comm-buffer state exactly
+  // as a crashed coprocessor would. Application threads may keep sending
+  // throughout (their endpoints simply stop draining; a killed
+  // distributor additionally stops wire polling and cross-shard routing
+  // for the node). Returns false if the shard is already dead.
+  bool KillShard(NodeId node, std::uint32_t shard);
+
+  // Resurrects a killed shard: builds a fresh engine over the abandoned
+  // comm buffer, rewires its handoff rings and kick paths, rebuilds its
+  // scheduling state via MessagingEngine::RecoverFromBuffer(), and starts
+  // a new runner when the cluster is started. Every surviving runner is
+  // kicked afterwards so peers stalled on the dead shard (a distributor
+  // parked on its full inbox, consumers idle behind an unpolled wire)
+  // resume. Returns false if the shard is alive.
+  bool RestartShard(NodeId node, std::uint32_t shard);
   // Sums every shard planner's counters; the telemetry identities are
   // linear, so they hold for the aggregate exactly as per shard.
   engine::EngineStats aggregate_stats(NodeId node) const;
@@ -80,7 +104,20 @@ class Cluster {
     std::vector<std::unique_ptr<engine::EngineRunner>> runners;
     // Distributor→consumer handoff rings, indexed by consumer shard
     // ([0] unused — the distributor delivers its own endpoints directly).
+    // Node-owned so handoff state (cursors AND the producer's private
+    // position) survives the death of either endpoint's engine.
     std::vector<std::unique_ptr<engine::MessagingEngine::HandoffRing>> handoffs;
+    // Guards runners[] against kick lambdas racing KillShard/RestartShard
+    // swaps. Kicks take it briefly (off the product hot path: kicking is
+    // already a host-thread parking artifact); runner joins happen OUTSIDE
+    // it, because the dying loop thread may itself be inside a kick.
+    mutable std::mutex runner_mutex;
+    // Per-shard runner options, kept so RestartShard rebuilds the same
+    // pinning/warm-touch placement the shard had at Create().
+    std::vector<engine::EngineRunner::Options> runner_options;
+    // The per-shard kick installed at Create(); re-wired into every
+    // restarted engine.
+    std::function<void(std::uint32_t)> kick_shard;
   };
 
   Cluster() = default;
@@ -88,6 +125,7 @@ class Cluster {
   simos::SemaphoreTable semaphores_;
   std::unique_ptr<simnet::ThreadFabric> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  Options options_;  // RestartShard rebuilds engines from these
   std::uint32_t shard_count_ = 1;
   bool started_ = false;
 };
@@ -108,6 +146,9 @@ class SimCluster {
     // Link model factory selector; default Paragon mesh sized to the node
     // count (width = ceil(sqrt(n))).
     std::unique_ptr<simnet::LinkModel> link_model;
+    // Fabric-level failure injection (drop probability, seeded FaultPlan);
+    // the default is the perfectly reliable fabric FLIPC assumes.
+    simnet::SimFabric::Options fabric;
   };
 
   static Result<std::unique_ptr<SimCluster>> Create(Options options);

@@ -107,6 +107,21 @@ Status Domain::DestroyEndpoint(Endpoint& endpoint) {
   return OkStatus();
 }
 
+Status Domain::QuiesceAndDestroyEndpoint(Endpoint& endpoint) {
+  if (!endpoint.valid() || endpoint.domain_ != this) {
+    return InvalidArgumentStatus();
+  }
+  const bool is_send = endpoint.type() == shm::EndpointType::kSend;
+  for (;;) {
+    Result<MessageBuffer> buffer = is_send ? endpoint.Reclaim() : endpoint.Receive();
+    if (!buffer.ok()) {
+      break;  // Nothing acquirable now; what remains is the engine's.
+    }
+    FLIPC_RETURN_IF_ERROR(FreeBuffer(*buffer));
+  }
+  return DestroyEndpoint(endpoint);
+}
+
 void Domain::RegisterGroupSemaphore(std::uint32_t id) {
   ScopedLock<std::mutex> guard(group_mutex_);
   group_semaphores_.insert(id);

@@ -134,6 +134,16 @@ class Domain {
   // Frees the endpoint (its queue must be drained) and its semaphore.
   FLIPC_ROLE_QUIESCENT Status DestroyEndpoint(Endpoint& endpoint);
 
+  // Churn teardown (DESIGN.md §14): reclaims every buffer the engine has
+  // already completed (Reclaim on send endpoints, Receive on receive
+  // endpoints), frees them, then destroys the endpoint. Returns
+  // DestroyEndpoint's kUnavailable while the engine still owns released
+  // buffers — callers quiescing under load retry until the engine drains.
+  // A receive endpoint with posted-but-undelivered buffers can never drain
+  // this way (there is no un-post primitive); direct exactly-counted
+  // traffic at it or tear down the whole domain instead.
+  FLIPC_ROLE_QUIESCENT Status QuiesceAndDestroyEndpoint(Endpoint& endpoint);
+
   simos::SemaphoreTable* semaphores() { return semaphores_; }
   CallCounters& calls() { return calls_; }
 

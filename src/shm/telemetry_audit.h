@@ -1,0 +1,97 @@
+// The telemetry counter-identity audit, shared by flipc_inspect --metrics
+// and the failure-scenario tests (which run it programmatically after a
+// kill/restart or churn episode to prove recovery lost nothing beyond the
+// optimistic-discard contract).
+//
+// The identities (telemetry_block.h):
+//
+//   send endpoint     low32(api_sends)    == release_count
+//                     low32(api_reclaims) == acquire_count
+//                     engine_transmits + engine_rejects == processed_total
+//   receive endpoint  low32(api_posts)    == release_count
+//                     low32(api_receives) == acquire_count
+//                     engine_deliveries   == processed_total
+//
+// They hold for any endpoint driven through the Endpoint API and the
+// engine, at quiescence (mid-operation reads can be one apart on a live
+// system) — and they must SURVIVE an engine crash/restart, because every
+// word involved lives in the comm buffer or is recomputed from it, never
+// in the dead engine's heap.
+#ifndef SRC_SHM_TELEMETRY_AUDIT_H_
+#define SRC_SHM_TELEMETRY_AUDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/shm/comm_buffer.h"
+#include "src/shm/endpoint_record.h"
+#include "src/shm/telemetry_block.h"
+
+namespace flipc::shm {
+
+// One failed identity on one endpoint.
+struct EndpointIdentityFailure {
+  std::uint32_t endpoint = 0;
+  const char* identity = "";  // static string naming the violated identity
+  std::uint64_t lhs = 0;
+  std::uint64_t rhs = 0;
+};
+
+// Checks the identities for one active endpoint; appends a row per failed
+// identity when `failures` is non-null. Returns true when all hold.
+inline bool CheckEndpointIdentities(const CommBuffer& comm, std::uint32_t index,
+                                    std::vector<EndpointIdentityFailure>* failures) {
+  const EndpointRecord& record = comm.endpoint(index);
+  const TelemetryBlock& t = comm.telemetry(index);
+  const std::uint32_t release = record.release_count.Read();
+  const std::uint32_t acquire = record.acquire_count.Read();
+  const std::uint64_t processed = record.processed_total.Read();
+
+  bool ok = true;
+  const auto check = [&](const char* name, std::uint64_t lhs, std::uint64_t rhs) {
+    if (lhs == rhs) {
+      return;
+    }
+    ok = false;
+    if (failures != nullptr) {
+      failures->push_back({index, name, lhs, rhs});
+    }
+  };
+  if (record.Type() == EndpointType::kSend) {
+    check("low32(api_sends) == release_count",
+          static_cast<std::uint32_t>(t.api_sends.Read()), release);
+    check("low32(api_reclaims) == acquire_count",
+          static_cast<std::uint32_t>(t.api_reclaims.Read()), acquire);
+    check("engine_transmits + engine_rejects == processed_total",
+          t.engine_transmits.Read() + t.engine_rejects.Read(), processed);
+  } else {
+    check("low32(api_posts) == release_count",
+          static_cast<std::uint32_t>(t.api_posts.Read()), release);
+    check("low32(api_receives) == acquire_count",
+          static_cast<std::uint32_t>(t.api_receives.Read()), acquire);
+    check("engine_deliveries == processed_total", t.engine_deliveries.Read(),
+          processed);
+  }
+  return ok;
+}
+
+// Audits every active endpoint; returns the number of endpoints with at
+// least one failed identity (0 == the buffer is consistent). `failures`
+// may be null when only the count matters.
+inline int AuditTelemetryIdentities(const CommBuffer& comm,
+                                    std::vector<EndpointIdentityFailure>* failures = nullptr) {
+  int mismatched_endpoints = 0;
+  for (std::uint32_t i = 0; i < comm.max_endpoints(); ++i) {
+    if (!comm.endpoint(i).IsActive()) {
+      continue;
+    }
+    if (!CheckEndpointIdentities(comm, i, failures)) {
+      ++mismatched_endpoints;
+    }
+  }
+  return mismatched_endpoints;
+}
+
+}  // namespace flipc::shm
+
+#endif  // SRC_SHM_TELEMETRY_AUDIT_H_

@@ -2,9 +2,45 @@
 
 #include "src/base/thread_annotations.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
 namespace flipc::simnet {
+
+// ============================== Fault plan ===================================
+
+std::string_view FaultEventKindName(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kLinkDown:
+      return "link-down";
+    case FaultEvent::Kind::kNodeDown:
+      return "node-down";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kRandomDrop:
+      return "random-drop";
+    case FaultEvent::Kind::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+std::string FormatFaultLog(const std::vector<FaultEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 64);
+  char line[128];
+  for (const FaultEvent& e : events) {
+    std::snprintf(line, sizeof(line),
+                  "t=%lld src=%u dst=%u seq=%llu kind=%s delay=%lld\n",
+                  static_cast<long long>(e.time), e.src, e.dst,
+                  static_cast<unsigned long long>(e.seq),
+                  std::string(FaultEventKindName(e.kind)).c_str(),
+                  static_cast<long long>(e.delay_ns));
+    out += line;
+  }
+  return out;
+}
 
 // ============================== SimFabric ====================================
 
@@ -51,8 +87,9 @@ SimFabric::SimFabric(Simulator& sim, std::unique_ptr<LinkModel> link_model,
                      std::uint32_t node_count, Options options)
     : sim_(sim),
       link_model_(std::move(link_model)),
-      options_(options),
-      fault_rng_(options.fault_seed),
+      options_(std::move(options)),
+      fault_rng_(options_.fault_seed),
+      plan_rng_(options_.fault_plan.seed),
       link_free_at_(node_count, 0),
       last_arrival_(static_cast<std::size_t>(node_count) * node_count, 0) {
   wires_.reserve(node_count);
@@ -69,10 +106,69 @@ void SimFabric::SetDeliveryCallback(NodeId node, std::function<void()> callback)
   wires_[node]->SetDeliveryCallback(std::move(callback));
 }
 
+bool SimFabric::ApplyFaultPlan(NodeId src, NodeId dst, std::uint64_t seq,
+                               DurationNs* extra_delay) {
+  const FaultPlan& plan = options_.fault_plan;
+  const TimeNs now = sim_.Now();
+  const auto in_window = [now](TimeNs start, TimeNs end) {
+    return start <= now && now < end;
+  };
+  const auto log = [&](FaultEvent::Kind kind, DurationNs delay = 0) {
+    fault_events_.push_back({now, src, dst, seq, kind, delay});
+  };
+
+  // Deterministic rules first (they consume no randomness): node outages,
+  // then partitions, then link rules in list order.
+  for (const FaultPlan::NodeFault& fault : plan.nodes) {
+    if ((fault.node == src || fault.node == dst) && in_window(fault.start, fault.end)) {
+      log(FaultEvent::Kind::kNodeDown);
+      return true;
+    }
+  }
+  for (const FaultPlan::Partition& partition : plan.partitions) {
+    if (!in_window(partition.start, partition.end)) {
+      continue;
+    }
+    const auto inside = [&partition](NodeId node) {
+      return std::find(partition.island.begin(), partition.island.end(), node) !=
+             partition.island.end();
+    };
+    if (inside(src) != inside(dst)) {
+      log(FaultEvent::Kind::kPartition);
+      return true;
+    }
+  }
+  DurationNs delay = 0;
+  for (const FaultPlan::LinkFault& fault : plan.links) {
+    const bool src_match = fault.src == FaultPlan::kAnyNode || fault.src == src;
+    const bool dst_match = fault.dst == FaultPlan::kAnyNode || fault.dst == dst;
+    if (!src_match || !dst_match || !in_window(fault.start, fault.end)) {
+      continue;
+    }
+    if (fault.down || fault.drop_probability >= 1.0) {
+      log(FaultEvent::Kind::kLinkDown);
+      return true;
+    }
+    // The seeding contract: exactly one draw per matching probabilistic
+    // rule, in rule order — probabilities of exactly 0 draw nothing.
+    if (fault.drop_probability > 0.0 && plan_rng_.Chance(fault.drop_probability)) {
+      log(FaultEvent::Kind::kRandomDrop);
+      return true;
+    }
+    delay += fault.extra_delay_ns;
+  }
+  if (delay > 0) {
+    log(FaultEvent::Kind::kDelay, delay);
+    *extra_delay += delay;
+  }
+  return false;
+}
+
 Status SimFabric::SendFrom(NodeId src, Packet packet) {
   if (packet.dst_node >= node_count()) {
     return NotFoundStatus();
   }
+  const std::uint64_t seq = packets_sent_;
   ++packets_sent_;
   bytes_sent_ += packet.wire_size();
 
@@ -81,12 +177,20 @@ Status SimFabric::SendFrom(NodeId src, Packet packet) {
     return OkStatus();  // Silent loss, as a faulty interconnect would be.
   }
 
+  DurationNs fault_delay = 0;
+  if (!options_.fault_plan.Empty() &&
+      ApplyFaultPlan(src, packet.dst_node, seq, &fault_delay)) {
+    ++packets_dropped_;
+    return OkStatus();  // Same silent loss as above — the plan just decides when.
+  }
+
   const std::size_t wire_bytes = packet.wire_size();
   const TimeNs depart = std::max(sim_.Now(), link_free_at_[src]);
   const DurationNs serialization = link_model_->SerializationNs(src, packet.dst_node, wire_bytes);
   link_free_at_[src] = depart + serialization;
 
-  TimeNs arrive = depart + serialization + link_model_->TransitNs(src, packet.dst_node, wire_bytes);
+  TimeNs arrive = depart + serialization +
+                  link_model_->TransitNs(src, packet.dst_node, wire_bytes) + fault_delay;
   TimeNs& last = last_arrival_[static_cast<std::size_t>(src) * node_count() + packet.dst_node];
   if (arrive <= last) {
     arrive = last + 1;  // Preserve per-(src,dst) FIFO delivery order.

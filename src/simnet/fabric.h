@@ -20,6 +20,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -61,13 +63,102 @@ class Fabric {
 
 // ----------------------------------------------------------------------------
 
+// A seeded, DES-scheduled failure-injection plan for SimFabric.
+//
+// FLIPC assumes a reliable interconnect; the fault plan exists so tests can
+// probe how the layers above misbehave when that assumption is violated —
+// and prove that runs replay bit-identically.
+//
+// Seeding contract (the determinism tests depend on every clause):
+//   * All plan randomness comes from ONE xoshiro generator seeded with
+//     `seed` at fabric construction (separate from the legacy
+//     drop_probability stream, which keeps its own draws for backward
+//     compatibility).
+//   * The generator advances exactly once per probabilistic decision: one
+//     draw per matching LinkFault whose drop_probability is in (0, 1),
+//     evaluated in rule-list order, per SendFrom call. Deterministic rules
+//     — down links, node-down windows, partitions, probabilities of
+//     exactly 0 or 1, and delays — consume NO randomness.
+//   * SendFrom calls occur in discrete-event order, which the simulator
+//     makes deterministic, so the same plan driving the same workload
+//     yields a byte-identical fault-event log (FormatFaultLog).
+// Corollary: editing the rule list (even reordering entries) legitimately
+// changes the draw sequence and therefore the log.
+struct FaultPlan {
+  static constexpr NodeId kAnyNode = kInvalidNode;  // wildcard endpoint match
+
+  // Per-link fault, active while start <= Now() < end at send time.
+  struct LinkFault {
+    NodeId src = kAnyNode;
+    NodeId dst = kAnyNode;
+    TimeNs start = 0;
+    TimeNs end = kTimeNever;
+    bool down = false;              // drop every matching packet
+    double drop_probability = 0.0;  // else drop with this probability
+    DurationNs extra_delay_ns = 0;  // surviving packets arrive this much later
+  };
+
+  // Node off the fabric (both directions) during the window.
+  struct NodeFault {
+    NodeId node = 0;
+    TimeNs start = 0;
+    TimeNs end = kTimeNever;
+  };
+
+  // Network partition: packets crossing the island boundary (in either
+  // direction) are dropped during the window; traffic wholly inside or
+  // wholly outside the island is untouched.
+  struct Partition {
+    std::vector<NodeId> island;
+    TimeNs start = 0;
+    TimeNs end = kTimeNever;
+  };
+
+  std::uint64_t seed = 1;
+  std::vector<LinkFault> links;
+  std::vector<NodeFault> nodes;
+  std::vector<Partition> partitions;
+
+  bool Empty() const { return links.empty() && nodes.empty() && partitions.empty(); }
+};
+
+// One entry in the fabric's fault-event log (kept only while the plan is
+// non-empty; test machinery, not a product path).
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown = 0,   // dropped by a down LinkFault
+    kNodeDown = 1,   // dropped by a NodeFault window
+    kPartition = 2,  // dropped crossing a partition island boundary
+    kRandomDrop = 3, // dropped by a probabilistic LinkFault draw
+    kDelay = 4,      // delivered, but delayed by extra_delay_ns
+  };
+  TimeNs time = 0;          // virtual send time
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t seq = 0;    // fabric-wide send ordinal
+  Kind kind = Kind::kRandomDrop;
+  DurationNs delay_ns = 0;  // kDelay: total extra delay applied
+};
+
+std::string_view FaultEventKindName(FaultEvent::Kind kind);
+
+// Canonical one-line-per-event serialization. Two runs of the same seeded
+// plan over the same workload produce byte-identical strings — the
+// determinism tests compare exactly this.
+std::string FormatFaultLog(const std::vector<FaultEvent>& events);
+
 class SimFabric final : public Fabric {
  public:
   struct Options {
     // Probability of silently dropping a packet (tests only; FLIPC assumes
-    // a reliable interconnect, and the default models that).
+    // a reliable interconnect, and the default models that). Draws from its
+    // own fault_seed-seeded stream, independent of the fault plan's.
     double drop_probability = 0.0;
     std::uint64_t fault_seed = 1;
+    // Scheduled fault injection (drops, delays, outages, partitions); an
+    // empty plan (the default) leaves the fabric perfectly reliable and
+    // keeps the fault log empty.
+    FaultPlan fault_plan;
   };
 
   SimFabric(Simulator& sim, std::unique_ptr<LinkModel> link_model, std::uint32_t node_count)
@@ -86,15 +177,27 @@ class SimFabric final : public Fabric {
   std::uint64_t packets_dropped_by_fabric() const { return packets_dropped_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  // The fault-event log (empty unless the fault plan is non-empty).
+  const std::vector<FaultEvent>& fault_events() const { return fault_events_; }
+  void ClearFaultEvents() { fault_events_.clear(); }
+
  private:
   class SimWire;
 
   Status SendFrom(NodeId src, Packet packet);
 
+  // Evaluates the fault plan for a packet sent now. Returns true when the
+  // packet is dropped (the event has been logged); otherwise adds any
+  // matching delays to *extra_delay and logs one kDelay event if non-zero.
+  bool ApplyFaultPlan(NodeId src, NodeId dst, std::uint64_t seq,
+                      DurationNs* extra_delay);
+
   Simulator& sim_;
   std::unique_ptr<LinkModel> link_model_;
   Options options_;
   Rng fault_rng_;
+  Rng plan_rng_;
+  std::vector<FaultEvent> fault_events_;
 
   std::vector<std::unique_ptr<SimWire>> wires_;
   // Time each source interface becomes free (sends serialize).

@@ -172,6 +172,27 @@ class DoorbellRingView {
     cursors_->overflow_seen.Publish(cursors_->overflow_rung.Read());
   }
 
+  // ==================== Quiescent recovery =================================
+
+  // Fast-forwards the consume cursor to the producers' current position and
+  // acknowledges any outstanding overflow signal. Crash-recovery entry
+  // point (MessagingEngine::RecoverFromBuffer): doorbells are hints, and
+  // hints published before the engine died refer to work the recovery
+  // sweep rediscovers from the authoritative queue cursors — consuming
+  // them one by one would re-schedule that same work more slowly.
+  //
+  // Quiescent on the ENGINE side only: no planner may be consuming this
+  // ring, but application producers may keep ringing concurrently (a
+  // mid-traffic restart). ring_head stays single-writer (the recovering
+  // thread is the only engine-side writer), and a doorbell published
+  // between the tail read and the head store is skipped — exactly the
+  // lost-doorbell case the backstop sweep already tolerates.
+  FLIPC_ROLE_QUIESCENT void ResetConsumerQuiescent() {
+    cursors_->ring_head.StoreRelaxed(
+        cursors_->ring_tail.load(std::memory_order_relaxed));
+    cursors_->overflow_seen.StoreRelaxed(cursors_->overflow_rung.Read());
+  }
+
   // ==================== Introspection (either side) ========================
 
   std::uint32_t PendingCount() const {

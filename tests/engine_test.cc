@@ -727,5 +727,46 @@ TEST_F(ShardedEngineTest, PerShardStatsAggregateKeepsIdentities) {
                                        total.sweeps_no_candidate);
 }
 
+// A planner dies with queued work and published doorbells; a fresh engine
+// built over the abandoned comm buffer rebuilds its scheduling state from
+// the authoritative queue cursors (DESIGN.md §14) and finishes the job.
+TEST_F(EngineTest, RecoverFromBufferRebuildsSchedulingState) {
+  const std::uint32_t tx = MakeEndpoint(0, EndpointType::kSend);
+  const std::uint32_t rx = MakeEndpoint(1, EndpointType::kReceive);
+  const Address dst(1, static_cast<std::uint16_t>(rx));
+  for (int i = 0; i < 3; ++i) {
+    PostRecvBuffer(1, rx);
+    QueueSend(0, tx, dst);
+    comm_[0]->doorbell_ring().Ring(tx);
+  }
+  EXPECT_EQ(comm_[0]->doorbell_ring().PendingCount(), 3u);
+
+  // Crash: the engine dies before planning anything. Its heap (stats,
+  // planned batch) is gone; the comm buffer is the only survivor.
+  engine_[0].reset();
+  engine_[0] = std::make_unique<MessagingEngine>(*comm_[0], fabric_->wire(0),
+                                                 options_, &model_);
+  engine_[0]->RecoverFromBuffer();
+
+  // Scheduling state was rebuilt: stale doorbells fast-forwarded (the
+  // sweep already rediscovered their work), the one busy endpoint active.
+  EXPECT_EQ(comm_[0]->doorbell_ring().PendingCount(), 0u);
+  EXPECT_EQ(engine_[0]->stats().recoveries, 1u);
+  EXPECT_EQ(engine_[0]->stats().recovered_active, 1u);
+  // The recovery sweep is not a backstop sweep: the cause identity holds.
+  EXPECT_EQ(engine_[0]->stats().backstop_sweeps,
+            engine_[0]->stats().doorbell_overflows +
+                engine_[0]->stats().sweeps_periodic +
+                engine_[0]->stats().sweeps_no_candidate);
+
+  RunAll();
+
+  // Nothing lost: all three messages crossed, and the comm-resident
+  // telemetry (which survived the crash, unlike engine stats) agrees.
+  EXPECT_EQ(engine_[1]->stats().messages_delivered, 3u);
+  EXPECT_EQ(comm_[0]->telemetry(tx).engine_transmits.Read(), 3u);
+  EXPECT_EQ(comm_[0]->endpoint(tx).processed_total.Read(), 3u);
+}
+
 }  // namespace
 }  // namespace flipc::engine

@@ -210,6 +210,159 @@ TEST(SimFabric, CountsTraffic) {
   EXPECT_EQ(fabric.bytes_sent(), 100u + 50u + 2 * kPacketWireHeaderBytes);
 }
 
+// --------------------------------- FaultPlan ---------------------------------
+
+TEST(FaultPlan, LinkDownWindowDropsOnlyInWindow) {
+  Simulator sim;
+  SimFabric::Options options;
+  FaultPlan::LinkFault fault;
+  fault.src = 0;
+  fault.dst = 1;
+  fault.start = 1000;
+  fault.end = 2000;
+  fault.down = true;
+  options.fault_plan.links.push_back(fault);
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 2, options);
+
+  // Before, inside, at end (half-open: end is OUT of the window), and the
+  // unmatched reverse direction during the window.
+  sim.ScheduleAt(0, [&] { ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 16, 1)).ok()); });
+  sim.ScheduleAt(1500, [&] { ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 16, 2)).ok()); });
+  sim.ScheduleAt(2000, [&] { ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 16, 3)).ok()); });
+  sim.ScheduleAt(1500, [&] { ASSERT_TRUE(fabric.wire(1).Send(MakePacket(0, 16, 4)).ok()); });
+  sim.Run();
+
+  std::vector<std::uint64_t> arrived;
+  Packet p;
+  while (fabric.wire(1).Poll(&p)) {
+    arrived.push_back(p.seq);
+  }
+  EXPECT_EQ(arrived, (std::vector<std::uint64_t>{1, 3}));
+  ASSERT_TRUE(fabric.wire(0).Poll(&p));
+  EXPECT_EQ(p.seq, 4u);  // reverse direction unaffected
+
+  ASSERT_EQ(fabric.fault_events().size(), 1u);
+  EXPECT_EQ(fabric.fault_events()[0].kind, FaultEvent::Kind::kLinkDown);
+  EXPECT_EQ(fabric.fault_events()[0].time, 1500);
+  EXPECT_EQ(fabric.packets_dropped_by_fabric(), 1u);
+}
+
+TEST(FaultPlan, NodeOutageSilencesBothDirections) {
+  Simulator sim;
+  SimFabric::Options options;
+  FaultPlan::NodeFault outage;
+  outage.node = 1;
+  outage.start = 0;
+  outage.end = 1000;
+  options.fault_plan.nodes.push_back(outage);
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 3, options);
+
+  sim.ScheduleAt(0, [&] {
+    ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 16, 1)).ok());  // into dead node
+    ASSERT_TRUE(fabric.wire(1).Send(MakePacket(2, 16, 2)).ok());  // out of dead node
+    ASSERT_TRUE(fabric.wire(0).Send(MakePacket(2, 16, 3)).ok());  // bystanders talk
+  });
+  sim.ScheduleAt(1000, [&] {  // window over: node back on the fabric
+    ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 16, 4)).ok());
+  });
+  sim.Run();
+
+  Packet p;
+  ASSERT_TRUE(fabric.wire(1).Poll(&p));
+  EXPECT_EQ(p.seq, 4u);
+  std::vector<std::uint64_t> at_node2;
+  while (fabric.wire(2).Poll(&p)) {
+    at_node2.push_back(p.seq);
+  }
+  EXPECT_EQ(at_node2, (std::vector<std::uint64_t>{3}));
+  ASSERT_EQ(fabric.fault_events().size(), 2u);
+  EXPECT_EQ(fabric.fault_events()[0].kind, FaultEvent::Kind::kNodeDown);
+  EXPECT_EQ(fabric.fault_events()[1].kind, FaultEvent::Kind::kNodeDown);
+}
+
+TEST(FaultPlan, PartitionDropsOnlyBoundaryCrossings) {
+  Simulator sim;
+  SimFabric::Options options;
+  FaultPlan::Partition partition;
+  partition.island = {0};
+  partition.start = 0;
+  partition.end = kTimeNever;
+  options.fault_plan.partitions.push_back(partition);
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 3, options);
+
+  sim.ScheduleAt(0, [&] {
+    ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 16, 1)).ok());  // crosses out
+    ASSERT_TRUE(fabric.wire(2).Send(MakePacket(0, 16, 2)).ok());  // crosses in
+    ASSERT_TRUE(fabric.wire(1).Send(MakePacket(2, 16, 3)).ok());  // mainland only
+  });
+  sim.Run();
+
+  Packet p;
+  EXPECT_FALSE(fabric.wire(1).Poll(&p));
+  EXPECT_FALSE(fabric.wire(0).Poll(&p));
+  ASSERT_TRUE(fabric.wire(2).Poll(&p));
+  EXPECT_EQ(p.seq, 3u);
+  ASSERT_EQ(fabric.fault_events().size(), 2u);
+  EXPECT_EQ(fabric.fault_events()[0].kind, FaultEvent::Kind::kPartition);
+  EXPECT_EQ(fabric.fault_events()[1].kind, FaultEvent::Kind::kPartition);
+}
+
+TEST(FaultPlan, DelayShiftsArrivalAndLogsOneEvent) {
+  Simulator baseline_sim;
+  SimFabric baseline(baseline_sim, std::make_unique<MeshLinkModel>(), 2);
+  ASSERT_TRUE(baseline.wire(0).Send(MakePacket(1, 100)).ok());
+  TimeNs baseline_arrival = 0;
+  baseline.SetDeliveryCallback(1, [&] { baseline_arrival = baseline_sim.Now(); });
+  baseline_sim.Run();
+
+  Simulator sim;
+  SimFabric::Options options;
+  FaultPlan::LinkFault slow;
+  slow.extra_delay_ns = 5000;  // any->any, always active
+  options.fault_plan.links.push_back(slow);
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 2, options);
+  ASSERT_TRUE(fabric.wire(0).Send(MakePacket(1, 100)).ok());
+  TimeNs delayed_arrival = 0;
+  fabric.SetDeliveryCallback(1, [&] { delayed_arrival = sim.Now(); });
+  sim.Run();
+
+  EXPECT_EQ(delayed_arrival, baseline_arrival + 5000);
+  ASSERT_EQ(fabric.fault_events().size(), 1u);
+  EXPECT_EQ(fabric.fault_events()[0].kind, FaultEvent::Kind::kDelay);
+  EXPECT_EQ(fabric.fault_events()[0].delay_ns, 5000);
+  EXPECT_EQ(fabric.packets_dropped_by_fabric(), 0u);  // delayed, not lost
+}
+
+// Satellite: the seeding contract. The same seeded plan over the same
+// DES-ordered workload must produce a byte-identical fault log; a
+// different seed must diverge.
+std::string RunSeededFaultWorkload(std::uint64_t seed) {
+  Simulator sim;
+  SimFabric::Options options;
+  FaultPlan::LinkFault flaky;          // any->any, p = 0.4, always active
+  flaky.drop_probability = 0.4;
+  options.fault_plan.links.push_back(flaky);
+  options.fault_plan.seed = seed;
+  SimFabric fabric(sim, std::make_unique<MeshLinkModel>(), 3, options);
+  for (int i = 0; i < 200; ++i) {
+    sim.ScheduleAt(i * 100, [&fabric, i] {
+      ASSERT_TRUE(fabric.wire(i % 3).Send(MakePacket((i + 1) % 3, 16, i)).ok());
+    });
+  }
+  sim.Run();
+  return FormatFaultLog(fabric.fault_events());
+}
+
+TEST(FaultPlan, SeededReplayIsByteIdentical) {
+  const std::string first = RunSeededFaultWorkload(7);
+  const std::string second = RunSeededFaultWorkload(7);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  const std::string other_seed = RunSeededFaultWorkload(8);
+  EXPECT_NE(first, other_seed);
+}
+
 // -------------------------------- ThreadFabric -------------------------------
 
 TEST(ThreadFabric, ImmediateInOrderDelivery) {

@@ -168,6 +168,159 @@ TEST_P(SoakTest, MessageConservationUnderRandomTraffic) {
   EXPECT_GT(dropped_bad_address, 0u);
 }
 
+// The same conservation law under an actively hostile fabric (seeded
+// drops, delays, a link-down window) plus send-endpoint churn between
+// rounds. The books gain exactly one new term — packets the fabric ate —
+// and must still balance to the message: faults may destroy packets, but
+// never the accounting.
+TEST_P(SoakTest, MessageConservationUnderFabricFaultsAndChurn) {
+  SimCluster::Options options;
+  options.node_count = kNodes;
+  options.comm.message_size = 128;
+  options.comm.buffer_count = 256;
+  options.comm.max_endpoints = 16;
+  {
+    simnet::FaultPlan& plan = options.fabric.fault_plan;
+    plan.seed = GetParam();
+    simnet::FaultPlan::LinkFault flaky;  // any->any background loss
+    flaky.drop_probability = 0.05;
+    plan.links.push_back(flaky);
+    simnet::FaultPlan::LinkFault slow;  // any->any background jitter
+    slow.extra_delay_ns = 2000;
+    plan.links.push_back(slow);
+    simnet::FaultPlan::LinkFault cut;  // one link hard-down for a while
+    cut.src = 0;
+    cut.dst = 1;
+    cut.start = 50'000;
+    cut.end = 400'000;
+    cut.down = true;
+    plan.links.push_back(cut);
+  }
+  auto cluster_or = SimCluster::Create(std::move(options));
+  ASSERT_TRUE(cluster_or.ok());
+  SimCluster& cluster = **cluster_or;
+  Rng rng(GetParam() ^ 0x5eedf00dull);
+
+  struct NodeState {
+    std::vector<Endpoint> tx;
+    std::vector<Endpoint> rx;
+  };
+  std::vector<NodeState> nodes(kNodes);
+  std::vector<Address> all_receivers;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      auto endpoint = cluster.domain(n).CreateEndpoint(
+          {.type = shm::EndpointType::kSend, .queue_depth = 16});
+      ASSERT_TRUE(endpoint.ok());
+      nodes[n].tx.push_back(*endpoint);
+    }
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      auto endpoint = cluster.domain(n).CreateEndpoint(
+          {.type = shm::EndpointType::kReceive, .queue_depth = 16});
+      ASSERT_TRUE(endpoint.ok());
+      nodes[n].rx.push_back(*endpoint);
+      all_receivers.push_back(endpoint->address());
+      const std::uint32_t posted = static_cast<std::uint32_t>(rng.Below(9));
+      for (std::uint32_t b = 0; b < posted; ++b) {
+        auto buffer = cluster.domain(n).AllocateBuffer();
+        if (buffer.ok()) {
+          ASSERT_TRUE(endpoint->PostBuffer(*buffer).ok());
+        }
+      }
+    }
+  }
+
+  std::uint64_t accepted_sends = 0;
+  for (int round = 0; round < 30; ++round) {
+    const auto sends_this_round = 5 + rng.Below(20);
+    for (std::uint64_t s = 0; s < sends_this_round; ++s) {
+      const NodeId src = static_cast<NodeId>(rng.Below(kNodes));
+      Endpoint& tx = nodes[src].tx[rng.Below(nodes[src].tx.size())];
+      Address dst = all_receivers[rng.Below(all_receivers.size())];
+      Result<MessageBuffer> msg = tx.ReclaimUnlocked();
+      if (!msg.ok()) {
+        msg = cluster.domain(src).AllocateBuffer();
+      }
+      if (!msg.ok()) {
+        continue;
+      }
+      if (tx.SendUnlocked(*msg, dst).ok()) {
+        ++accepted_sends;
+      }
+    }
+    cluster.sim().Run();
+
+    for (NodeId n = 0; n < kNodes; ++n) {
+      for (Endpoint& rx : nodes[n].rx) {
+        if (!rng.Chance(0.5)) {
+          continue;
+        }
+        for (;;) {
+          auto message = rx.ReceiveUnlocked();
+          if (!message.ok()) {
+            break;
+          }
+          ASSERT_TRUE(rx.PostBufferUnlocked(*message).ok());
+        }
+      }
+    }
+
+    // Churn: at DES quiescence, recycle one random send endpoint through
+    // the full quiesce-destroy-recreate protocol. Every completed buffer
+    // is reclaimed and freed, so the churn itself conserves buffers.
+    if (round % 3 == 2) {
+      const NodeId n = static_cast<NodeId>(rng.Below(kNodes));
+      const std::size_t victim = rng.Below(nodes[n].tx.size());
+      ASSERT_TRUE(
+          cluster.domain(n).QuiesceAndDestroyEndpoint(nodes[n].tx[victim]).ok());
+      auto endpoint = cluster.domain(n).CreateEndpoint(
+          {.type = shm::EndpointType::kSend, .queue_depth = 16});
+      ASSERT_TRUE(endpoint.ok());
+      nodes[n].tx[victim] = *endpoint;
+    }
+  }
+  cluster.sim().Run();
+
+  // --- The books, now with a fabric-loss column ---
+  std::uint64_t engine_sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_no_buffer = 0;
+  std::uint64_t dropped_bad_address = 0;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    const engine::EngineStats& stats = cluster.engine(n).stats();
+    engine_sent += stats.messages_sent;
+    delivered += stats.messages_delivered;
+    dropped_no_buffer += stats.drops_no_buffer;
+    dropped_bad_address += stats.drops_bad_address;
+  }
+  const std::uint64_t fabric_dropped = cluster.fabric().packets_dropped_by_fabric();
+
+  // All destinations are real here, so the bad-address column must stay
+  // empty and every accepted send reaches its engine's wire.
+  EXPECT_EQ(dropped_bad_address, 0u);
+  EXPECT_EQ(accepted_sends, engine_sent);
+  // Every transmitted message is delivered, discarded for lack of a
+  // buffer, or eaten by the fabric — exactly once.
+  EXPECT_EQ(engine_sent, delivered + dropped_no_buffer + fabric_dropped);
+
+  std::uint64_t endpoint_drops = 0;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    for (Endpoint& rx : nodes[n].rx) {
+      endpoint_drops += rx.DropCount();
+    }
+  }
+  EXPECT_EQ(endpoint_drops, dropped_no_buffer);
+
+  // The hostile fabric actually bit, and logged every bite.
+  EXPECT_GT(fabric_dropped, 0u);
+  EXPECT_GT(delivered, 0u);
+  std::uint64_t logged_drops = 0;
+  for (const simnet::FaultEvent& event : cluster.fabric().fault_events()) {
+    logged_drops += event.kind != simnet::FaultEvent::Kind::kDelay ? 1 : 0;
+  }
+  EXPECT_EQ(logged_drops, fabric_dropped);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
                          ::testing::Values(1ull, 42ull, 1996ull, 0xDEADull, 7777ull));
 
