@@ -20,6 +20,13 @@
 //                 the sender-side backlog, cutting delivery latency (the
 //                 residual latency is inbound FIFO at the receiving
 //                 engine, which no sender-side policy can remove).
+//
+// QoS planner extension (DESIGN.md §15): a real-time endpoint in a
+// high-weight service class with a per-message deadline, measured alone and
+// under a saturating bulk flood from a low-weight class. The planner must
+// hold the RT stream's delivery latency within 2x of its isolated value and
+// record zero deadline misses, while the bulk class keeps making progress
+// (weighted sharing, not starvation).
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -188,7 +195,156 @@ Outcome RunScenario(bool shared_endpoint, bool priority_scan) {
   return out;
 }
 
-void Run() {
+// ---- QoS planner scenario (DESIGN.md §15) ------------------------------
+
+constexpr DurationNs kRtPeriod = 200'000;      // one RT message per 200 us
+constexpr std::uint32_t kRtClass = 1;          // RT service class (weight 8)
+constexpr std::uint32_t kRtDeadlineNs = 300'000;
+
+struct QosOutcome {
+  RunningStats rt_latency_ns;
+  std::uint64_t rt_sent = 0;
+  std::uint64_t rt_delivered = 0;
+  std::uint64_t rt_deadline_misses = 0;
+  std::uint64_t bulk_delivered = 0;
+};
+
+// One real-time endpoint (class 1, weight 8, 300 us deadline) against an
+// optional saturating bulk flood in class 0 (weight 1). Three nodes: the
+// bulk flood targets node 2 while the RT stream targets node 1, so the
+// contended resource is exactly the one the QoS planner manages — the
+// shared sending engine — and not the receiving engine's inbound FIFO
+// (which the legacy scenarios above already show no sender-side policy can
+// remove). A short transmit batch keeps the planner's preemption points
+// frequent, so an RT arrival waits at most one small bulk assembly before
+// the deficit credits hand the engine to the RT class.
+QosOutcome RunQosScenario(bool flood) {
+  engine::EngineOptions engine_options;
+  engine_options.transmit_batch = 2;
+  engine_options.qos_weights = {1, 8, 1, 1};
+  SimCluster::Options cluster_options;
+  cluster_options.node_count = 3;
+  cluster_options.comm.message_size = 128;
+  cluster_options.comm.buffer_count = 512;
+  cluster_options.comm.max_endpoints = 32;
+  cluster_options.engine = engine_options;
+  auto cluster_or = SimCluster::Create(std::move(cluster_options));
+  if (!cluster_or.ok()) {
+    std::abort();
+  }
+  SimCluster& cluster = **cluster_or;
+  Domain& sensor = cluster.domain(0);
+  Domain& tracker = cluster.domain(1);
+  Domain& bulk_sink = cluster.domain(2);
+  QosOutcome out;
+
+  std::vector<Endpoint> bulk_tx;
+  if (flood) {
+    for (std::uint32_t i = 0; i < kBgEndpoints; ++i) {
+      auto endpoint = sensor.CreateEndpoint(
+          {.type = shm::EndpointType::kSend, .queue_depth = 16, .qos_class = 0});
+      if (!endpoint.ok()) {
+        std::abort();
+      }
+      bulk_tx.push_back(*endpoint);
+    }
+  }
+  auto bulk_rx = bulk_sink.CreateEndpoint(
+      {.type = shm::EndpointType::kReceive, .queue_depth = 64});
+  auto rt_tx = sensor.CreateEndpoint({.type = shm::EndpointType::kSend,
+                                      .queue_depth = 4,
+                                      .qos_class = kRtClass,
+                                      .deadline_ns = kRtDeadlineNs});
+  auto rt_rx =
+      tracker.CreateEndpoint({.type = shm::EndpointType::kReceive, .queue_depth = 8});
+  if (!bulk_rx.ok() || !rt_tx.ok() || !rt_rx.ok()) {
+    std::abort();
+  }
+  for (int i = 0; i < 16; ++i) {
+    auto buffer = bulk_sink.AllocateBuffer();
+    (void)bulk_rx->PostBuffer(*buffer);
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto buffer = tracker.AllocateBuffer();
+    (void)rt_rx->PostBuffer(*buffer);
+  }
+
+  std::function<void()> burst = [&] {
+    if (cluster.sim().Now() >= kRunFor) {
+      return;
+    }
+    for (Endpoint& tx : bulk_tx) {
+      for (std::uint32_t i = 0; i < kBurstPerEndpoint; ++i) {
+        auto buffer = tx.ReclaimUnlocked();
+        Result<MessageBuffer> msg = buffer.ok() ? buffer : sensor.AllocateBuffer();
+        if (!msg.ok()) {
+          break;
+        }
+        *msg->As<std::uint32_t>() = 0;
+        (void)tx.SendUnlocked(*msg, bulk_rx->address());
+      }
+    }
+    cluster.sim().ScheduleAfter(kBurstPeriod, burst);
+  };
+
+  TimeNs rt_sent_at = 0;
+  std::function<void()> send_rt = [&] {
+    if (cluster.sim().Now() >= kRunFor) {
+      return;
+    }
+    auto buffer = rt_tx->ReclaimUnlocked();
+    Result<MessageBuffer> msg = buffer.ok() ? buffer : sensor.AllocateBuffer();
+    if (msg.ok()) {
+      *msg->As<std::uint32_t>() = kCriticalMagic;
+      rt_sent_at = cluster.sim().Now();
+      if (rt_tx->SendUnlocked(*msg, rt_rx->address()).ok()) {
+        ++out.rt_sent;
+      }
+    }
+    cluster.sim().ScheduleAfter(kRtPeriod, send_rt);
+  };
+
+  cluster.engine(1).SetReceiveHook([&](std::uint32_t endpoint, bool delivered) {
+    if (endpoint == rt_rx->index() && delivered && rt_sent_at != 0) {
+      out.rt_latency_ns.Add(static_cast<double>(cluster.sim().Now() - rt_sent_at));
+      rt_sent_at = 0;
+    }
+  });
+
+  std::function<void()> drain = [&] {
+    Endpoint* endpoints[] = {&*bulk_rx, &*rt_rx};
+    for (Endpoint* rx : endpoints) {
+      for (;;) {
+        auto message = rx->Receive();
+        if (!message.ok()) {
+          break;
+        }
+        if (*message->As<std::uint32_t>() == kCriticalMagic) {
+          ++out.rt_delivered;
+        } else {
+          ++out.bulk_delivered;
+        }
+        (void)rx->PostBuffer(*message);
+      }
+    }
+    if (cluster.sim().Now() < kRunFor + 2'000'000) {
+      cluster.sim().ScheduleAfter(kDrainInterval, drain);
+    }
+  };
+
+  if (flood) {
+    cluster.sim().ScheduleAt(0, burst);
+  }
+  cluster.sim().ScheduleAt(kBurstPeriod / 4, send_rt);  // mid-burst when flooded
+  cluster.sim().ScheduleAt(kDrainInterval, drain);
+  cluster.sim().RunUntil(kRunFor + 3'000'000);
+
+  out.rt_deadline_misses =
+      sensor.comm().telemetry(rt_tx->index()).deadline_misses.Read();
+  return out;
+}
+
+void Run(JsonReport& report) {
   PrintHeader("E10: bench_rt_isolation",
               "Introduction (traffic classes) + Future Work (priority extension)",
               "separate endpoints isolate buffer resources from a telemetry flood; "
@@ -233,12 +389,73 @@ void Run() {
               priority.critical_latency_ns.mean() / 1000.0,
               priority.critical_latency_ns.mean() < separate.critical_latency_ns.mean()
                   ? "[OK]" : "[MISMATCH]");
+
+  // QoS planner: the RT class must ride through a saturating bulk flood.
+  const QosOutcome rt_alone = RunQosScenario(/*flood=*/false);
+  const QosOutcome rt_flood = RunQosScenario(/*flood=*/true);
+
+  TextTable qos_table({"qos configuration", "rt sent", "rt delivered",
+                       "rt latency us (mean/max)", "rt deadline misses",
+                       "bulk delivered"});
+  auto qos_latency_cell = [](const QosOutcome& o) {
+    return TextTable::Num(o.rt_latency_ns.mean() / 1000.0) + " / " +
+           TextTable::Num(o.rt_latency_ns.max() / 1000.0);
+  };
+  qos_table.AddRow({"rt class alone (isolated baseline)",
+                    std::to_string(rt_alone.rt_sent),
+                    std::to_string(rt_alone.rt_delivered), qos_latency_cell(rt_alone),
+                    std::to_string(rt_alone.rt_deadline_misses),
+                    std::to_string(rt_alone.bulk_delivered)});
+  qos_table.AddRow({"rt class vs bulk flood (weights 8:1)",
+                    std::to_string(rt_flood.rt_sent),
+                    std::to_string(rt_flood.rt_delivered), qos_latency_cell(rt_flood),
+                    std::to_string(rt_flood.rt_deadline_misses),
+                    std::to_string(rt_flood.bulk_delivered)});
+  std::printf("%s\n", qos_table.ToString().c_str());
+
+  const double qos_ratio = rt_alone.rt_latency_ns.mean() > 0
+                               ? rt_flood.rt_latency_ns.mean() / rt_alone.rt_latency_ns.mean()
+                               : 0.0;
+  std::printf("QoS planner shape checks:\n");
+  std::printf("  - rt mean latency under flood within 2x isolated (%.2f -> %.2f us, "
+              "%.2fx) %s\n",
+              rt_alone.rt_latency_ns.mean() / 1000.0,
+              rt_flood.rt_latency_ns.mean() / 1000.0, qos_ratio,
+              (qos_ratio > 0.0 && qos_ratio <= 2.0) ? "[OK]" : "[MISMATCH]");
+  std::printf("  - zero rt deadline misses under flood %s\n",
+              rt_flood.rt_deadline_misses == 0 ? "[OK]" : "[MISMATCH]");
+  std::printf("  - rt stream lossless under flood %s\n",
+              (rt_flood.rt_sent > 0 && rt_flood.rt_delivered == rt_flood.rt_sent)
+                  ? "[OK]" : "[MISMATCH]");
+  std::printf("  - bulk class keeps progressing (weighted share, not starvation) %s\n\n",
+              rt_flood.bulk_delivered > 0 ? "[OK]" : "[MISMATCH]");
+
+  report.AddConfig("run_for_ms", kRunFor / 1e6);
+  report.AddConfig("rt_deadline_us", kRtDeadlineNs / 1e3);
+  report.AddMetric("critical_lost_shared", static_cast<double>(shared.critical_lost()),
+                   "messages");
+  report.AddMetric("critical_latency_separate_mean",
+                   separate.critical_latency_ns.mean() / 1000.0, "us");
+  report.AddMetric("critical_latency_priority_mean",
+                   priority.critical_latency_ns.mean() / 1000.0, "us");
+  report.AddMetric("qos_rt_latency_isolated_mean",
+                   rt_alone.rt_latency_ns.mean() / 1000.0, "us");
+  report.AddMetric("qos_rt_latency_flood_mean",
+                   rt_flood.rt_latency_ns.mean() / 1000.0, "us");
+  report.AddMetric("qos_rt_latency_flood_max", rt_flood.rt_latency_ns.max() / 1000.0,
+                   "us");
+  report.AddMetric("qos_rt_flood_ratio", qos_ratio, "x");
+  report.AddMetric("qos_rt_deadline_misses",
+                   static_cast<double>(rt_flood.rt_deadline_misses), "count");
+  report.AddMetric("qos_bulk_delivered_under_flood",
+                   static_cast<double>(rt_flood.bulk_delivered), "messages");
 }
 
 }  // namespace
 }  // namespace flipc::bench
 
-int main() {
-  flipc::bench::Run();
+int main(int argc, char** argv) {
+  flipc::bench::JsonReport report(argc, argv, "rt_isolation");
+  flipc::bench::Run(report);
   return 0;
 }

@@ -100,12 +100,22 @@ void EngineRunner::Loop() {
     // already reported no work, so no hot-path scope should be open here —
     // if one ever is, the guard makes the mistake loud.
     hotpath::OnBlockingCall("EngineRunner idle park");
+    // Cap the park at the engine's earliest unthrottle instant: a doorbell
+    // kick wakes the loop for NEW work, but work already queued behind a
+    // rate gate generates no kick when the gate lapses — only the timeout
+    // can discover it, so the timeout must not overshoot the gate.
+    const Clock* clock = engine_.clock();
+    const TimeNs now = clock != nullptr ? clock->NowNs() : 0;
+    const DurationNs park_ns =
+        IdleParkNs(now, engine_.NextUnthrottleTime(), options_.max_idle_park_ns);
     idle_parks_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(idle_mutex_);
-    idle_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
-      return stop_.load(std::memory_order_acquire) ||
-             kicks_.load(std::memory_order_acquire) != kicks_before;
-    });
+    if (park_ns > 0) {
+      std::unique_lock<std::mutex> lock(idle_mutex_);
+      idle_cv_.wait_for(lock, std::chrono::nanoseconds(park_ns), [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               kicks_.load(std::memory_order_acquire) != kicks_before;
+      });
+    }
     idle_polls = 0;
   }
 

@@ -27,6 +27,13 @@ class EngineRunner {
     // systems this faults the shard's pages onto the planner's node; on
     // UMA hosts it is a cheap cache warm.
     bool warm_touch = false;
+    // Longest the loop parks on its idle condvar before re-polling. The
+    // park is capped further by the engine's next unthrottle deadline (see
+    // IdleParkNs): a throttled endpoint whose gate lapses sooner than this
+    // must not wait out the full interval — that was the fixed-200us bug
+    // that added up to 200us of latency to every rate-limited release
+    // arriving while the node was otherwise quiet.
+    DurationNs max_idle_park_ns = 200'000;
   };
 
   // Takes a non-owning reference; the engine (and everything it references)
@@ -55,6 +62,23 @@ class EngineRunner {
   // Total Kick() calls observed; with idle_parks() this is the kick-path
   // liveness picture the failure-scenario tests assert over.
   std::uint64_t kicks() const { return kicks_.load(std::memory_order_relaxed); }
+
+  // How long an idle park may sleep, given the engine's earliest
+  // unthrottle instant. Pure so the regression test can pin the edge
+  // cases: no throttled work (kTimeNever) sleeps the configured maximum, a
+  // lapsed gate does not sleep at all, and a pending gate caps the sleep
+  // at exactly the remaining wait.
+  static DurationNs IdleParkNs(TimeNs now, TimeNs next_unthrottle,
+                               DurationNs max_park_ns) {
+    if (next_unthrottle == kTimeNever) {
+      return max_park_ns;
+    }
+    if (next_unthrottle <= now) {
+      return 0;
+    }
+    const TimeNs remaining = next_unthrottle - now;
+    return remaining < max_park_ns ? remaining : max_park_ns;
+  }
 
  private:
   FLIPC_ROLE_ENGINE void Loop();

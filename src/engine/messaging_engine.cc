@@ -25,10 +25,18 @@ MessagingEngine::MessagingEngine(shm::CommBuffer& comm, simnet::Wire& wire,
       semaphores_(semaphores),
       handoff_outboxes_(comm.shard_count(), nullptr),
       next_send_ok_(comm.max_endpoints(), 0),
+      seen_generation_(comm.max_endpoints(), 0),
+      bucket_tokens_(comm.max_endpoints(), 0),
+      bucket_refill_at_(comm.max_endpoints(), 0),
+      head_seen_count_(comm.max_endpoints(), kNoHeadSeen),
+      head_seen_at_(comm.max_endpoints(), 0),
+      scratch_taken_(comm.max_endpoints(), 0),
       active_(comm.max_endpoints()),
       in_active_(comm.max_endpoints(), 0) {
-  // Batch storage is sized here, once: the plan path must never allocate.
+  // Batch + selection storage is sized here, once: the plan path must
+  // never allocate.
   planned_batch_.reserve(options_.transmit_batch < 1 ? 1 : options_.transmit_batch);
+  scratch_ready_.reserve(comm.max_endpoints());
   if (options_.shard_id >= comm.shard_count()) {
     FLIPC_LOG(kError) << "engine shard id " << options_.shard_id << " out of range for a "
                       << comm.shard_count() << "-shard comm buffer; using shard 0";
@@ -60,11 +68,90 @@ bool MessagingEngine::SendReady(std::uint32_t endpoint, TimeNs now) const {
   if (const_cast<shm::CommBuffer&>(comm_).queue(endpoint).ProcessableCount() == 0) {
     return false;
   }
-  const std::uint32_t interval = record.min_send_interval_ns.ReadRelaxed();
-  if (interval != 0 && clock_ != nullptr && now < next_send_ok_[endpoint]) {
-    return false;  // capacity-control throttle
+  return !Throttled(endpoint, record, now);
+}
+
+bool MessagingEngine::Throttled(std::uint32_t endpoint, const EndpointRecord& record,
+                                TimeNs now) const {
+  if (clock_ == nullptr) {
+    return false;  // No clock: every capacity-control configuration is inert.
   }
-  return true;
+  if (record.alloc_generation.ReadRelaxed() != seen_generation_[endpoint]) {
+    // Slot reused since the throttle state was written: it belongs to the
+    // previous tenant and must not gate the new one. The mutating paths
+    // call SyncSlotState to reset it; this read-only guard covers the
+    // const paths (HasWork, NextUnthrottleTime) in between.
+    return false;
+  }
+  if (record.min_send_interval_ns.ReadRelaxed() != 0 && now < next_send_ok_[endpoint]) {
+    return true;
+  }
+  if (record.bucket_capacity.ReadRelaxed() != 0 &&
+      BucketTokensAt(endpoint, record, now) == 0) {
+    return true;
+  }
+  return false;
+}
+
+std::uint32_t MessagingEngine::BucketTokensAt(std::uint32_t endpoint,
+                                              const EndpointRecord& record,
+                                              TimeNs now) const {
+  const std::uint32_t capacity = record.bucket_capacity.ReadRelaxed();
+  const std::uint32_t refill = record.bucket_refill_ns.ReadRelaxed();
+  std::uint64_t tokens = bucket_tokens_[endpoint];
+  if (refill != 0 && now > bucket_refill_at_[endpoint]) {
+    tokens += static_cast<std::uint64_t>(now - bucket_refill_at_[endpoint]) / refill;
+  }
+  return tokens > capacity ? capacity : static_cast<std::uint32_t>(tokens);
+}
+
+void MessagingEngine::RefillBucket(std::uint32_t endpoint, const EndpointRecord& record,
+                                   TimeNs now) {
+  const std::uint32_t capacity = record.bucket_capacity.ReadRelaxed();
+  const std::uint32_t refill = record.bucket_refill_ns.ReadRelaxed();
+  if (refill == 0 || now <= bucket_refill_at_[endpoint]) {
+    return;  // refill == 0: hard burst cap, tokens never come back.
+  }
+  const std::uint64_t earned =
+      static_cast<std::uint64_t>(now - bucket_refill_at_[endpoint]) / refill;
+  if (earned == 0) {
+    return;
+  }
+  const std::uint64_t total = bucket_tokens_[endpoint] + earned;
+  if (total >= capacity) {
+    bucket_tokens_[endpoint] = capacity;
+    bucket_refill_at_[endpoint] = now;  // Full: accrual restarts at the next spend.
+  } else {
+    bucket_tokens_[endpoint] = static_cast<std::uint32_t>(total);
+    // Keep the fractional remainder: the next token lands refill ns after
+    // the last WHOLE token accrued, not after this observation.
+    bucket_refill_at_[endpoint] += static_cast<TimeNs>(earned * refill);
+  }
+}
+
+void MessagingEngine::SyncSlotState(std::uint32_t endpoint) {
+  const EndpointRecord& record = comm_.endpoint(endpoint);
+  const std::uint32_t generation = record.alloc_generation.ReadRelaxed();
+  if (generation == seen_generation_[endpoint]) {
+    return;
+  }
+  // Slot (re)allocated since last seen: the previous tenant's throttle
+  // deadline, bucket level and head-observation stamp must not leak into
+  // the new endpoint (the stale-next_send_ok_ churn bug).
+  seen_generation_[endpoint] = generation;
+  next_send_ok_[endpoint] = 0;
+  bucket_tokens_[endpoint] = record.bucket_capacity.ReadRelaxed();  // Fresh bucket: full burst.
+  bucket_refill_at_[endpoint] = NowForThrottle();
+  head_seen_count_[endpoint] = kNoHeadSeen;
+  head_seen_at_[endpoint] = 0;
+}
+
+void MessagingEngine::NoteHeadObserved(std::uint32_t endpoint, TimeNs now) {
+  const std::uint32_t processed = comm_.endpoint(endpoint).process_count.ReadRelaxed();
+  if (head_seen_count_[endpoint] != processed) {
+    head_seen_count_[endpoint] = processed;
+    head_seen_at_[endpoint] = now;
+  }
 }
 
 TimeNs MessagingEngine::NextUnthrottleTime() const {
@@ -78,14 +165,29 @@ TimeNs MessagingEngine::NextUnthrottleTime() const {
     if (record.Type() != EndpointType::kSend || EndpointBlocked(i)) {
       continue;
     }
-    if (record.min_send_interval_ns.ReadRelaxed() == 0 || next_send_ok_[i] <= now) {
-      continue;
-    }
     if (const_cast<shm::CommBuffer&>(comm_).queue(i).ProcessableCount() == 0) {
       continue;
     }
-    if (next_send_ok_[i] < earliest) {
-      earliest = next_send_ok_[i];
+    if (!Throttled(i, record, now)) {
+      continue;
+    }
+    // The endpoint becomes eligible when EVERY active gate has lapsed.
+    TimeNs ready_at = 0;
+    if (record.min_send_interval_ns.ReadRelaxed() != 0 && now < next_send_ok_[i]) {
+      ready_at = next_send_ok_[i];
+    }
+    if (record.bucket_capacity.ReadRelaxed() != 0 && BucketTokensAt(i, record, now) == 0) {
+      const std::uint32_t refill = record.bucket_refill_ns.ReadRelaxed();
+      if (refill == 0) {
+        continue;  // Tokens never refill: no future instant unthrottles it.
+      }
+      const TimeNs next_token = bucket_refill_at_[i] + refill;
+      if (next_token > ready_at) {
+        ready_at = next_token;
+      }
+    }
+    if (ready_at != 0 && ready_at < earliest) {
+      earliest = ready_at;
     }
   }
   return earliest;
@@ -109,6 +211,7 @@ std::uint32_t MessagingEngine::FindSendWork() {
     for (std::uint32_t off = 0; off < n; ++off) {
       const std::uint32_t i = shard_first_ + (scan_cursor_ + off) % n;
       ++stats_.endpoints_visited;
+      SyncSlotState(i);
       if (!SendReady(i, now)) {
         continue;
       }
@@ -134,6 +237,7 @@ std::uint32_t MessagingEngine::FindSendWork() {
   for (std::uint32_t off = 0; off < n; ++off) {
     const std::uint32_t i = shard_first_ + (scan_cursor_ + off) % n;
     ++stats_.endpoints_visited;
+    SyncSlotState(i);
     if (SendReady(i, now)) {
       return i;
     }
@@ -142,6 +246,7 @@ std::uint32_t MessagingEngine::FindSendWork() {
 }
 
 void MessagingEngine::ActivateEndpoint(std::uint32_t endpoint) {
+  SyncSlotState(endpoint);
   if (in_active_[endpoint] != 0) {
     return;  // Already in active_ or in the planned batch.
   }
@@ -198,44 +303,160 @@ void MessagingEngine::SweepAllEndpoints() {
 bool MessagingEngine::SelectBatchFromActive() {
   const TimeNs now = NowForThrottle();
   const std::uint32_t batch_limit = options_.transmit_batch < 1 ? 1 : options_.transmit_batch;
-  std::uint16_t batch_node = 0;
-  bool have_node = false;
 
-  // One rotation: each endpoint that was in the list at entry is examined
-  // at most once; rotated entries land behind the sentinel count.
+  // ---- Pass 1: one rotation over the active list classifies every entry.
+  // Drained entries are forgotten, blocked and throttled ones rotate to
+  // the back, ready ones land in scratch_ready_ in rotation order. Each
+  // endpoint that was in the list at entry is examined at most once;
+  // rotated entries land behind the sentinel count.
+  scratch_ready_.clear();
+  bool class_ready[shm::kQosClassCount] = {};
+  std::uint32_t ready_classes = 0;
   std::size_t rotations = active_.size();
   while (rotations-- > 0) {
     const std::uint32_t endpoint = active_.front();
     active_.pop_front();
     ++stats_.endpoints_visited;
+    SyncSlotState(endpoint);
 
-    if (comm_.endpoint(endpoint).Type() != EndpointType::kSend ||
+    const EndpointRecord& record = comm_.endpoint(endpoint);
+    if (record.Type() != EndpointType::kSend ||
         comm_.queue(endpoint).ProcessableCount() == 0) {
       in_active_[endpoint] = 0;  // Drained or freed: forget the hint.
       continue;
     }
-    if (!SendReady(endpoint, now)) {
-      active_.push_back(endpoint);  // Blocked or throttled: rotate to the back.
+    // Stamp when this head message was first seen backlogged; EDF ordering
+    // and the service-gap / deadline-miss telemetry measure from here.
+    NoteHeadObserved(endpoint, now);
+    if (EndpointBlocked(endpoint)) {
+      active_.push_back(endpoint);  // Blocked: rotate to the back.
       continue;
     }
+    if (Throttled(endpoint, record, now)) {
+      // Ready work deferred by capacity control; NextUnthrottleTime keeps
+      // tracking it through the rotation.
+      comm_.telemetry(endpoint).RecordThrottleDeferral();
+      active_.push_back(endpoint);
+      continue;
+    }
+    scratch_taken_[endpoint] = 0;
+    scratch_ready_.push_back(endpoint);  // Capacity reserved at construction.
+    const std::uint32_t cls = QosClassOf(record);
+    if (!class_ready[cls]) {
+      class_ready[cls] = true;
+      ++ready_classes;
+    }
+  }
+  if (scratch_ready_.empty()) {
+    return false;
+  }
 
-    // Same-destination coalescing. A head buffer the commit path will
-    // reject (sentinel or out-of-range index) has no determinate
-    // destination; it joins any batch and is consumed as a rejection.
-    const BufferIndex buffer = comm_.queue(endpoint).PeekProcess();
-    if (buffer != waitfree::kInvalidBuffer && comm_.IsValidBufferIndex(buffer)) {
-      const std::uint16_t dst_node = comm_.msg(buffer).header->peer_address().node();
-      if (!have_node) {
-        batch_node = dst_node;
-        have_node = true;
-      } else if (dst_node != batch_node) {
-        active_.push_back(endpoint);  // Different destination: next unit's.
+  // ---- Class selection: deficit-weighted. Credits move only when classes
+  // actually compete (>= 2 ready). The plan serves the class holding the
+  // most credit; then, per selected message, EVERY ready class earns its
+  // weight while the served class pays the total ready weight — earnings
+  // and payments balance per message, so over a contended interval each
+  // class's share of transmissions converges to its weight fraction. A
+  // single ready class is served as-is with credits untouched, which keeps
+  // all-default configurations (every endpoint in class 0) exactly on the
+  // legacy rotation behavior.
+  std::uint32_t serve_class = 0;
+  const bool competing = ready_classes >= 2;
+  std::int64_t ready_weight = 0;
+  {
+    std::int64_t best_credit = 0;
+    bool have_class = false;
+    FLIPC_BOUNDED_BY(shm::kQosClassCount);
+    for (std::uint32_t cls = 0; cls < shm::kQosClassCount; ++cls) {
+      if (!class_ready[cls]) {
         continue;
+      }
+      ready_weight += options_.qos_weights[cls];
+      if (!have_class || class_credit_[cls] > best_credit) {
+        best_credit = class_credit_[cls];
+        serve_class = cls;
+        have_class = true;
+      }
+    }
+  }
+
+  // ---- Pass 2: fill the batch from the serving class. Real-time
+  // endpoints (deadline_ns != 0) preempt non-RT ones, earliest head
+  // deadline first (EDF); non-RT candidates keep rotation order.
+  // Same-destination coalescing filters candidates: a head buffer the
+  // commit path will reject (sentinel or out-of-range index) has no
+  // determinate destination and joins any batch as a rejection.
+  const std::size_t ready_count = scratch_ready_.size();
+  std::uint16_t batch_node = 0;
+  bool have_node = false;
+  FLIPC_BOUNDED_BY(options_.transmit_batch);
+  while (planned_batch_.size() < batch_limit) {
+    std::size_t best = ready_count;
+    bool best_rt = false;
+    TimeNs best_deadline = 0;
+    FLIPC_BOUNDED_BY(scratch_ready_.size());
+    for (std::size_t idx = 0; idx < ready_count; ++idx) {
+      const std::uint32_t endpoint = scratch_ready_[idx];
+      if (scratch_taken_[endpoint] != 0) {
+        continue;
+      }
+      const EndpointRecord& record = comm_.endpoint(endpoint);
+      if (QosClassOf(record) != serve_class) {
+        continue;
+      }
+      const BufferIndex buffer = comm_.queue(endpoint).PeekProcess();
+      if (have_node && buffer != waitfree::kInvalidBuffer &&
+          comm_.IsValidBufferIndex(buffer) &&
+          comm_.msg(buffer).header->peer_address().node() != batch_node) {
+        continue;  // Different destination: next transmit unit's problem.
+      }
+      const bool rt = record.deadline_ns.ReadRelaxed() != 0;
+      const TimeNs deadline = rt ? HeadDeadline(endpoint, record) : 0;
+      if (best == ready_count || (rt && !best_rt) ||
+          (rt && best_rt && deadline < best_deadline)) {
+        best = idx;
+        best_rt = rt;
+        best_deadline = deadline;
+      }
+    }
+    if (best == ready_count) {
+      break;  // Serving class exhausted (or blocked on destination mix).
+    }
+    const std::uint32_t endpoint = scratch_ready_[best];
+    scratch_taken_[endpoint] = 1;
+    if (!have_node) {
+      const BufferIndex buffer = comm_.queue(endpoint).PeekProcess();
+      if (buffer != waitfree::kInvalidBuffer && comm_.IsValidBufferIndex(buffer)) {
+        batch_node = comm_.msg(buffer).header->peer_address().node();
+        have_node = true;
       }
     }
     planned_batch_.push_back(endpoint);
-    if (planned_batch_.size() >= batch_limit) {
-      break;
+    if (competing) {
+      FLIPC_BOUNDED_BY(shm::kQosClassCount);
+      for (std::uint32_t cls = 0; cls < shm::kQosClassCount; ++cls) {
+        if (class_ready[cls]) {
+          class_credit_[cls] += options_.qos_weights[cls];
+          if (class_credit_[cls] > kQosCreditClamp) {
+            class_credit_[cls] = kQosCreditClamp;  // Bound credit drift.
+          }
+        }
+      }
+      class_credit_[serve_class] -= ready_weight;
+      if (class_credit_[serve_class] < -kQosCreditClamp) {
+        class_credit_[serve_class] = -kQosCreditClamp;
+      }
+    }
+  }
+
+  // Ready endpoints that did not make this batch stay scheduled: rotate
+  // them to the back of the active list (their in_active_ bit never
+  // dropped, so doorbells rung meanwhile were deduplicated correctly).
+  FLIPC_BOUNDED_BY(scratch_ready_.size());
+  for (std::size_t idx = 0; idx < ready_count; ++idx) {
+    const std::uint32_t endpoint = scratch_ready_[idx];
+    if (scratch_taken_[endpoint] == 0) {
+      active_.push_back(endpoint);
     }
   }
   return !planned_batch_.empty();
@@ -552,6 +773,18 @@ void MessagingEngine::RecoverFromBuffer() {
   }
   std::fill(in_active_.begin(), in_active_.end(), 0);
 
+  // Engine-private QoS state dies with the engine: throttle deadlines,
+  // bucket levels and head stamps were measured on the dead engine's
+  // timeline. Zeroing seen_generation_ forces SyncSlotState to re-seed
+  // each slot on first touch (alloc_generation never takes the value 0).
+  std::fill(seen_generation_.begin(), seen_generation_.end(), 0);
+  std::fill(next_send_ok_.begin(), next_send_ok_.end(), 0);
+  std::fill(bucket_tokens_.begin(), bucket_tokens_.end(), 0);
+  std::fill(bucket_refill_at_.begin(), bucket_refill_at_.end(), 0);
+  std::fill(head_seen_count_.begin(), head_seen_count_.end(), kNoHeadSeen);
+  std::fill(head_seen_at_.begin(), head_seen_at_.end(), 0);
+  class_credit_.fill(0);
+
   // Rebuild the active list from the cursors. Deliberately NOT
   // SweepAllEndpoints(): that counts toward backstop_sweeps, whose
   // cause identity (overflow + periodic + no-candidate) must survive
@@ -673,6 +906,7 @@ void MessagingEngine::CommitOutbound(simnet::CostAccumulator& cost) {
 
 void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
                                         simnet::CostAccumulator& cost) {
+  SyncSlotState(endpoint_index);  // Slot may have churned between plan and commit.
   EndpointRecord& record = comm_.endpoint(endpoint_index);
   if (record.Type() != EndpointType::kSend) {
     return;  // Endpoint freed between plan and commit.
@@ -680,6 +914,11 @@ void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
   waitfree::BufferQueueView queue = comm_.queue(endpoint_index);
   if (queue.ProcessableCount() == 0) {
     return;  // Drained between plan and commit.
+  }
+  // Legacy scan path reaches here without a plan rotation; make sure the
+  // head wait is stamped before the telemetry below measures from it.
+  if (clock_ != nullptr) {
+    NoteHeadObserved(endpoint_index, clock_->NowNs());
   }
   shm::TelemetryBlock& telemetry = comm_.telemetry(endpoint_index);
   telemetry.NoteQueueDepth(queue.ProcessableCount());
@@ -735,12 +974,47 @@ void MessagingEngine::CommitOutboundOne(std::uint32_t endpoint_index,
   if (interval != 0 && clock_ != nullptr) {
     next_send_ok_[endpoint_index] = clock_->NowNs() + interval;
   }
+  // Token bucket: credit tokens accrued since the last refill, then pay one
+  // for this transmission (no rejection path remains below this point).
+  if (clock_ != nullptr && record.bucket_capacity.ReadRelaxed() != 0) {
+    RefillBucket(endpoint_index, record, clock_->NowNs());
+    if (bucket_tokens_[endpoint_index] > 0) {
+      --bucket_tokens_[endpoint_index];
+    }
+  }
+
+  // QoS telemetry: how long this head message waited since the planner
+  // first saw it backlogged, and whether a real-time deadline lapsed. The
+  // stamp is only meaningful while it matches the current head
+  // (process_count); a mismatched stamp belongs to an earlier message.
+  if (clock_ != nullptr &&
+      head_seen_count_[endpoint_index] == record.process_count.ReadRelaxed()) {
+    const TimeNs now = clock_->NowNs();
+    const std::uint64_t waited =
+        now > head_seen_at_[endpoint_index]
+            ? static_cast<std::uint64_t>(now - head_seen_at_[endpoint_index])
+            : 0;
+    telemetry.NoteServiceGap(waited);
+    const std::uint32_t deadline = record.deadline_ns.ReadRelaxed();
+    if (deadline != 0 && waited > deadline) {
+      telemetry.RecordDeadlineMiss();
+    }
+  }
 
   // Counted here (not inside the strategy) so subclasses that defer
   // completion still account the attempt; at quiescence
   // processed_total == engine_transmits + engine_rejects.
   telemetry.RecordEngineTransmit();
   TransmitMessage(endpoint_index, buffer, src, dst, cost);
+
+  // The next message (if already queued) became head at this instant;
+  // stamp it now so its wait is measured from here, not from the next
+  // plan rotation. Deferred-completion strategies leave process_count
+  // unchanged, which makes this a no-op — the stamp stays on the
+  // still-unfinished head.
+  if (clock_ != nullptr && queue.ProcessableCount() > 0) {
+    NoteHeadObserved(endpoint_index, clock_->NowNs());
+  }
 }
 
 void MessagingEngine::TransmitMessage(std::uint32_t endpoint_index, BufferIndex buffer,

@@ -94,6 +94,16 @@ struct EngineOptions {
   // an unsharded comm buffer (shard_count == 1, the default) the engine
   // behaves exactly as a single planner.
   std::uint32_t shard_id = 0;
+
+  // ---- QoS planner (DESIGN.md §15) ----
+  // Per-class service weights for the deficit-weighted class selection
+  // over the active list. When several classes stay backlogged, each
+  // class's long-run share of transmissions is proportional to its weight;
+  // when only one class has ready work the credits are untouched, so
+  // all-default assemblies (every endpoint in class 0) keep the exact
+  // round-robin rotation. A zero weight still earns selection eventually
+  // (credits never decrease below the clamp), so no class can starve.
+  std::array<std::uint32_t, shm::kQosClassCount> qos_weights{1, 1, 1, 1};
 };
 
 struct EngineStats {
@@ -261,9 +271,11 @@ class MessagingEngine {
   void SetTelemetry(EngineTelemetry* telemetry) { telemetry_ = telemetry; }
 
   // Clock used by the capacity-control (rate-limit) extension; without a
-  // clock, min_send_interval_ns configurations are ignored. The SimCluster
-  // wires the simulator's virtual clock, Cluster wires the real one.
+  // clock, min_send_interval_ns / token-bucket / deadline configurations
+  // are ignored. The SimCluster wires the simulator's virtual clock,
+  // Cluster wires the real one.
   void SetClock(const Clock* clock) { clock_ = clock; }
+  const Clock* clock() const { return clock_; }
 
   // ---- Sharded engine wiring (DESIGN.md §12) ----
 
@@ -414,6 +426,48 @@ class MessagingEngine {
     return clock_ != nullptr ? clock_->NowNs() : 0;
   }
 
+  // ---- QoS planner helpers (engine-private state; DESIGN.md §15) ----
+
+  // True when the endpoint's rate limits (min_send_interval_ns and/or the
+  // token bucket) forbid transmitting at `now`. Pure read: a slot whose
+  // alloc_generation differs from the engine's copy is never throttled
+  // (its recorded state belongs to the previous tenant).
+  bool Throttled(std::uint32_t endpoint, const shm::EndpointRecord& record,
+                 TimeNs now) const;
+
+  // Tokens the endpoint's bucket would hold at `now`, counting accrued
+  // refills without mutating the bucket state.
+  std::uint32_t BucketTokensAt(std::uint32_t endpoint, const shm::EndpointRecord& record,
+                               TimeNs now) const;
+
+  // Folds accrued refills into the bucket state (called on the commit path
+  // before a token is consumed).
+  void RefillBucket(std::uint32_t endpoint, const shm::EndpointRecord& record, TimeNs now);
+
+  // Detects slot reuse via EndpointRecord.alloc_generation and resets the
+  // engine-private throttle/bucket/head-tracking state for the new tenant.
+  // The churn bugfix: without this, a fresh endpoint inherited the previous
+  // tenant's next_send_ok_ deadline.
+  void SyncSlotState(std::uint32_t endpoint);
+
+  // Stamps when the endpoint's current head message was first observed
+  // (process_count changed); the base for EDF deadlines, deadline-miss
+  // accounting and the service-gap telemetry.
+  void NoteHeadObserved(std::uint32_t endpoint, TimeNs now);
+
+  // The endpoint's class, clamped to [0, kQosClassCount).
+  static std::uint32_t QosClassOf(const shm::EndpointRecord& record) {
+    const std::uint32_t cls = record.qos_class.ReadRelaxed();
+    return cls < shm::kQosClassCount ? cls : shm::kQosClassCount - 1;
+  }
+
+  // Absolute deadline of the endpoint's head message (head-observed stamp
+  // plus the configured relative deadline).
+  TimeNs HeadDeadline(std::uint32_t endpoint, const shm::EndpointRecord& record) const {
+    return head_seen_at_[endpoint] +
+           static_cast<TimeNs>(record.deadline_ns.ReadRelaxed());
+  }
+
   // Validity checks on an application-released send buffer. Returns true
   // if the message may be transmitted.
   bool ValidateSendBuffer(std::uint32_t endpoint_index, waitfree::BufferIndex buffer);
@@ -463,6 +517,31 @@ class MessagingEngine {
   // Rate-limit extension state: earliest next transmission per endpoint
   // (engine-private; not part of the shared communication buffer).
   std::vector<TimeNs> next_send_ok_;
+
+  // ---- QoS planner state (engine-private; DESIGN.md §15) ----
+  // Last EndpointRecord.alloc_generation observed per slot; 0 = never seen
+  // (AllocateEndpoint skips generation 0). A mismatch marks slot reuse.
+  std::vector<std::uint32_t> seen_generation_;
+  // Token-bucket state: current tokens and the accrual origin of the next
+  // refill. Sized at construction like next_send_ok_.
+  std::vector<std::uint32_t> bucket_tokens_;
+  std::vector<TimeNs> bucket_refill_at_;
+  // Head-message observation: the process_count value the stamp below was
+  // taken at (kNoHeadSeen = stamp invalid) and when it was taken.
+  static constexpr std::uint32_t kNoHeadSeen = 0xffffffffu;
+  std::vector<std::uint32_t> head_seen_count_;
+  std::vector<TimeNs> head_seen_at_;
+  // Deficit-weighted class selection: per-class credit. Backlogged classes
+  // earn their weight per plan, the serving class pays one unit per
+  // selected message; clamped so a long monopoly cannot bank unbounded
+  // credit (or debt).
+  static constexpr std::int64_t kQosCreditClamp = 1 << 20;
+  std::array<std::int64_t, shm::kQosClassCount> class_credit_{};
+  // Selection scratch (capacity reserved at construction; the plan path
+  // must never allocate): pass-1 ready candidates in rotation order and
+  // the taken flag per scratch position.
+  std::vector<std::uint32_t> scratch_ready_;
+  std::vector<char> scratch_taken_;
 
   static constexpr std::uint32_t kMaxProtocols = 8;
   std::array<ProtocolHandler*, kMaxProtocols> handlers_{};

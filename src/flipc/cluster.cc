@@ -48,6 +48,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const Options& options) {
         eng->SetHandoffInbox(node->handoffs[s].get());
       }
       engine::EngineRunner::Options runner_options;
+      runner_options.max_idle_park_ns = options.max_idle_park_ns;
       if (shards > 1 && options.pin_shard_threads) {
         runner_options.pin_cpu = static_cast<int>(next_cpu++ % hw_threads);
         runner_options.warm_touch = true;

@@ -46,6 +46,10 @@ class Cluster {
     // Single-shard nodes are never pinned regardless of this flag, so the
     // default assembly is unchanged.
     bool pin_shard_threads = true;
+    // Longest idle park per runner thread (EngineRunner::Options); the
+    // park-cap regression test raises this to make a missed unthrottle
+    // deadline visible as a large, deterministic delay.
+    DurationNs max_idle_park_ns = 200'000;
   };
 
   static Result<std::unique_ptr<Cluster>> Create(const Options& options);

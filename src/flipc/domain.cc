@@ -50,6 +50,10 @@ Result<Endpoint> Domain::CreateEndpoint(const EndpointOptions& options) {
   params.priority = options.priority;
   params.allowed_peer = options.allowed_peer.packed();
   params.min_send_interval_ns = options.min_send_interval_ns;
+  params.qos_class = options.qos_class;
+  params.deadline_ns = options.deadline_ns;
+  params.bucket_capacity = options.bucket_capacity;
+  params.bucket_refill_ns = options.bucket_refill_ns;
   params.shard = options.shard;
 
   bool owns_semaphore = false;

@@ -123,6 +123,22 @@ class Domain {
     // Capacity-control extension: minimum ns between transmissions from
     // this send endpoint (engine-enforced token spacing). 0 = unlimited.
     std::uint32_t min_send_interval_ns = 0;
+    // QoS planner (DESIGN.md §15): weighted service class 0..3. When
+    // several classes hold backlog, the engine's deficit-weighted planner
+    // shares transmissions proportionally to the per-class weights
+    // configured on the engine.
+    std::uint32_t qos_class = 0;
+    // Relative per-message deadline, ns from when the engine first sees
+    // the message backlogged. Nonzero marks the endpoint real-time:
+    // earliest-deadline-first within its class, deadline-miss accounting
+    // in telemetry. 0 = not real-time.
+    std::uint32_t deadline_ns = 0;
+    // Token-bucket rate limit (engine-enforced, generalizes
+    // min_send_interval_ns): burst capacity in messages. 0 = no bucket.
+    std::uint32_t bucket_capacity = 0;
+    // ns to refill one bucket token; 0 with nonzero capacity means the
+    // bucket never refills (hard burst cap).
+    std::uint32_t bucket_refill_ns = 0;
     // Sharded engine: allocate the endpoint inside this shard's contiguous
     // slot range so its planner owns it. kAnyShard = first free slot
     // anywhere (single-shard buffers have exactly one shard, 0).

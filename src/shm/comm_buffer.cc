@@ -375,6 +375,20 @@ Result<std::uint32_t> CommBuffer::AllocateEndpoint(const EndpointParams& params)
   // assignment); published on the record so the application library rings
   // the right doorbell without recomputing the mapping.
   record.shard.StoreRelaxed(shard_of(chosen));
+  record.qos_class.StoreRelaxed(params.qos_class);
+  record.deadline_ns.StoreRelaxed(params.deadline_ns);
+  record.bucket_capacity.StoreRelaxed(params.bucket_capacity);
+  record.bucket_refill_ns.StoreRelaxed(params.bucket_refill_ns);
+  // Bump the slot's allocation generation so the engine discards any
+  // throttle/bucket state left by the previous tenant; skipping 0 lets the
+  // engine use 0 as "never seen" after a fresh format or recovery.
+  {
+    std::uint32_t generation = record.alloc_generation.ReadRelaxed() + 1;
+    if (generation == 0) {
+      generation = 1;
+    }
+    record.alloc_generation.StoreRelaxed(generation);
+  }
   record.release_count.StoreRelaxed(0);
   record.acquire_count.StoreRelaxed(0);
   record.drops_reclaimed.StoreRelaxed(0);

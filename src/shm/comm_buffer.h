@@ -144,7 +144,11 @@ inline constexpr std::uint64_t kCommBufferMagic = 0x464c495043313936ull;  // "FL
 // endpoint table and the cell arena). Version 4 added engine sharding:
 // shard_count/endpoints_per_shard in the header, one doorbell ring section
 // per shard, and the shard cell on each endpoint record's config line.
-inline constexpr std::uint32_t kCommBufferVersion = 4;
+// Version 5 added the QoS planner cells on the endpoint config line
+// (qos_class, deadline_ns, bucket_capacity, bucket_refill_ns,
+// alloc_generation) and three engine-side QoS counters on the telemetry
+// block (deadline_misses, max_service_gap_ns, throttle_deferrals).
+inline constexpr std::uint32_t kCommBufferVersion = 5;
 
 class CommBuffer {
  public:
@@ -222,6 +226,14 @@ class CommBuffer {
     // Restrict allocation to the slot range of one shard (DESIGN.md §12);
     // kAnyShard picks the first free slot regardless of shard.
     std::uint32_t shard = kAnyShard;
+    // QoS planner (DESIGN.md §15): weighted service class [0, 3].
+    std::uint32_t qos_class = 0;
+    // Relative per-message deadline in ns; 0 = not real-time.
+    std::uint32_t deadline_ns = 0;
+    // Token-bucket burst capacity in messages; 0 = bucket disabled.
+    std::uint32_t bucket_capacity = 0;
+    // Ns to refill one token; meaningful only with bucket_capacity > 0.
+    std::uint32_t bucket_refill_ns = 0;
   };
 
   FLIPC_ROLE_QUIESCENT Result<std::uint32_t> AllocateEndpoint(const EndpointParams& params);

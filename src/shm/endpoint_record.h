@@ -53,6 +53,11 @@ inline constexpr std::uint32_t kNoSemaphore = 0xffffffffu;
 // engine's priority scheduling extension is enabled.
 inline constexpr std::uint32_t kDefaultEndpointPriority = 0;
 
+// Number of QoS service classes the engine's planner recognizes
+// (DESIGN.md §15). qos_class values at or above this clamp to the top
+// class, so a misconfigured record degrades instead of corrupting state.
+inline constexpr std::uint32_t kQosClassCount = 4;
+
 struct alignas(kCacheLineSize) EndpointRecord {
   // ---- Line 0: configuration (application-written, quiescent) ----
   waitfree::SingleWriterCell<std::uint32_t> type;            // EndpointType
@@ -73,6 +78,26 @@ struct alignas(kCacheLineSize) EndpointRecord {
   // published here so the application rings the owning shard's doorbell
   // ring without recomputing the mapping. Always 0 when shard_count == 1.
   waitfree::SingleWriterCell<std::uint32_t> shard;
+  // QoS planner (DESIGN.md §15): weighted service class. Classes 0..3;
+  // the planner's deficit-weighted selection gives each class a share of
+  // transmissions proportional to its configured weight.
+  waitfree::SingleWriterCell<std::uint32_t> qos_class;
+  // QoS planner: relative deadline per message, ns after the message
+  // becomes processable. 0 means not real-time (no EDF ordering, no
+  // deadline-miss accounting).
+  waitfree::SingleWriterCell<std::uint32_t> deadline_ns;
+  // QoS planner: token-bucket burst capacity in messages. 0 disables the
+  // bucket (pure min_send_interval_ns mode); bucket state is engine-private.
+  waitfree::SingleWriterCell<std::uint32_t> bucket_capacity;
+  // QoS planner: ns to refill one bucket token. 0 with a nonzero capacity
+  // means tokens never refill (hard burst cap).
+  waitfree::SingleWriterCell<std::uint32_t> bucket_refill_ns;
+  // Allocation generation for this slot, bumped on every AllocateEndpoint.
+  // The engine compares it against its private copy to detect slot reuse
+  // and drop throttle/bucket state inherited from the previous tenant —
+  // the engine may never observe the transient kInactive window during
+  // churn, so a generation tag (not the type cell) is the reliable signal.
+  waitfree::SingleWriterCell<std::uint32_t> alloc_generation;
 
   // ---- Line 1: application-written hot state ----
   alignas(kCacheLineSize) waitfree::SingleWriterCell<std::uint32_t> release_count;

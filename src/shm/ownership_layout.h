@@ -85,6 +85,16 @@ inline constexpr FieldOwnership kEndpointRecordOwnership[] = {
      sizeof(EndpointRecord::min_send_interval_ns), ownership_internal::kApp, true, true},
     {"EndpointRecord.shard", offsetof(EndpointRecord, shard),
      sizeof(EndpointRecord::shard), ownership_internal::kApp, true, true},
+    {"EndpointRecord.qos_class", offsetof(EndpointRecord, qos_class),
+     sizeof(EndpointRecord::qos_class), ownership_internal::kApp, true, true},
+    {"EndpointRecord.deadline_ns", offsetof(EndpointRecord, deadline_ns),
+     sizeof(EndpointRecord::deadline_ns), ownership_internal::kApp, true, true},
+    {"EndpointRecord.bucket_capacity", offsetof(EndpointRecord, bucket_capacity),
+     sizeof(EndpointRecord::bucket_capacity), ownership_internal::kApp, true, true},
+    {"EndpointRecord.bucket_refill_ns", offsetof(EndpointRecord, bucket_refill_ns),
+     sizeof(EndpointRecord::bucket_refill_ns), ownership_internal::kApp, true, true},
+    {"EndpointRecord.alloc_generation", offsetof(EndpointRecord, alloc_generation),
+     sizeof(EndpointRecord::alloc_generation), ownership_internal::kApp, true, true},
     // Line 1: application-written hot state.
     {"EndpointRecord.release_count", offsetof(EndpointRecord, release_count),
      sizeof(EndpointRecord::release_count), ownership_internal::kApp, true, false},
@@ -135,6 +145,12 @@ inline constexpr FieldOwnership kTelemetryBlockOwnership[] = {
     {"TelemetryBlock.queue_depth_high_water",
      offsetof(TelemetryBlock, queue_depth_high_water),
      sizeof(TelemetryBlock::queue_depth_high_water), ownership_internal::kEng, true, false},
+    {"TelemetryBlock.deadline_misses", offsetof(TelemetryBlock, deadline_misses),
+     sizeof(TelemetryBlock::deadline_misses), ownership_internal::kEng, true, false},
+    {"TelemetryBlock.max_service_gap_ns", offsetof(TelemetryBlock, max_service_gap_ns),
+     sizeof(TelemetryBlock::max_service_gap_ns), ownership_internal::kEng, true, false},
+    {"TelemetryBlock.throttle_deferrals", offsetof(TelemetryBlock, throttle_deferrals),
+     sizeof(TelemetryBlock::throttle_deferrals), ownership_internal::kEng, true, false},
 };
 
 // ---- QueueCursors (src/waitfree/buffer_queue.h) ----
@@ -311,6 +327,11 @@ inline constexpr FieldOrderPolicy kFieldOrderKinds[] = {
     {"EndpointRecord.allowed_peer", FieldOrderKind::kConfig},
     {"EndpointRecord.min_send_interval_ns", FieldOrderKind::kConfig},
     {"EndpointRecord.shard", FieldOrderKind::kConfig},
+    {"EndpointRecord.qos_class", FieldOrderKind::kConfig},
+    {"EndpointRecord.deadline_ns", FieldOrderKind::kConfig},
+    {"EndpointRecord.bucket_capacity", FieldOrderKind::kConfig},
+    {"EndpointRecord.bucket_refill_ns", FieldOrderKind::kConfig},
+    {"EndpointRecord.alloc_generation", FieldOrderKind::kConfig},
     {"EndpointRecord.release_count", FieldOrderKind::kCursor},
     {"EndpointRecord.acquire_count", FieldOrderKind::kCursor},
     {"EndpointRecord.drops_reclaimed", FieldOrderKind::kCounter},
@@ -330,6 +351,9 @@ inline constexpr FieldOrderPolicy kFieldOrderKinds[] = {
     {"TelemetryBlock.engine_deliveries", FieldOrderKind::kCounter},
     {"TelemetryBlock.engine_rejects", FieldOrderKind::kCounter},
     {"TelemetryBlock.queue_depth_high_water", FieldOrderKind::kCounter},
+    {"TelemetryBlock.deadline_misses", FieldOrderKind::kCounter},
+    {"TelemetryBlock.max_service_gap_ns", FieldOrderKind::kCounter},
+    {"TelemetryBlock.throttle_deferrals", FieldOrderKind::kCounter},
     // QueueCursors
     {"QueueCursors.release_count", FieldOrderKind::kCursor},
     {"QueueCursors.acquire_count", FieldOrderKind::kCursor},

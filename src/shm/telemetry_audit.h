@@ -8,9 +8,15 @@
 //   send endpoint     low32(api_sends)    == release_count
 //                     low32(api_reclaims) == acquire_count
 //                     engine_transmits + engine_rejects == processed_total
+//                     deadline_misses     <= engine_transmits
 //   receive endpoint  low32(api_posts)    == release_count
 //                     low32(api_receives) == acquire_count
 //                     engine_deliveries   == processed_total
+//
+// The QoS counters (version 5) add inequality rows: a deadline miss is
+// recorded only at a transmission, so misses can never outrun transmits;
+// on receive endpoints the three QoS counters must stay zero (the planner
+// only schedules send work).
 //
 // They hold for any endpoint driven through the Endpoint API and the
 // engine, at quiescence (mid-operation reads can be one apart on a live
@@ -57,6 +63,15 @@ inline bool CheckEndpointIdentities(const CommBuffer& comm, std::uint32_t index,
       failures->push_back({index, name, lhs, rhs});
     }
   };
+  const auto check_at_most = [&](const char* name, std::uint64_t lhs, std::uint64_t rhs) {
+    if (lhs <= rhs) {
+      return;
+    }
+    ok = false;
+    if (failures != nullptr) {
+      failures->push_back({index, name, lhs, rhs});
+    }
+  };
   if (record.Type() == EndpointType::kSend) {
     check("low32(api_sends) == release_count",
           static_cast<std::uint32_t>(t.api_sends.Read()), release);
@@ -64,6 +79,8 @@ inline bool CheckEndpointIdentities(const CommBuffer& comm, std::uint32_t index,
           static_cast<std::uint32_t>(t.api_reclaims.Read()), acquire);
     check("engine_transmits + engine_rejects == processed_total",
           t.engine_transmits.Read() + t.engine_rejects.Read(), processed);
+    check_at_most("deadline_misses <= engine_transmits", t.deadline_misses.Read(),
+                  t.engine_transmits.Read());
   } else {
     check("low32(api_posts) == release_count",
           static_cast<std::uint32_t>(t.api_posts.Read()), release);
@@ -71,6 +88,11 @@ inline bool CheckEndpointIdentities(const CommBuffer& comm, std::uint32_t index,
           static_cast<std::uint32_t>(t.api_receives.Read()), acquire);
     check("engine_deliveries == processed_total", t.engine_deliveries.Read(),
           processed);
+    // The planner schedules send work only; QoS accounting on a receive
+    // endpoint means a cross-role or cross-slot write.
+    check("deadline_misses == 0 (receive)", t.deadline_misses.Read(), 0);
+    check("max_service_gap_ns == 0 (receive)", t.max_service_gap_ns.Read(), 0);
+    check("throttle_deferrals == 0 (receive)", t.throttle_deferrals.Read(), 0);
   }
   return ok;
 }

@@ -52,6 +52,16 @@ struct alignas(kCacheLineSize) TelemetryBlock {
   waitfree::SingleWriterCell<std::uint64_t> engine_deliveries;  // messages delivered locally
   waitfree::SingleWriterCell<std::uint64_t> engine_rejects;     // buffers consumed as rejections
   waitfree::SingleWriterCell<std::uint64_t> queue_depth_high_water;  // max processable seen
+  // QoS planner (DESIGN.md §15): transmissions completed after the
+  // message's relative deadline (deadline_ns) had already expired.
+  waitfree::SingleWriterCell<std::uint64_t> deadline_misses;
+  // QoS planner: widest gap (ns) observed between consecutive services of
+  // this endpoint while it had processable work — the starvation signal.
+  // Conditional monotone max, like queue_depth_high_water.
+  waitfree::SingleWriterCell<std::uint64_t> max_service_gap_ns;
+  // QoS planner: times the planner skipped this endpoint because its
+  // token bucket / send interval said "not yet".
+  waitfree::SingleWriterCell<std::uint64_t> throttle_deferrals;
 
   // ---- Application-side increments (call under the application role) ----
   //
@@ -93,6 +103,17 @@ struct alignas(kCacheLineSize) TelemetryBlock {
       queue_depth_high_water.Publish(depth);
     }
   }
+  FLIPC_ROLE_ENGINE void RecordDeadlineMiss() {
+    deadline_misses.Publish(deadline_misses.ReadRelaxed() + 1);
+  }
+  FLIPC_ROLE_ENGINE void NoteServiceGap(std::uint64_t gap_ns) {
+    if (gap_ns > max_service_gap_ns.ReadRelaxed()) {
+      max_service_gap_ns.Publish(gap_ns);
+    }
+  }
+  FLIPC_ROLE_ENGINE void RecordThrottleDeferral() {
+    throttle_deferrals.Publish(throttle_deferrals.ReadRelaxed() + 1);
+  }
 
   // Zeroes every cell. Only legal while the endpoint slot is quiescent
   // (being (re)allocated): the caller writes both halves, so it must hold
@@ -109,6 +130,9 @@ struct alignas(kCacheLineSize) TelemetryBlock {
     engine_deliveries.StoreRelaxed(0);
     engine_rejects.StoreRelaxed(0);
     queue_depth_high_water.StoreRelaxed(0);
+    deadline_misses.StoreRelaxed(0);
+    max_service_gap_ns.StoreRelaxed(0);
+    throttle_deferrals.StoreRelaxed(0);
   }
 };
 static_assert(sizeof(TelemetryBlock) == 2 * kCacheLineSize,

@@ -375,5 +375,70 @@ TEST(Cluster, LockedVariantsSafeWithConcurrentSenders) {
   EXPECT_EQ(rx->DropCount(), 0u);
 }
 
+// The idle-park budget is pure arithmetic; pin its edge cases directly.
+TEST(EngineRunner, IdleParkCapsAtUnthrottleDeadline) {
+  using engine::EngineRunner;
+  constexpr DurationNs kMax = 200'000;
+  // No throttled work pending: sleep the configured maximum.
+  EXPECT_EQ(EngineRunner::IdleParkNs(1'000, kTimeNever, kMax), kMax);
+  // Gate already lapsed: do not sleep at all.
+  EXPECT_EQ(EngineRunner::IdleParkNs(5'000, 4'000, kMax), 0);
+  EXPECT_EQ(EngineRunner::IdleParkNs(5'000, 5'000, kMax), 0);
+  // Pending gate: sleep exactly the remaining wait, never more.
+  EXPECT_EQ(EngineRunner::IdleParkNs(5'000, 55'000, kMax), 50'000);
+  EXPECT_EQ(EngineRunner::IdleParkNs(0, 10'000'000, kMax), kMax);
+}
+
+// Satellite regression (the fixed-200us idle-park bug): a message already
+// queued behind a rate gate generates no kick when the gate lapses — only
+// the park timeout rediscovers it, so the park must be capped at the
+// engine's earliest unthrottle instant. The maximum park is set absurdly
+// long here so the stale behavior (sleeping the full maximum, ignoring
+// NextUnthrottleTime) shows up as a half-second stall, far outside the
+// asserted bound, while the capped wait delivers within a few ms.
+TEST(Cluster, IdleParkWakesAtUnthrottleDeadline) {
+  Cluster::Options options;
+  options.node_count = 2;
+  options.comm.message_size = 128;
+  options.comm.buffer_count = 64;
+  options.comm.max_endpoints = 16;
+  options.max_idle_park_ns = 500'000'000;
+  auto cluster_or = Cluster::Create(options);
+  ASSERT_TRUE(cluster_or.ok());
+  auto cluster = std::move(cluster_or).value();
+  cluster->Start();
+
+  Domain& a = cluster->domain(0);
+  Domain& b = cluster->domain(1);
+  auto rx = b.CreateEndpoint({.type = shm::EndpointType::kReceive, .queue_depth = 8});
+  ASSERT_TRUE(rx.ok());
+  for (int i = 0; i < 2; ++i) {
+    auto buffer = b.AllocateBuffer();
+    ASSERT_TRUE(buffer.ok());
+    ASSERT_TRUE(rx->PostBuffer(*buffer).ok());
+  }
+  Domain::EndpointOptions tx_options;
+  tx_options.type = shm::EndpointType::kSend;
+  tx_options.queue_depth = 8;
+  tx_options.min_send_interval_ns = 2'000'000;  // second send due at +2 ms
+  auto tx = a.CreateEndpoint(tx_options);
+  ASSERT_TRUE(tx.ok());
+
+  const TimeNs start = RealClock::Instance().NowNs();
+  auto m1 = a.AllocateBuffer();
+  auto m2 = a.AllocateBuffer();
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  ASSERT_TRUE(tx->Send(*m1, rx->address()).ok());
+  ASSERT_TRUE(tx->Send(*m2, rx->address()).ok());
+
+  ASSERT_TRUE(PollUntilOk([&] { return rx->Receive(); }).ok());
+  ASSERT_TRUE(PollUntilOk([&] { return rx->Receive(); }).ok());
+  const TimeNs elapsed = RealClock::Instance().NowNs() - start;
+  // Due at +2 ms; 100 ms absorbs scheduler noise while staying far under
+  // the 500 ms an uncapped park would sleep.
+  EXPECT_LT(elapsed, 100'000'000);
+  cluster->Stop();
+}
+
 }  // namespace
 }  // namespace flipc

@@ -68,6 +68,22 @@ class EngineTest : public ::testing::Test {
     return *index;
   }
 
+  // Rebuilds both engines with the current options_, for tests that tune
+  // scheduling knobs (batch size, QoS weights) after SetUp.
+  void RebuildEngines() {
+    for (int n = 0; n < 2; ++n) {
+      engine_[n] = std::make_unique<MessagingEngine>(
+          *comm_[n], fabric_->wire(static_cast<NodeId>(n)), options_, &model_);
+    }
+  }
+
+  // Full-params endpoint creation for the QoS tests.
+  std::uint32_t MakeEndpointQos(int node, const CommBuffer::EndpointParams& params) {
+    auto index = comm_[node]->AllocateEndpoint(params);
+    EXPECT_TRUE(index.ok());
+    return *index;
+  }
+
   // Posts a fresh buffer on a receive endpoint; returns its index.
   BufferIndex PostRecvBuffer(int node, std::uint32_t endpoint) {
     auto buffer = comm_[node]->AllocateBuffer();
@@ -766,6 +782,168 @@ TEST_F(EngineTest, RecoverFromBufferRebuildsSchedulingState) {
   EXPECT_EQ(engine_[1]->stats().messages_delivered, 3u);
   EXPECT_EQ(comm_[0]->telemetry(tx).engine_transmits.Read(), 3u);
   EXPECT_EQ(comm_[0]->endpoint(tx).processed_total.Read(), 3u);
+}
+
+// ------------------------------- QoS planner --------------------------------
+
+// Two backlogged classes with weights 3:1 split a contended interval's
+// transmissions 6:2 — the deficit accounting balances earnings and payments
+// per message, so the split is exact, not just asymptotic.
+TEST_F(EngineTest, WeightedClassesShareTransmitsProportionally) {
+  options_.transmit_batch = 1;  // one selection per plan: interleaving visible
+  options_.qos_weights = {3, 1, 1, 1};
+  RebuildEngines();
+
+  CommBuffer::EndpointParams heavy;
+  heavy.type = EndpointType::kSend;
+  heavy.queue_capacity = 16;
+  heavy.qos_class = 0;
+  const std::uint32_t tx_heavy = MakeEndpointQos(0, heavy);
+  CommBuffer::EndpointParams light = heavy;
+  light.qos_class = 1;
+  const std::uint32_t tx_light = MakeEndpointQos(0, light);
+
+  for (int i = 0; i < 8; ++i) {
+    QueueSend(0, tx_heavy, Address(1, 0));
+    QueueSend(0, tx_light, Address(1, 0));
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(engine_[0]->Step());
+  }
+  EXPECT_EQ(comm_[0]->telemetry(tx_heavy).engine_transmits.Read(), 6u);
+  EXPECT_EQ(comm_[0]->telemetry(tx_light).engine_transmits.Read(), 2u);
+}
+
+// Within one class, real-time endpoints (deadline_ns != 0) preempt
+// non-real-time ones and order earliest-deadline-first among themselves.
+TEST_F(EngineTest, EdfOrdersRealTimeWithinClass) {
+  options_.transmit_batch = 1;
+  RebuildEngines();
+
+  CommBuffer::EndpointParams params;
+  params.type = EndpointType::kSend;
+  params.queue_capacity = 8;
+  params.deadline_ns = 500'000;
+  const std::uint32_t tx_late = MakeEndpointQos(0, params);
+  params.deadline_ns = 100'000;
+  const std::uint32_t tx_soon = MakeEndpointQos(0, params);
+  params.deadline_ns = 0;
+  const std::uint32_t tx_bulk = MakeEndpointQos(0, params);
+
+  QueueSend(0, tx_bulk, Address(1, 0));
+  QueueSend(0, tx_late, Address(1, 0));
+  QueueSend(0, tx_soon, Address(1, 0));
+
+  EXPECT_TRUE(engine_[0]->Step());
+  EXPECT_EQ(comm_[0]->telemetry(tx_soon).engine_transmits.Read(), 1u);
+  EXPECT_TRUE(engine_[0]->Step());
+  EXPECT_EQ(comm_[0]->telemetry(tx_late).engine_transmits.Read(), 1u);
+  EXPECT_TRUE(engine_[0]->Step());
+  EXPECT_EQ(comm_[0]->telemetry(tx_bulk).engine_transmits.Read(), 1u);
+}
+
+// A fresh token bucket drains its full burst back-to-back, then sustains
+// one transmission per refill interval; NextUnthrottleTime names the exact
+// instant the next token lands.
+TEST_F(EngineTest, TokenBucketAllowsBurstThenSustainedRate) {
+  ManualClock clock;
+  clock.AdvanceTo(1'000'000);
+  engine_[0]->SetClock(&clock);
+
+  CommBuffer::EndpointParams params;
+  params.type = EndpointType::kSend;
+  params.queue_capacity = 8;
+  params.bucket_capacity = 3;
+  params.bucket_refill_ns = 100'000;
+  const std::uint32_t tx = MakeEndpointQos(0, params);
+  for (int i = 0; i < 6; ++i) {
+    QueueSend(0, tx, Address(1, 0));
+  }
+
+  while (engine_[0]->Step()) {
+  }
+  EXPECT_EQ(comm_[0]->telemetry(tx).engine_transmits.Read(), 3u);
+  EXPECT_EQ(engine_[0]->NextUnthrottleTime(), 1'100'000);
+
+  clock.AdvanceTo(1'100'000);
+  while (engine_[0]->Step()) {
+  }
+  EXPECT_EQ(comm_[0]->telemetry(tx).engine_transmits.Read(), 4u);
+
+  // 199,999 ns later only ONE whole token has accrued (the refill schedule
+  // keeps the fractional remainder rather than restarting at each spend).
+  clock.AdvanceTo(1'299'999);
+  while (engine_[0]->Step()) {
+  }
+  EXPECT_EQ(comm_[0]->telemetry(tx).engine_transmits.Read(), 5u);
+  EXPECT_EQ(engine_[0]->NextUnthrottleTime(), 1'300'000);
+
+  clock.AdvanceTo(1'500'000);
+  while (engine_[0]->Step()) {
+  }
+  EXPECT_EQ(comm_[0]->telemetry(tx).engine_transmits.Read(), 6u);
+}
+
+// The starvation counter fires while ready work sits behind a rate gate,
+// and stops once the backlog drains.
+TEST_F(EngineTest, ThrottleDeferralsCountWhileBacklogWaits) {
+  ManualClock clock;
+  clock.AdvanceTo(1'000'000);
+  engine_[0]->SetClock(&clock);
+
+  CommBuffer::EndpointParams params;
+  params.type = EndpointType::kSend;
+  params.queue_capacity = 8;
+  params.min_send_interval_ns = 100'000;
+  const std::uint32_t tx = MakeEndpointQos(0, params);
+  QueueSend(0, tx, Address(1, 0));
+  QueueSend(0, tx, Address(1, 0));
+
+  while (engine_[0]->Step()) {
+  }
+  EXPECT_EQ(comm_[0]->telemetry(tx).engine_transmits.Read(), 1u);
+  EXPECT_GE(comm_[0]->telemetry(tx).throttle_deferrals.Read(), 1u);
+
+  clock.AdvanceBy(100'000);
+  while (engine_[0]->Step()) {
+  }
+  EXPECT_EQ(comm_[0]->telemetry(tx).engine_transmits.Read(), 2u);
+  const std::uint64_t after_drain = comm_[0]->telemetry(tx).throttle_deferrals.Read();
+  EXPECT_FALSE(engine_[0]->Step());
+  EXPECT_FALSE(engine_[0]->Step());
+  EXPECT_EQ(comm_[0]->telemetry(tx).throttle_deferrals.Read(), after_drain);
+}
+
+// A head message transmitted after its relative deadline lapses counts one
+// deadline miss, and the wait is captured by max_service_gap_ns.
+TEST_F(EngineTest, DeadlineMissAndServiceGapRecorded) {
+  ManualClock clock;
+  clock.AdvanceTo(1'000'000);
+  engine_[0]->SetClock(&clock);
+
+  CommBuffer::EndpointParams params;
+  params.type = EndpointType::kSend;
+  params.queue_capacity = 8;
+  params.deadline_ns = 50'000;
+  params.min_send_interval_ns = 200'000;
+  const std::uint32_t tx = MakeEndpointQos(0, params);
+  QueueSend(0, tx, Address(1, 0));
+  QueueSend(0, tx, Address(1, 0));
+
+  while (engine_[0]->Step()) {
+  }
+  // The first message went immediately: no miss, no gap.
+  EXPECT_EQ(comm_[0]->telemetry(tx).deadline_misses.Read(), 0u);
+  EXPECT_EQ(comm_[0]->telemetry(tx).max_service_gap_ns.Read(), 0u);
+
+  clock.AdvanceBy(200'000);
+  while (engine_[0]->Step()) {
+  }
+  EXPECT_EQ(comm_[0]->telemetry(tx).engine_transmits.Read(), 2u);
+  // The second head waited the full 200 us interval against a 50 us
+  // deadline: exactly one miss, gap == the wait.
+  EXPECT_EQ(comm_[0]->telemetry(tx).deadline_misses.Read(), 1u);
+  EXPECT_EQ(comm_[0]->telemetry(tx).max_service_gap_ns.Read(), 200'000u);
 }
 
 }  // namespace

@@ -505,5 +505,50 @@ TEST_F(DoorbellScenarioTest, CrossShardDoorbellHintIgnored) {
   EXPECT_EQ(comm_->endpoint(foreign).processed_total.Read(), 0u);
 }
 
+// Satellite regression (the stale-throttle churn bug): a heavily throttled
+// endpoint transmits once, is destroyed, and its slot is reallocated to a
+// NEW send endpoint with no rate limit. The engine's private throttle
+// deadline for the slot still holds the old tenant's far-future value;
+// without the allocation-generation reset the new endpoint's first send
+// would stall behind a rate limit it never configured.
+TEST_F(DoorbellScenarioTest, SlotReuseDropsPreviousTenantsThrottleState) {
+  Init(/*shard_count=*/1);
+  ManualClock clock;
+  clock.AdvanceTo(1'000'000);
+  engine_->SetClock(&clock);
+
+  shm::CommBuffer::EndpointParams limited;
+  limited.type = shm::EndpointType::kSend;
+  limited.queue_capacity = 8;
+  limited.min_send_interval_ns = 1'000'000'000;  // 1 s: poisons the slot after one send
+  auto first = comm_->AllocateEndpoint(limited);
+  ASSERT_TRUE(first.ok());
+
+  QueueSend(*first, Address(1, 0));
+  StepToQuiescence();
+  EXPECT_EQ(comm_->telemetry(*first).engine_transmits.Read(), 1u);
+
+  // Drain and destroy; first-fit reallocation hands the same slot to a
+  // fresh, UNLIMITED send endpoint.
+  EXPECT_NE(comm_->queue(*first).Acquire(), waitfree::kInvalidBuffer);
+  ASSERT_TRUE(comm_->FreeEndpoint(*first).ok());
+  shm::CommBuffer::EndpointParams unlimited;
+  unlimited.type = shm::EndpointType::kSend;
+  unlimited.queue_capacity = 8;
+  auto second = comm_->AllocateEndpoint(unlimited);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(*second, *first);  // same slot recycled
+
+  // WITHOUT advancing the clock: the new tenant transmits immediately
+  // instead of inheriting the dead tenant's 1-second gate.
+  QueueSend(*second, Address(1, 0));
+  StepToQuiescence();
+  EXPECT_EQ(comm_->telemetry(*second).engine_transmits.Read(), 1u);
+  EXPECT_EQ(comm_->telemetry(*second).throttle_deferrals.Read(), 0u);
+  // (No AuditTelemetryIdentities here: QueueSend releases raw queue slots
+  // without the API-side telemetry helpers, which the audit — correctly —
+  // reports as an api_sends/release_count mismatch.)
+}
+
 }  // namespace
 }  // namespace flipc

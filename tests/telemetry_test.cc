@@ -177,10 +177,11 @@ TEST(Telemetry, EngineHistogramsRecordCommittedWork) {
 }
 
 // The telemetry table is part of the shared-memory ABI: introduced in
-// version 3 (version 4 added shard geometry without moving it), one
-// cache-line-aligned block per endpoint slot, visible through Attach.
+// version 3 (version 4 added shard geometry without moving it, version 5
+// added the QoS planner cells and counters), one cache-line-aligned block
+// per endpoint slot, visible through Attach.
 TEST(Telemetry, CommBufferTelemetryAbi) {
-  static_assert(shm::kCommBufferVersion == 4);
+  static_assert(shm::kCommBufferVersion == 5);
   static_assert(sizeof(shm::TelemetryBlock) == 2 * kCacheLineSize);
   static_assert(alignof(shm::TelemetryBlock) == kCacheLineSize);
 
@@ -223,6 +224,12 @@ TEST(Telemetry, ResetsWhenEndpointSlotIsReused) {
     (*comm)->telemetry(*first).RecordApiSend();
     (*comm)->telemetry(*first).RecordDoorbell(false);
   }
+  {
+    waitfree::ScopedBoundaryRole eng(waitfree::Writer::kEngine);
+    (*comm)->telemetry(*first).RecordDeadlineMiss();
+    (*comm)->telemetry(*first).NoteServiceGap(123);
+    (*comm)->telemetry(*first).RecordThrottleDeferral();
+  }
   ASSERT_TRUE((*comm)->FreeEndpoint(*first).ok());
 
   auto second = (*comm)->AllocateEndpoint({.type = shm::EndpointType::kReceive});
@@ -232,6 +239,9 @@ TEST(Telemetry, ResetsWhenEndpointSlotIsReused) {
   EXPECT_EQ(t.api_sends.Read(), 0u);
   EXPECT_EQ(t.doorbell_rings.Read(), 0u);
   EXPECT_EQ(t.doorbell_full.Read(), 0u);
+  EXPECT_EQ(t.deadline_misses.Read(), 0u);
+  EXPECT_EQ(t.max_service_gap_ns.Read(), 0u);
+  EXPECT_EQ(t.throttle_deferrals.Read(), 0u);
 }
 
 }  // namespace

@@ -83,7 +83,8 @@ void Dump(shm::CommBuffer& comm) {
               header.cell_arena_size);
 
   TextTable table({"ep", "type", "depth", "queued", "processable", "ready", "drops",
-                   "processed", "prio", "restrict", "rate ns"});
+                   "processed", "prio", "restrict", "rate ns", "class", "deadline",
+                   "bucket"});
   for (std::uint32_t i = 0; i < header.max_endpoints; ++i) {
     const shm::EndpointRecord& record = comm.endpoint(i);
     if (!record.IsActive()) {
@@ -96,6 +97,12 @@ void Dump(shm::CommBuffer& comm) {
       std::snprintf(restrict_text, sizeof(restrict_text), "%u:%u", restrict_to.node(),
                     restrict_to.endpoint());
     }
+    // Bucket column: "capacity/refill-ns" when configured, "-" otherwise.
+    char bucket_text[32] = "-";
+    if (record.bucket_capacity.Read() != 0) {
+      std::snprintf(bucket_text, sizeof(bucket_text), "%u/%u",
+                    record.bucket_capacity.Read(), record.bucket_refill_ns.Read());
+    }
     table.AddRow({std::to_string(i), TypeName(record.Type()),
                   std::to_string(record.queue_capacity.Read()),
                   std::to_string(queue.Size()), std::to_string(queue.ProcessableCount()),
@@ -103,7 +110,9 @@ void Dump(shm::CommBuffer& comm) {
                   std::to_string(record.DropCount()),
                   std::to_string(record.processed_total.Read()),
                   std::to_string(record.priority.Read()), restrict_text,
-                  std::to_string(record.min_send_interval_ns.Read())});
+                  std::to_string(record.min_send_interval_ns.Read()),
+                  std::to_string(record.qos_class.Read()),
+                  std::to_string(record.deadline_ns.Read()), bucket_text});
   }
   std::printf("%s", table.ToString().c_str());
 }
@@ -125,7 +134,8 @@ void Dump(shm::CommBuffer& comm) {
 int MetricsDump(shm::CommBuffer& comm, bool quiescent) {
   int mismatches = 0;
   TextTable table({"ep", "type", "sends", "recvs", "posts", "reclaims", "rel.rej", "rings",
-                   "ring.full", "eng.tx", "eng.dlv", "eng.rej", "q.hw", "drops", "check"});
+                   "ring.full", "eng.tx", "eng.dlv", "eng.rej", "q.hw", "dl.miss",
+                   "gap.max", "defer", "drops", "check"});
   for (std::uint32_t i = 0; i < comm.max_endpoints(); ++i) {
     const shm::EndpointRecord& record = comm.endpoint(i);
     if (!record.IsActive()) {
@@ -148,6 +158,9 @@ int MetricsDump(shm::CommBuffer& comm, bool quiescent) {
                   std::to_string(t.engine_deliveries.Read()),
                   std::to_string(t.engine_rejects.Read()),
                   std::to_string(t.queue_depth_high_water.Read()),
+                  std::to_string(t.deadline_misses.Read()),
+                  std::to_string(t.max_service_gap_ns.Read()),
+                  std::to_string(t.throttle_deferrals.Read()),
                   std::to_string(record.DropCount()), ok ? "[OK]" : "[MISMATCH]"});
   }
   std::printf("\nper-endpoint telemetry (comm-buffer resident):\n%s", table.ToString().c_str());
@@ -348,6 +361,10 @@ int Demo(const InspectOptions& options) {
   tx.priority = 9;
   tx.allowed_peer = Address(1, 0).packed();
   tx.min_send_interval_ns = 50'000;
+  tx.qos_class = 2;
+  tx.deadline_ns = 250'000;
+  tx.bucket_capacity = 4;
+  tx.bucket_refill_ns = 100'000;
   auto tx_index = (*comm)->AllocateEndpoint(tx);
   if (!rx_index.ok() || !tx_index.ok()) {
     return 1;
